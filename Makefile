@@ -1,0 +1,42 @@
+# Reproduction of Blackwell, "Speeding up Protocols for Small Messages"
+# (SIGCOMM '96). Pure Go, standard library only.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench report examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table/figure/ablation into results/ (add PAPER=1 for
+# the full 100-seed methodology).
+report:
+	$(GO) run ./cmd/ldlpreport -out results $(if $(PAPER),-paper)
+	$(GO) run ./cmd/tcpwset -all > results/tcpwset.txt
+	$(GO) run ./cmd/cksumbench > results/cksumbench.txt
+	$(GO) run ./cmd/sigbench > results/sigbench.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/signalling
+	$(GO) run ./examples/webserver
+	$(GO) run ./examples/tracereplay
+	$(GO) run ./examples/dnsburst
+	$(GO) run ./examples/nfsclient
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,100 @@
+// Command ldlpsim regenerates the paper's §4 evaluation figures on the
+// synthetic five-layer stack: Figure 5 (cache misses per message vs
+// arrival rate), Figure 6 (latency vs arrival rate) and Figure 7 (latency
+// vs CPU clock under self-similar Ethernet traffic), plus the ablation
+// sweeps DESIGN.md calls out.
+//
+// Usage:
+//
+//	ldlpsim [-figure5] [-figure6] [-figure7] [-ablations] [-all]
+//	        [-runs 100] [-duration 1] [-paper]
+//
+// -paper selects the full published methodology (100 seeds × 1 s per
+// point — minutes of CPU); the default is a quick 5×0.3 s sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"ldlp/internal/sim"
+	"ldlp/internal/stats"
+	"ldlp/internal/traffic"
+)
+
+func main() {
+	var (
+		f5        = flag.Bool("figure5", false, "cache misses per message vs arrival rate")
+		f6        = flag.Bool("figure6", false, "latency vs arrival rate")
+		f7        = flag.Bool("figure7", false, "latency vs CPU clock (self-similar traffic)")
+		ablations = flag.Bool("ablations", false, "batch cap / queue cost / cache size / discipline sweeps")
+		all       = flag.Bool("all", false, "everything")
+		paper     = flag.Bool("paper", false, "full published methodology (100 seeds x 1s)")
+		runs      = flag.Int("runs", 0, "override: seeds per point")
+		duration  = flag.Float64("duration", 0, "override: simulated seconds per run")
+		plot      = flag.Bool("plot", false, "render ASCII plots alongside the tables")
+	)
+	flag.Parse()
+	if !(*f5 || *f6 || *f7 || *ablations || *all) {
+		*all = true
+	}
+
+	opts := sim.QuickSweep()
+	if *paper {
+		opts = sim.PaperSweep()
+	}
+	if *runs > 0 {
+		opts.Runs = *runs
+	}
+	if *duration > 0 {
+		opts.Duration = *duration
+	}
+	fmt.Printf("# sweep: %d runs x %.2fs per point, %d-byte messages\n\n",
+		opts.Runs, opts.Duration, opts.MessageSize)
+
+	show := func(tab *stats.Table, logY bool, ylabel string) {
+		fmt.Println(tab)
+		if *plot {
+			fmt.Println(tab.Plot(stats.PlotOptions{LogY: logY, YLabel: ylabel}))
+		}
+	}
+	timed := func(name string, fn func()) {
+		start := time.Now()
+		fn()
+		fmt.Printf("# %s took %v\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *all || *f5 {
+		timed("figure 5", func() { show(sim.Figure5(opts), false, "misses/msg") })
+	}
+	if *all || *f6 {
+		timed("figure 6", func() { show(sim.Figure6(opts), true, "seconds") })
+	}
+	if *all || *f7 {
+		f7opts := opts
+		if !*paper && *duration == 0 {
+			f7opts.Duration = 2 // bursts need a longer window
+		}
+		timed("figure 7", func() {
+			// Validate the trace model first: the variance-time Hurst
+			// estimate should look like the Bellcore data (H ≈ 0.7-0.9).
+			arr := traffic.Take(traffic.NewSelfSimilar(traffic.DefaultSelfSimilar(sim.Figure7Rate, 1)), 120, 0)
+			if h, err := traffic.EstimateHurst(arr, 120, 0.1); err == nil {
+				fmt.Printf("# self-similar source: Hurst ≈ %.2f (Poisson would be 0.5; Bellcore measures 0.7-0.9)\n", h)
+			}
+			show(sim.Figure7(f7opts), true, "seconds")
+		})
+	}
+	if *all || *ablations {
+		timed("ablations", func() {
+			fmt.Println(sim.BatchCapAblation(opts, 8000, []int{1, 2, 4, 8, 14, 32}))
+			fmt.Println(sim.QueueCostAblation(opts, 6000, []float64{0, 20, 40, 100, 200}))
+			fmt.Println(sim.CacheSizeAblation(opts, 3000, []int{8192, 16384, 32768, 65536}))
+			fmt.Println(sim.DisciplineAblation(opts, 4000))
+			fmt.Println(sim.PrefetchAblation(opts, 3000))
+			fmt.Println(sim.ValueAddedAblation(opts, 2500, 12288))
+			fmt.Println(sim.UnifiedCacheAblation(opts, 5000))
+		})
+	}
+}

@@ -1,0 +1,122 @@
+package ldlp_test
+
+import (
+	"fmt"
+
+	"ldlp"
+)
+
+// Example shows the central idea: the same three messages flow through
+// the same two layers under the conventional and LDLP disciplines, and
+// only the *order* differs — one message through all layers versus one
+// layer over all messages.
+func Example() {
+	for _, d := range []ldlp.Discipline{ldlp.Conventional, ldlp.LDLP} {
+		var order []string
+		s := ldlp.NewStack[int](ldlp.Options{Discipline: d})
+		var upper *ldlp.Layer[int]
+		lower := s.AddLayer("ip", func(m int, emit ldlp.Emit[int]) {
+			order = append(order, fmt.Sprintf("ip:%d", m))
+			emit(upper, m)
+		})
+		upper = s.AddLayer("tcp", func(m int, emit ldlp.Emit[int]) {
+			order = append(order, fmt.Sprintf("tcp:%d", m))
+			emit(nil, m)
+		})
+		s.Link(lower, upper)
+		for m := 1; m <= 3; m++ {
+			s.Inject(m)
+		}
+		s.Run()
+		fmt.Println(d, order)
+	}
+	// Output:
+	// conventional [ip:1 tcp:1 ip:2 tcp:2 ip:3 tcp:3]
+	// ldlp [ip:1 ip:2 ip:3 tcp:1 tcp:2 tcp:3]
+}
+
+// ExampleWorkingSetReport regenerates the paper's §2 headline: the
+// per-packet code working set dwarfs both the message and an 8 KB cache.
+func ExampleWorkingSetReport() {
+	a := ldlp.WorkingSetReport(552, 32)
+	fmt.Printf("code+rodata working set > 4x 8KB cache: %v\n", a.Code.Bytes+a.ReadOnly.Bytes > 4*8192)
+	fmt.Printf("working set > 30x the 552-byte message: %v\n", a.Code.Bytes > 30*552)
+	// Output:
+	// code+rodata working set > 4x 8KB cache: true
+	// working set > 30x the 552-byte message: true
+}
+
+// ExampleNewStack_batchLimit shows the bottom-layer batch bound: the
+// lowest layer yields to higher layers after its batch, so bursts cannot
+// starve the upper stack.
+func ExampleNewStack_batchLimit() {
+	var order []string
+	s := ldlp.NewStack[int](ldlp.Options{Discipline: ldlp.LDLP, BatchLimit: 2})
+	var top *ldlp.Layer[int]
+	bottom := s.AddLayer("dev", func(m int, emit ldlp.Emit[int]) {
+		order = append(order, fmt.Sprintf("dev:%d", m))
+		emit(top, m)
+	})
+	top = s.AddLayer("app", func(m int, emit ldlp.Emit[int]) {
+		order = append(order, fmt.Sprintf("app:%d", m))
+		emit(nil, m)
+	})
+	s.Link(bottom, top)
+	for m := 1; m <= 4; m++ {
+		s.Inject(m)
+	}
+	s.Run()
+	fmt.Println(order)
+	// Output:
+	// [dev:1 dev:2 app:1 app:2 dev:3 dev:4 app:3 app:4]
+}
+
+// ExampleChecksumSimple shows the two real §5.1 checksum routines
+// agreeing (their difference is cache behaviour, not results).
+func ExampleChecksumSimple() {
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	fmt.Printf("%#04x %v\n", ldlp.ChecksumSimple(data),
+		ldlp.ChecksumSimple(data) == ldlp.ChecksumUnrolled(data))
+	// Output:
+	// 0x220d true
+}
+
+// ExampleBuildStack builds the netstack's receive topology from an
+// x-kernel-style graph description instead of imperative wiring.
+func ExampleBuildStack() {
+	spec := `
+        device > ether > ip
+        ip > tcp, udp
+        tcp > socket
+        udp > socket`
+	var seen []string
+	var layers map[string]*ldlp.Layer[int]
+	passTo := func(name, next string) ldlp.Handler[int] {
+		return func(m int, emit ldlp.Emit[int]) {
+			seen = append(seen, name)
+			if next == "" {
+				emit(nil, m)
+				return
+			}
+			emit(layers[next], m)
+		}
+	}
+	handlers := map[string]ldlp.Handler[int]{
+		"device": passTo("device", "ether"),
+		"ether":  passTo("ether", "ip"),
+		"ip":     passTo("ip", "udp"),
+		"tcp":    passTo("tcp", "socket"),
+		"udp":    passTo("udp", "socket"),
+		"socket": passTo("socket", ""),
+	}
+	s, ls, err := ldlp.BuildStack(ldlp.Options{Discipline: ldlp.LDLP}, spec, handlers)
+	if err != nil {
+		panic(err)
+	}
+	layers = ls
+	s.Inject(1)
+	s.Run()
+	fmt.Println(seen)
+	// Output:
+	// [device ether ip udp socket]
+}

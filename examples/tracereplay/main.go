@@ -1,0 +1,76 @@
+// Tracereplay: synthesize a Bellcore-shaped self-similar Ethernet trace
+// (the stand-in for the Leland et al. October 1989 trace that drives
+// Figure 7), write it in the trace file format, read it back, and replay
+// it through the synthetic machine simulation at several CPU clock
+// speeds — the full Figure 7 pipeline end to end.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ldlp"
+	"ldlp/internal/core"
+	"ldlp/internal/sim"
+	"ldlp/internal/traffic"
+)
+
+func main() {
+	const (
+		rate    = 800.0 // mean packets/s (bursts reach far higher)
+		seconds = 20.0
+	)
+
+	arrivals := ldlp.SynthesizeTrace(rate, seconds, 1996)
+	fmt.Printf("synthesized %d arrivals over %.0fs (mean %.0f pkts/s)\n",
+		len(arrivals), seconds, float64(len(arrivals))/seconds)
+
+	// Round-trip through the Bellcore-style trace file format.
+	path := filepath.Join(os.TempDir(), "ldlp-pOct89-like.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		panic(err)
+	}
+	if err := traffic.WriteTrace(f, arrivals); err != nil {
+		panic(err)
+	}
+	f.Close()
+	f, err = os.Open(path)
+	if err != nil {
+		panic(err)
+	}
+	loaded, err := traffic.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("trace file %s: %d arrivals read back\n\n", path, len(loaded))
+
+	// Burstiness fingerprint: peak 100ms bin vs the mean.
+	bins := make([]int, int(seconds*10)+1)
+	peak := 0
+	for _, a := range loaded {
+		b := int(a.Time * 10)
+		bins[b]++
+		if bins[b] > peak {
+			peak = bins[b]
+		}
+	}
+	fmt.Printf("burstiness: mean %.1f pkts per 100ms bin, peak %d (self-similar sources spike)\n\n",
+		float64(len(loaded))/float64(len(bins)), peak)
+
+	fmt.Println("latency vs CPU clock, replaying the trace (Figure 7 pipeline):")
+	fmt.Printf("%6s %16s %16s\n", "MHz", "conventional", "ldlp")
+	for _, mhz := range []float64{10, 20, 40, 80} {
+		var lat [2]float64
+		for i, d := range []core.Discipline{core.Conventional, core.LDLP} {
+			cfg := sim.DefaultConfig(d)
+			cfg.Machine.ClockHz = mhz * 1e6
+			cfg.Duration = seconds
+			res := sim.New(cfg).Run(traffic.NewTrace(loaded))
+			lat[i] = res.Latency.Mean()
+		}
+		fmt.Printf("%6.0f %14.2fms %14.2fms\n", mhz, lat[0]*1e3, lat[1]*1e3)
+	}
+}

@@ -1,0 +1,3 @@
+module ldlp
+
+go 1.24

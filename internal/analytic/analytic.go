@@ -1,0 +1,127 @@
+// Package analytic implements the paper's §6 rule of thumb as a
+// closed-form cost model:
+//
+//	"For nontrivial protocols that do not use LDLP running on
+//	 workstations with small primary caches, designers should assume,
+//	 only slightly conservatively, that every message received causes
+//	 every piece of code executed for that message to be fetched into
+//	 the primary cache at least once. ... Any additional code added to
+//	 speed up processing incurs memory system costs — at least one extra
+//	 cache miss for every extra cache line."
+//
+// The model predicts per-message cycles and capacity for the conventional
+// and LDLP disciplines from the stack's static parameters alone, and the
+// test suite validates it against the discrete-event simulator — the
+// simulator reproduces the paper's figures, and this model explains them.
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// StackModel describes a protocol stack and machine in the terms §4 uses.
+type StackModel struct {
+	// Layers is the stack depth; LayerCodeBytes / LayerDataBytes the
+	// per-layer working sets; MessageBytes the message size.
+	Layers         int
+	LayerCodeBytes int
+	LayerDataBytes int
+	MessageBytes   int
+	// LineSize and MissPenalty describe the primary caches.
+	LineSize    int
+	MissPenalty int
+	// IssueFixed is straight-line issue cycles per layer per message,
+	// IssuePerByte the data-loop cost, QueueOpCycles the LDLP enqueue/
+	// dequeue cost per layer per message.
+	IssueFixed    float64
+	IssuePerByte  float64
+	QueueOpCycles float64
+}
+
+// PaperStack returns the §4 configuration.
+func PaperStack() StackModel {
+	return StackModel{
+		Layers: 5, LayerCodeBytes: 6144, LayerDataBytes: 256, MessageBytes: 552,
+		LineSize: 32, MissPenalty: 20,
+		IssueFixed: 1376, IssuePerByte: 0.5, QueueOpCycles: 40,
+	}
+}
+
+func (m StackModel) lines(bytes int) float64 {
+	return math.Ceil(float64(bytes) / float64(m.LineSize))
+}
+
+// issuePerMsg is the discipline-independent instruction work.
+func (m StackModel) issuePerMsg() float64 {
+	return float64(m.Layers) * (m.IssueFixed + m.IssuePerByte*float64(m.MessageBytes))
+}
+
+// ConventionalCyclesPerMsg applies the rule of thumb: the cache is cold at
+// the start of each message, so every code line of every layer misses
+// once; the message is fetched once (it stays data-cache-resident across
+// layers); per-layer data conflicts are second-order and folded into the
+// code term, exactly as §6's "only slightly conservatively" suggests.
+func (m StackModel) ConventionalCyclesPerMsg() float64 {
+	codeMisses := float64(m.Layers) * m.lines(m.LayerCodeBytes)
+	msgMisses := m.lines(m.MessageBytes)
+	dataMisses := float64(m.Layers) * m.lines(m.LayerDataBytes) * 0.25 // partial conflicts
+	return m.issuePerMsg() + (codeMisses+msgMisses+dataMisses)*float64(m.MissPenalty)
+}
+
+// LDLPCyclesPerMsg amortizes the code fetch over a batch of the given
+// size and adds the queueing overhead.
+func (m StackModel) LDLPCyclesPerMsg(batch int) float64 {
+	if batch < 1 {
+		batch = 1
+	}
+	codeMisses := float64(m.Layers) * m.lines(m.LayerCodeBytes) / float64(batch)
+	msgMisses := m.lines(m.MessageBytes)
+	dataMisses := float64(m.Layers) * m.lines(m.LayerDataBytes) * 0.25 / float64(batch)
+	queue := float64(m.Layers) * m.QueueOpCycles
+	return m.issuePerMsg() + queue + (codeMisses+msgMisses+dataMisses)*float64(m.MissPenalty)
+}
+
+// MaxBatch is the paper's batching bound: as many messages as fit in the
+// data cache alongside the layers' own data.
+func (m StackModel) MaxBatch(dcacheBytes int) int {
+	per := int(m.lines(m.MessageBytes)) * m.LineSize
+	budget := dcacheBytes - m.Layers*m.LayerDataBytes
+	if per <= 0 || budget < per {
+		return 1
+	}
+	return budget / per
+}
+
+// ConventionalCapacity predicts the saturation throughput (msgs/sec) of
+// the conventional discipline at the given clock.
+func (m StackModel) ConventionalCapacity(clockHz float64) float64 {
+	return clockHz / m.ConventionalCyclesPerMsg()
+}
+
+// LDLPCapacity predicts saturation throughput with batches bounded by the
+// data cache.
+func (m StackModel) LDLPCapacity(clockHz float64, dcacheBytes int) float64 {
+	return clockHz / m.LDLPCyclesPerMsg(m.MaxBatch(dcacheBytes))
+}
+
+// Speedup is the predicted LDLP/conventional capacity ratio.
+func (m StackModel) Speedup(dcacheBytes int) float64 {
+	return m.ConventionalCyclesPerMsg() / m.LDLPCyclesPerMsg(m.MaxBatch(dcacheBytes))
+}
+
+// ExtraCodeCost quantifies §6's closing admonition: adding extraBytes of
+// per-message code costs at least one miss per line, i.e. this many extra
+// cycles per message on a conventional stack.
+func (m StackModel) ExtraCodeCost(extraBytes int) float64 {
+	return m.lines(extraBytes) * float64(m.MissPenalty)
+}
+
+// String summarizes the model's predictions for a 100 MHz / 8 KB machine.
+func (m StackModel) String() string {
+	return fmt.Sprintf(
+		"analytic: conv %.0f cy/msg (%.0f msgs/s at 100MHz); ldlp@B=%d %.0f cy/msg (%.0f msgs/s); speedup %.2fx",
+		m.ConventionalCyclesPerMsg(), m.ConventionalCapacity(100e6),
+		m.MaxBatch(8192), m.LDLPCyclesPerMsg(m.MaxBatch(8192)),
+		m.LDLPCapacity(100e6, 8192), m.Speedup(8192))
+}

@@ -1,0 +1,111 @@
+package analytic
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ldlp/internal/core"
+	"ldlp/internal/sim"
+	"ldlp/internal/traffic"
+)
+
+func TestRuleOfThumbNumbers(t *testing.T) {
+	m := PaperStack()
+	// Conventional: 5 layers × 192 code lines × 20 cycles = 19200 stall +
+	// issue 5×1652 = 8260 + message 18×20 = 360 + data term.
+	conv := m.ConventionalCyclesPerMsg()
+	if conv < 27000 || conv > 30000 {
+		t.Errorf("conventional cycles/msg = %.0f, expect ≈28k", conv)
+	}
+	// LDLP at the cache-bound batch amortizes the 19200 by ~12x.
+	b := m.MaxBatch(8192)
+	if b < 10 || b > 14 {
+		t.Errorf("max batch = %d, expect ≈12", b)
+	}
+	ldlp := m.LDLPCyclesPerMsg(b)
+	if ldlp > conv/2.5 {
+		t.Errorf("ldlp cycles/msg = %.0f vs conv %.0f: amortization too weak", ldlp, conv)
+	}
+	// Batch 1 must cost slightly MORE than conventional (queue ops).
+	if m.LDLPCyclesPerMsg(1) <= conv {
+		t.Error("batch-1 LDLP should pay the queueing overhead")
+	}
+}
+
+func TestCapacitiesBracketThePaperFigures(t *testing.T) {
+	m := PaperStack()
+	conv := m.ConventionalCapacity(100e6)
+	ldlp := m.LDLPCapacity(100e6, 8192)
+	// Figure 6's shape: conventional saturates in the 3-4k range, LDLP
+	// runs toward 10k (flattening past 8500 per Figure 5's caption).
+	if conv < 3000 || conv > 4500 {
+		t.Errorf("conventional capacity = %.0f, expect 3-4.5k msgs/s", conv)
+	}
+	if ldlp < 8000 || ldlp > 12000 {
+		t.Errorf("LDLP capacity = %.0f, expect ≈10k msgs/s", ldlp)
+	}
+	if sp := m.Speedup(8192); sp < 2 || sp > 4 {
+		t.Errorf("speedup = %.2f, expect the paper's ≈2.5-3x", sp)
+	}
+}
+
+// The analytic model must agree with the discrete-event simulator: the
+// simulator reproduces the paper, the model explains the simulator.
+func TestModelMatchesSimulator(t *testing.T) {
+	m := PaperStack()
+
+	// Conventional service time from the simulator (busy time per
+	// message at moderate load).
+	cfg := sim.DefaultConfig(core.Conventional)
+	cfg.Duration = 1
+	res := sim.New(cfg).Run(traffic.NewPoisson(2000, 552, 5))
+	simCycles := res.BusyFrac * cfg.Duration * cfg.Machine.ClockHz / float64(res.Processed)
+	ana := m.ConventionalCyclesPerMsg()
+	if math.Abs(simCycles-ana) > 0.07*ana {
+		t.Errorf("conventional: sim %.0f cy/msg vs analytic %.0f (>7%% apart)", simCycles, ana)
+	}
+
+	// LDLP capacity: drive the simulator well past saturation and compare
+	// achieved throughput with the predicted capacity.
+	lcfg := sim.DefaultConfig(core.LDLP)
+	lcfg.Duration = 1
+	lres := sim.New(lcfg).Run(traffic.NewPoisson(20000, 552, 5))
+	pred := m.LDLPCapacity(lcfg.Machine.ClockHz, lcfg.Machine.DCache.Size)
+	if math.Abs(lres.Throughput-pred) > 0.15*pred {
+		t.Errorf("LDLP capacity: sim %.0f msgs/s vs analytic %.0f (>15%% apart)",
+			lres.Throughput, pred)
+	}
+}
+
+func TestExtraCodeCost(t *testing.T) {
+	m := PaperStack()
+	// §6: say, 10 cycles for every extra 32 bytes — at our 20-cycle
+	// penalty, one line costs 20.
+	if got := m.ExtraCodeCost(32); got != 20 {
+		t.Errorf("one extra line costs %.0f cycles, want 20", got)
+	}
+	if got := m.ExtraCodeCost(1000); got != 32*20 {
+		t.Errorf("1000 extra bytes cost %.0f, want %d", got, 32*20)
+	}
+}
+
+func TestMaxBatchDegenerateCases(t *testing.T) {
+	m := PaperStack()
+	if b := m.MaxBatch(100); b != 1 {
+		t.Errorf("tiny cache batch = %d, want 1", b)
+	}
+	m.MessageBytes = 100000
+	if b := m.MaxBatch(8192); b != 1 {
+		t.Errorf("oversize message batch = %d, want 1", b)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	s := PaperStack().String()
+	for _, want := range []string{"conv", "ldlp", "speedup"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q: %s", want, s)
+		}
+	}
+}

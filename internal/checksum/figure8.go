@@ -1,0 +1,134 @@
+package checksum
+
+import (
+	"ldlp/internal/cache"
+	"ldlp/internal/machine"
+	"ldlp/internal/stats"
+)
+
+// CostModel describes one checksum routine to the machine model: how much
+// code it brings into the I-cache and how many cycles it issues. The
+// calibration anchors are Figure 8's printed annotations: 426 vs 176
+// cycles of cold cost at size→0 on a DECstation 3000/400 (10-cycle miss
+// penalty, 32-byte lines), a cold crossover near 900 bytes, and the warm
+// elaborate routine winning at nearly all sizes.
+type CostModel struct {
+	Name string
+	// CodeBytes is the routine's total size, ActiveBytes the working code
+	// set actually fetched per call.
+	CodeBytes   int
+	ActiveBytes int
+	// FixedCycles is per-call issue overhead; CyclesPerByte the issue cost
+	// of the summation loop.
+	FixedCycles   float64
+	CyclesPerByte float64
+}
+
+// BSDModel is the elaborate 4.4BSD in_cksum compiled for the Alpha:
+// 1104 bytes of code, 992 active for messages over 32 bytes (§5.1).
+func BSDModel() CostModel {
+	return CostModel{
+		Name:        "4.4BSD",
+		CodeBytes:   1104,
+		ActiveBytes: 992,
+		// Calibrated so cold cost at size 0 is 426 cycles: 992/32 lines at
+		// 10 cycles leaves 116 cycles of issue overhead.
+		FixedCycles:   116,
+		CyclesPerByte: 1.0,
+	}
+}
+
+// SimpleModel is the paper's simple routine: 288 bytes of active code,
+// more work per byte.
+func SimpleModel() CostModel {
+	return CostModel{
+		Name:        "Simple",
+		CodeBytes:   288,
+		ActiveBytes: 288,
+		// Cold cost at size 0 is 176 cycles: 288/32 lines at 10 cycles
+		// leaves 86 cycles of issue overhead.
+		FixedCycles: 86,
+		// The crossover constraint: the simple routine gives back its
+		// 250-cycle cold head start by ~900 bytes.
+		CyclesPerByte: 1.0 + 250.0/900.0,
+	}
+}
+
+// Figure8Machine is the DECstation 3000/400 of §5.1: 8 KB direct-mapped
+// primary I-cache with 32-byte lines and a 10-cycle primary-miss penalty.
+// Message data is in the D-cache in all cases (as in the paper), so the
+// D-cache never stalls.
+func Figure8Machine() machine.Config {
+	return machine.Config{
+		ClockHz: 133e6,
+		ICache:  cache.Config{Size: 8192, LineSize: 32, Assoc: 1, MissPenalty: 10},
+		DCache:  cache.Config{Size: 8192, LineSize: 32, Assoc: 1, MissPenalty: 0},
+	}
+}
+
+// Cycles simulates one call on cpu and returns the cycles it consumed.
+// The caller controls cache temperature: flush the I-cache first for a
+// cold call, or call twice and measure the second for a warm one.
+func (cm CostModel) Cycles(cpu *machine.CPU, seg *machine.Segment, msgSize int) float64 {
+	start := cpu.Cycles()
+	cpu.TouchCode(seg.Addr(), cm.ActiveBytes)
+	cpu.AddIssueCycles(cm.FixedCycles + cm.CyclesPerByte*float64(msgSize))
+	return cpu.Cycles() - start
+}
+
+// Series names for the Figure 8 table, in plot order.
+var Figure8Series = []string{"4.4BSD cold", "Simple cold", "4.4BSD warm", "Simple warm"}
+
+// Figure8 sweeps message sizes and returns the four Figure 8 curves in
+// CPU cycles. Sizes are averaged over 16-byte buckets like the paper
+// ("times for each range [x..x+15] of message sizes are averaged").
+func Figure8(maxSize, step int) *stats.Table {
+	tab := stats.NewTable("Figure 8: cache effects in checksum routines", "bytes", Figure8Series...)
+	models := []CostModel{BSDModel(), SimpleModel()}
+	for size := 0; size <= maxSize; size += step {
+		var row [4]float64
+		for i, cm := range models {
+			// Each routine gets its own CPU so the two do not evict each
+			// other; within a bucket we average the 16 sizes.
+			var cold, warm float64
+			n := 0
+			for s := size; s < size+16 && s <= maxSize; s++ {
+				cpu := machine.New(Figure8Machine())
+				seg := machine.NewSegment(cm.Name, machine.Code, cm.CodeBytes)
+				seg.SetAddr(0)
+				cpu.ColdStart()
+				cold += cm.Cycles(cpu, seg, s)
+				warm += cm.Cycles(cpu, seg, s) // second call: cache warm
+				n++
+			}
+			row[i] = cold / float64(n)   // columns 0,1: cold
+			row[i+2] = warm / float64(n) // columns 2,3: warm
+		}
+		tab.Add(float64(size), row[0], row[1], row[2], row[3])
+	}
+	return tab
+}
+
+// ColdCrossover finds the smallest message size at which the elaborate
+// routine becomes at least as fast as the simple one with a cold cache
+// (the paper reports ≈900 bytes). It returns maxSize+1 if no crossover
+// occurs below maxSize.
+func ColdCrossover(maxSize int) int {
+	bsd, simple := BSDModel(), SimpleModel()
+	for s := 0; s <= maxSize; s++ {
+		cb := coldCycles(bsd, s)
+		cs := coldCycles(simple, s)
+		if cb <= cs {
+			return s
+		}
+	}
+	return maxSize + 1
+}
+
+func coldCycles(cm CostModel, msgSize int) float64 {
+	cpu := machine.New(Figure8Machine())
+	seg := machine.NewSegment(cm.Name, machine.Code, cm.CodeBytes)
+	seg.SetAddr(0)
+	cpu.ColdStart()
+	return cm.Cycles(cpu, seg, msgSize)
+}

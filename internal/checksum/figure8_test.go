@@ -1,0 +1,88 @@
+package checksum
+
+import (
+	"testing"
+
+	"ldlp/internal/machine"
+)
+
+func TestFigure8Anchors(t *testing.T) {
+	// The printed annotations: at message size 0 the cold cost is 426
+	// cycles for the 4.4BSD routine and 176 for the simple one.
+	if got := coldCycles(BSDModel(), 0); got != 426 {
+		t.Errorf("4.4BSD cold cost at size 0 = %v cycles, paper says 426", got)
+	}
+	if got := coldCycles(SimpleModel(), 0); got != 176 {
+		t.Errorf("Simple cold cost at size 0 = %v cycles, paper says 176", got)
+	}
+}
+
+func TestColdCrossoverNear900(t *testing.T) {
+	x := ColdCrossover(1200)
+	if x < 800 || x > 1000 {
+		t.Errorf("cold crossover at %d bytes, paper says ≈900", x)
+	}
+}
+
+func TestWarmElaborateWinsAtMostSizes(t *testing.T) {
+	// "With a warm cache, the elaborate version performed better at nearly
+	// all message sizes."
+	bsd, simple := BSDModel(), SimpleModel()
+	warm := func(cm CostModel, size int) float64 {
+		cpu := machine.New(Figure8Machine())
+		seg := machine.NewSegment(cm.Name, machine.Code, cm.CodeBytes)
+		seg.SetAddr(0)
+		cm.Cycles(cpu, seg, size) // prime
+		return cm.Cycles(cpu, seg, size)
+	}
+	wins := 0
+	total := 0
+	for s := 0; s <= 1000; s += 16 {
+		total++
+		if warm(bsd, s) <= warm(simple, s) {
+			wins++
+		}
+	}
+	if float64(wins) < 0.85*float64(total) {
+		t.Errorf("warm 4.4BSD wins only %d/%d sizes, want nearly all", wins, total)
+	}
+}
+
+func TestColdSimpleWinsSmall(t *testing.T) {
+	// The headline: with a cold cache, the simple routine is faster for
+	// small messages (the regime signalling protocols live in).
+	for _, s := range []int{0, 64, 128, 256, 552} {
+		if !(coldCycles(SimpleModel(), s) < coldCycles(BSDModel(), s)) {
+			t.Errorf("at %d bytes cold, simple should beat 4.4BSD", s)
+		}
+	}
+}
+
+func TestFigure8TableShape(t *testing.T) {
+	tab := Figure8(1000, 100)
+	if len(tab.Points) != 11 {
+		t.Fatalf("table rows = %d, want 11", len(tab.Points))
+	}
+	for _, p := range tab.Points {
+		for _, s := range Figure8Series {
+			if p.Y[s] <= 0 {
+				t.Errorf("size %v series %q is %v, want positive", p.X, s, p.Y[s])
+			}
+		}
+		// Cold always costs at least as much as warm for the same routine.
+		if p.Y["4.4BSD cold"] < p.Y["4.4BSD warm"] || p.Y["Simple cold"] < p.Y["Simple warm"] {
+			t.Errorf("warm exceeds cold at size %v", p.X)
+		}
+	}
+}
+
+func TestCyclesScalesLinearly(t *testing.T) {
+	cm := SimpleModel()
+	c0 := coldCycles(cm, 0)
+	c900 := coldCycles(cm, 900)
+	wantSlope := cm.CyclesPerByte
+	gotSlope := (c900 - c0) / 900
+	if diff := gotSlope - wantSlope; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("per-byte slope = %v, want %v", gotSlope, wantSlope)
+	}
+}

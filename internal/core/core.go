@@ -1,0 +1,349 @@
+// Package core implements Locality-Driven Layer Processing (LDLP), the
+// paper's central contribution (§3): a scheduling discipline for protocol
+// stacks that processes *batches of messages per layer* instead of one
+// message through all layers, so that a layer's code is reused while it is
+// still cache-resident — the protocol analogue of blocked matrix
+// multiplication.
+//
+// The engine is generic over the message type: the synthetic simulator
+// (internal/sim) runs it over cost-model messages, and the runnable
+// netstack (internal/netstack) runs it over real mbuf chains.
+//
+// Scheduling rules, from §3.1–3.2:
+//
+//   - Every layer has an input queue. Higher layers have higher priority.
+//   - A scheduled layer runs to completion: it processes every message in
+//     its input queue before anything else runs.
+//   - The lowest layer is the exception: it yields after processing as
+//     many messages as fit in the data cache (the batch limit), so arrival
+//     bursts cannot starve the upper layers.
+//   - Under light load queues hold single messages and behaviour matches a
+//     conventional stack; under heavy load batches form and instruction
+//     locality improves. That load-adaptivity is the whole trick.
+//
+// A layer may feed more than one upper layer ("there can be more than
+// one"), so the topology is a DAG, not only a chain.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Discipline selects how messages flow through the stack (Figure 2).
+type Discipline int
+
+const (
+	// Conventional processes each message through every layer in turn by
+	// direct call-through — the ALF-style structure with poor code
+	// locality for small messages.
+	Conventional Discipline = iota
+	// ILP is integrated layer processing: the same outer control flow as
+	// Conventional (each message traverses all layers before the next),
+	// with the layers' data loops fused. The engine's control flow is the
+	// conventional one; substrates model the fused data loops by charging
+	// data costs once instead of per layer.
+	ILP
+	// LDLP enqueues messages between layers and runs the blocked,
+	// priority-driven schedule described in the package comment.
+	LDLP
+)
+
+// String names the discipline.
+func (d Discipline) String() string {
+	switch d {
+	case Conventional:
+		return "conventional"
+	case ILP:
+		return "ilp"
+	case LDLP:
+		return "ldlp"
+	default:
+		return fmt.Sprintf("Discipline(%d)", int(d))
+	}
+}
+
+// Emit is passed to a layer handler so it can pass a message to an upper
+// layer (or out of the stack with to == nil).
+type Emit[M any] func(to *Layer[M], m M)
+
+// Handler processes one message at one layer.
+type Handler[M any] func(m M, emit Emit[M])
+
+// fifo is a slice-backed queue that reuses its backing array.
+type fifo[M any] struct {
+	buf  []M
+	head int
+}
+
+func (q *fifo[M]) push(m M) { q.buf = append(q.buf, m) }
+
+func (q *fifo[M]) pop() (M, bool) {
+	var zero M
+	if q.head >= len(q.buf) {
+		return zero, false
+	}
+	m := q.buf[q.head]
+	q.buf[q.head] = zero // release for GC
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return m, true
+}
+
+func (q *fifo[M]) len() int { return len(q.buf) - q.head }
+
+// Layer is one protocol layer in a Stack.
+type Layer[M any] struct {
+	name    string
+	index   int // position in Stack.layers; higher = higher priority
+	handler Handler[M]
+	queue   fifo[M]
+	uppers  []*Layer[M]
+
+	// Processed counts handler invocations at this layer.
+	Processed int64
+	// MaxQueue tracks the deepest the input queue has been.
+	MaxQueue int
+}
+
+// Name returns the layer's name.
+func (l *Layer[M]) Name() string { return l.name }
+
+// QueueLen reports the current input-queue depth.
+func (l *Layer[M]) QueueLen() int { return l.queue.len() }
+
+// Options configures a Stack.
+type Options struct {
+	// Discipline selects the processing schedule.
+	Discipline Discipline
+	// BatchLimit caps how many messages the lowest layer processes before
+	// yielding to higher-priority layers — the paper sizes it so a batch
+	// of messages fits in the data cache. 0 means unlimited. Only
+	// meaningful for LDLP.
+	BatchLimit int
+	// MaxQueued bounds the total number of messages buffered inside the
+	// stack; Inject fails beyond it (drop-tail, like the paper's
+	// 500-packet buffer). 0 means unlimited.
+	MaxQueued int
+}
+
+// Stats aggregates engine-level accounting that the cost models consume.
+type Stats struct {
+	// QueueOps counts enqueue+dequeue pairs; the paper estimates ~40
+	// instructions each (§3.2), charged by the simulator per op.
+	QueueOps int64
+	// Processed counts handler invocations across all layers.
+	Processed int64
+	// Delivered counts messages that left the top of the stack.
+	Delivered int64
+	// Dropped counts messages rejected by MaxQueued.
+	Dropped int64
+	// Rounds counts scheduler passes (LDLP only).
+	Rounds int64
+	// LargestBatch is the largest run-to-completion batch any layer
+	// processed in one scheduling.
+	LargestBatch int
+}
+
+// ErrStackFull is returned by Inject when MaxQueued is exceeded.
+var ErrStackFull = errors.New("core: stack buffer full")
+
+// Sink receives messages that emerge from the top of the stack.
+type Sink[M any] func(m M)
+
+// Stack is a protocol stack bound to one discipline.
+type Stack[M any] struct {
+	opts   Options
+	layers []*Layer[M]
+	bottom *Layer[M]
+	sink   Sink[M]
+	stats  Stats
+	queued int
+
+	// onProcess, if set, is called before each handler invocation — the
+	// simulator charges per-layer cache and cycle costs here.
+	onProcess func(l *Layer[M], m M)
+}
+
+// NewStack creates an empty stack. Layers are added bottom-up with
+// AddLayer; the first layer added is the lowest (the injection point).
+func NewStack[M any](opts Options) *Stack[M] {
+	if opts.BatchLimit < 0 || opts.MaxQueued < 0 {
+		panic(fmt.Sprintf("core: negative option in %+v", opts))
+	}
+	return &Stack[M]{opts: opts}
+}
+
+// AddLayer appends a layer above all existing layers and returns it.
+func (s *Stack[M]) AddLayer(name string, h Handler[M]) *Layer[M] {
+	if h == nil {
+		panic("core: nil handler for layer " + name)
+	}
+	l := &Layer[M]{name: name, handler: h, index: len(s.layers)}
+	s.layers = append(s.layers, l)
+	if s.bottom == nil {
+		s.bottom = l
+	}
+	return l
+}
+
+// Link declares that lower may emit messages to upper. Emitting to an
+// unlinked layer panics, which catches topology bugs early. Links must
+// point upward (to a higher-priority layer): the run-to-completion
+// schedule depends on it.
+func (s *Stack[M]) Link(lower, upper *Layer[M]) {
+	if upper.index <= lower.index {
+		panic(fmt.Sprintf("core: link %s -> %s does not point upward", lower.name, upper.name))
+	}
+	lower.uppers = append(lower.uppers, upper)
+}
+
+// OnProcess installs a per-handler-invocation hook (cost accounting).
+func (s *Stack[M]) OnProcess(fn func(l *Layer[M], m M)) { s.onProcess = fn }
+
+// SetSink installs the receiver for messages leaving the stack top.
+func (s *Stack[M]) SetSink(fn Sink[M]) { s.sink = fn }
+
+// Layers returns the layers, bottom first.
+func (s *Stack[M]) Layers() []*Layer[M] { return s.layers }
+
+// Stats returns a copy of the counters.
+func (s *Stack[M]) Stats() Stats { return s.stats }
+
+// Discipline reports the configured discipline.
+func (s *Stack[M]) Discipline() Discipline { return s.opts.Discipline }
+
+// Pending reports the number of messages buffered inside the stack.
+func (s *Stack[M]) Pending() int { return s.queued }
+
+// Inject presents one arriving message to the bottom layer.
+//
+// Under Conventional and ILP the message is processed through the whole
+// stack immediately (call-through). Under LDLP it is queued; call Run to
+// process. Inject returns ErrStackFull if the stack's buffer is full.
+func (s *Stack[M]) Inject(m M) error {
+	if s.bottom == nil {
+		panic("core: Inject on a stack with no layers")
+	}
+	switch s.opts.Discipline {
+	case Conventional, ILP:
+		s.callThrough(s.bottom, m)
+		return nil
+	default:
+		if s.opts.MaxQueued > 0 && s.queued >= s.opts.MaxQueued {
+			s.stats.Dropped++
+			return ErrStackFull
+		}
+		s.enqueue(s.bottom, m)
+		return nil
+	}
+}
+
+// callThrough runs a message depth-first through the layers, the
+// conventional schedule.
+func (s *Stack[M]) callThrough(l *Layer[M], m M) {
+	s.process(l, m, func(to *Layer[M], next M) {
+		if to == nil {
+			s.deliver(next)
+			return
+		}
+		s.checkLinked(l, to)
+		s.callThrough(to, next)
+	})
+}
+
+func (s *Stack[M]) process(l *Layer[M], m M, emit Emit[M]) {
+	if s.onProcess != nil {
+		s.onProcess(l, m)
+	}
+	l.Processed++
+	s.stats.Processed++
+	l.handler(m, emit)
+}
+
+func (s *Stack[M]) deliver(m M) {
+	s.stats.Delivered++
+	if s.sink != nil {
+		s.sink(m)
+	}
+}
+
+func (s *Stack[M]) enqueue(l *Layer[M], m M) {
+	l.queue.push(m)
+	s.queued++
+	s.stats.QueueOps++
+	if l.queue.len() > l.MaxQueue {
+		l.MaxQueue = l.queue.len()
+	}
+}
+
+func (s *Stack[M]) checkLinked(from, to *Layer[M]) {
+	for _, u := range from.uppers {
+		if u == to {
+			return
+		}
+	}
+	panic(fmt.Sprintf("core: %s emitted to unlinked layer %s", from.name, to.name))
+}
+
+// Run drains the stack under the LDLP schedule and returns the number of
+// messages delivered out of the top during this call. It is a no-op for
+// call-through disciplines (their Inject already completed processing).
+//
+// Schedule: repeatedly pick the highest nonempty layer; run it to
+// completion (the bottom layer stops after BatchLimit messages); repeat
+// until every queue is empty.
+func (s *Stack[M]) Run() int64 {
+	if s.opts.Discipline != LDLP {
+		return 0
+	}
+	startDelivered := s.stats.Delivered
+	for {
+		l := s.highestPending()
+		if l == nil {
+			break
+		}
+		s.stats.Rounds++
+		s.runLayer(l)
+	}
+	return s.stats.Delivered - startDelivered
+}
+
+func (s *Stack[M]) highestPending() *Layer[M] {
+	for i := len(s.layers) - 1; i >= 0; i-- {
+		if s.layers[i].queue.len() > 0 {
+			return s.layers[i]
+		}
+	}
+	return nil
+}
+
+// runLayer processes the layer's queue to completion (bounded by
+// BatchLimit at the bottom layer), emitting upward into queues.
+func (s *Stack[M]) runLayer(l *Layer[M]) {
+	limit := l.queue.len()
+	if l == s.bottom && s.opts.BatchLimit > 0 && limit > s.opts.BatchLimit {
+		limit = s.opts.BatchLimit
+	}
+	if limit > s.stats.LargestBatch {
+		s.stats.LargestBatch = limit
+	}
+	for i := 0; i < limit; i++ {
+		m, ok := l.queue.pop()
+		if !ok {
+			break
+		}
+		s.queued--
+		s.process(l, m, func(to *Layer[M], next M) {
+			if to == nil {
+				s.deliver(next)
+				return
+			}
+			s.checkLinked(l, to)
+			s.enqueue(to, next)
+		})
+	}
+}

@@ -1,0 +1,430 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildChain makes an n-layer pass-through stack that records the order of
+// (layer, message) processing events.
+func buildChain(n int, opts Options) (*Stack[int], *[]string) {
+	events := &[]string{}
+	s := NewStack[int](opts)
+	layers := make([]*Layer[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		layers[i] = s.AddLayer(fmt.Sprintf("L%d", i+1), func(m int, emit Emit[int]) {
+			*events = append(*events, fmt.Sprintf("L%d:P%d", i+1, m))
+			if i+1 < n {
+				emit(layerAt(s, i+1), m)
+			} else {
+				emit(nil, m)
+			}
+		})
+	}
+	for i := 0; i+1 < n; i++ {
+		s.Link(layers[i], layers[i+1])
+	}
+	return s, events
+}
+
+func layerAt(s *Stack[int], i int) *Layer[int] { return s.Layers()[i] }
+
+func TestDisciplineString(t *testing.T) {
+	if Conventional.String() != "conventional" || ILP.String() != "ilp" || LDLP.String() != "ldlp" {
+		t.Error("discipline names changed")
+	}
+	if Discipline(9).String() != "Discipline(9)" {
+		t.Error("unknown discipline rendering changed")
+	}
+}
+
+func TestConventionalOrderIsDepthFirst(t *testing.T) {
+	// Figure 2 "Conventional": L1 P1, L2 P1, L1 P2, L2 P2.
+	s, events := buildChain(2, Options{Discipline: Conventional})
+	var delivered []int
+	s.SetSink(func(m int) { delivered = append(delivered, m) })
+	s.Inject(1)
+	s.Inject(2)
+	want := []string{"L1:P1", "L2:P1", "L1:P2", "L2:P2"}
+	if fmt.Sprint(*events) != fmt.Sprint(want) {
+		t.Errorf("events = %v, want %v", *events, want)
+	}
+	if fmt.Sprint(delivered) != "[1 2]" {
+		t.Errorf("delivered = %v", delivered)
+	}
+}
+
+func TestLDLPOrderIsBlocked(t *testing.T) {
+	// Figure 2 "Blocked": L1 P1, L1 P2, L2 P1, L2 P2.
+	s, events := buildChain(2, Options{Discipline: LDLP})
+	s.Inject(1)
+	s.Inject(2)
+	if len(*events) != 0 {
+		t.Fatalf("LDLP should not process during Inject, got %v", *events)
+	}
+	if n := s.Run(); n != 2 {
+		t.Fatalf("Run delivered %d, want 2", n)
+	}
+	want := []string{"L1:P1", "L1:P2", "L2:P1", "L2:P2"}
+	if fmt.Sprint(*events) != fmt.Sprint(want) {
+		t.Errorf("events = %v, want %v", *events, want)
+	}
+}
+
+func TestLDLPSingleMessageMatchesConventionalOrder(t *testing.T) {
+	// Under light load (batch = 1) the LDLP schedule degenerates to the
+	// conventional per-message order — the paper's low-latency property.
+	sc, ec := buildChain(3, Options{Discipline: Conventional})
+	sl, el := buildChain(3, Options{Discipline: LDLP})
+	sc.Inject(1)
+	sl.Inject(1)
+	sl.Run()
+	if fmt.Sprint(*ec) != fmt.Sprint(*el) {
+		t.Errorf("orders differ: conventional %v, ldlp %v", *ec, *el)
+	}
+}
+
+func TestBatchLimitYieldsToUpperLayers(t *testing.T) {
+	// With BatchLimit 2 and 5 injected messages, the bottom layer must
+	// process 2, then the upper layer runs those 2 before the bottom
+	// resumes.
+	s, events := buildChain(2, Options{Discipline: LDLP, BatchLimit: 2})
+	for m := 1; m <= 5; m++ {
+		s.Inject(m)
+	}
+	s.Run()
+	want := []string{
+		"L1:P1", "L1:P2", "L2:P1", "L2:P2",
+		"L1:P3", "L1:P4", "L2:P3", "L2:P4",
+		"L1:P5", "L2:P5",
+	}
+	if fmt.Sprint(*events) != fmt.Sprint(want) {
+		t.Errorf("events = %v,\nwant %v", *events, want)
+	}
+	if got := s.Stats().LargestBatch; got != 2 {
+		t.Errorf("largest batch = %d, want 2", got)
+	}
+}
+
+func TestRunToCompletionPriority(t *testing.T) {
+	// Messages queued at several layers: the highest layer must drain
+	// completely first.
+	s, events := buildChain(3, Options{Discipline: LDLP})
+	// Inject normally, run partially by using batch limit — instead,
+	// exercise priority by injecting, running, then injecting more.
+	s.Inject(1)
+	s.Run()
+	s.Inject(2)
+	s.Inject(3)
+	s.Run()
+	want := []string{
+		"L1:P1", "L2:P1", "L3:P1",
+		"L1:P2", "L1:P3", "L2:P2", "L2:P3", "L3:P2", "L3:P3",
+	}
+	if fmt.Sprint(*events) != fmt.Sprint(want) {
+		t.Errorf("events = %v,\nwant %v", *events, want)
+	}
+}
+
+func TestMaxQueuedDropTail(t *testing.T) {
+	s, _ := buildChain(2, Options{Discipline: LDLP, MaxQueued: 3})
+	var errs int
+	for m := 0; m < 5; m++ {
+		if err := s.Inject(m); err != nil {
+			if err != ErrStackFull {
+				t.Fatalf("unexpected error %v", err)
+			}
+			errs++
+		}
+	}
+	if errs != 2 {
+		t.Errorf("dropped %d, want 2", errs)
+	}
+	if s.Stats().Dropped != 2 {
+		t.Errorf("stats.Dropped = %d, want 2", s.Stats().Dropped)
+	}
+	if n := s.Run(); n != 3 {
+		t.Errorf("delivered %d, want 3", n)
+	}
+}
+
+func TestDAGFanOut(t *testing.T) {
+	// One demux layer feeding two upper protocols — "there can be more
+	// than one" layer directly above.
+	var got []string
+	var udp, tcp *Layer[int]
+	s := NewStack[int](Options{Discipline: LDLP})
+	demuxL := s.AddLayer("demux", func(m int, emit Emit[int]) {
+		if m%2 == 0 {
+			emit(udp, m)
+		} else {
+			emit(tcp, m)
+		}
+	})
+	udp = s.AddLayer("udp", func(m int, emit Emit[int]) {
+		got = append(got, fmt.Sprintf("udp:%d", m))
+		emit(nil, m)
+	})
+	tcp = s.AddLayer("tcp", func(m int, emit Emit[int]) {
+		got = append(got, fmt.Sprintf("tcp:%d", m))
+		emit(nil, m)
+	})
+	s.Link(demuxL, udp)
+	s.Link(demuxL, tcp)
+	for m := 0; m < 4; m++ {
+		s.Inject(m)
+	}
+	s.Run()
+	// Blocked schedule: demux drains 0,1,2,3 then the *higher-priority*
+	// tcp layer runs its batch {1,3}, then udp runs {0,2}.
+	want := "[tcp:1 tcp:3 udp:0 udp:2]"
+	if fmt.Sprint(got) != want {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestAddLayerNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil handler should panic")
+		}
+	}()
+	NewStack[int](Options{}).AddLayer("x", nil)
+}
+
+func TestLinkMustPointUp(t *testing.T) {
+	s := NewStack[int](Options{})
+	a := s.AddLayer("a", func(int, Emit[int]) {})
+	b := s.AddLayer("b", func(int, Emit[int]) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("downward link should panic")
+		}
+	}()
+	s.Link(b, a)
+}
+
+func TestEmitToUnlinkedLayerPanics(t *testing.T) {
+	s := NewStack[int](Options{Discipline: Conventional})
+	var b *Layer[int]
+	s.AddLayer("a", func(m int, emit Emit[int]) { emit(b, m) })
+	b = s.AddLayer("b", func(m int, emit Emit[int]) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("emit to unlinked layer should panic")
+		}
+	}()
+	s.Inject(1)
+}
+
+func TestInjectOnEmptyStackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Inject with no layers should panic")
+		}
+	}()
+	NewStack[int](Options{}).Inject(1)
+}
+
+func TestNegativeOptionsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative BatchLimit should panic")
+		}
+	}()
+	NewStack[int](Options{BatchLimit: -1})
+}
+
+func TestOnProcessHook(t *testing.T) {
+	s, _ := buildChain(2, Options{Discipline: LDLP})
+	var hooks []string
+	s.OnProcess(func(l *Layer[int], m int) {
+		hooks = append(hooks, fmt.Sprintf("%s:%d", l.Name(), m))
+	})
+	s.Inject(7)
+	s.Run()
+	if fmt.Sprint(hooks) != "[L1:7 L2:7]" {
+		t.Errorf("hooks = %v", hooks)
+	}
+}
+
+func TestQueueOpsAccounting(t *testing.T) {
+	s, _ := buildChain(3, Options{Discipline: LDLP})
+	s.Inject(1)
+	s.Inject(2)
+	s.Run()
+	// Each message is enqueued at each of 3 layers: 6 queue op pairs.
+	if got := s.Stats().QueueOps; got != 6 {
+		t.Errorf("QueueOps = %d, want 6", got)
+	}
+	// Conventional call-through must use no queues at all.
+	sc, _ := buildChain(3, Options{Discipline: Conventional})
+	sc.Inject(1)
+	if got := sc.Stats().QueueOps; got != 0 {
+		t.Errorf("conventional QueueOps = %d, want 0", got)
+	}
+}
+
+// Property: conservation — every injected message is delivered exactly
+// once and in FIFO order, for any chain depth, batch limit and injection
+// pattern.
+func TestConservationQuick(t *testing.T) {
+	f := func(seed int64, depthSel, batchSel uint8, nMsgs uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		depth := 1 + int(depthSel)%5
+		batch := int(batchSel) % 8 // 0 = unlimited
+		n := int(nMsgs)%50 + 1
+
+		s := NewStack[int](Options{Discipline: LDLP, BatchLimit: batch})
+		layers := make([]*Layer[int], depth)
+		for i := 0; i < depth; i++ {
+			i := i
+			layers[i] = s.AddLayer(fmt.Sprintf("L%d", i), func(m int, emit Emit[int]) {
+				if i+1 < depth {
+					emit(s.Layers()[i+1], m)
+				} else {
+					emit(nil, m)
+				}
+			})
+		}
+		for i := 0; i+1 < depth; i++ {
+			s.Link(layers[i], layers[i+1])
+		}
+
+		var delivered []int
+		s.SetSink(func(m int) { delivered = append(delivered, m) })
+
+		next := 0
+		for next < n {
+			burst := 1 + rng.Intn(5)
+			for b := 0; b < burst && next < n; b++ {
+				s.Inject(next)
+				next++
+			}
+			s.Run()
+		}
+		s.Run()
+		if len(delivered) != n || s.Pending() != 0 {
+			return false
+		}
+		for i, m := range delivered {
+			if m != i {
+				return false
+			}
+		}
+		st := s.Stats()
+		return st.Processed == int64(n*depth) && st.Delivered == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: messages consumed mid-stack (handler emits nothing) are not
+// delivered and do not leak queued state.
+func TestConsumedMessagesDoNotLeak(t *testing.T) {
+	s := NewStack[int](Options{Discipline: LDLP})
+	l1 := s.AddLayer("filter", func(m int, emit Emit[int]) {
+		if m%2 == 0 {
+			emit(s.Layers()[1], m)
+		} // odd messages dropped
+	})
+	l2 := s.AddLayer("top", func(m int, emit Emit[int]) { emit(nil, m) })
+	s.Link(l1, l2)
+	for m := 0; m < 10; m++ {
+		s.Inject(m)
+	}
+	if n := s.Run(); n != 5 {
+		t.Errorf("delivered %d, want 5", n)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("pending = %d, want 0", s.Pending())
+	}
+}
+
+func BenchmarkLDLPThroughput(b *testing.B) {
+	s := NewStack[int](Options{Discipline: LDLP, BatchLimit: 14})
+	const depth = 5
+	layers := make([]*Layer[int], depth)
+	for i := 0; i < depth; i++ {
+		i := i
+		layers[i] = s.AddLayer(fmt.Sprintf("L%d", i), func(m int, emit Emit[int]) {
+			if i+1 < depth {
+				emit(s.Layers()[i+1], m)
+			} else {
+				emit(nil, m)
+			}
+		})
+	}
+	for i := 0; i+1 < depth; i++ {
+		s.Link(layers[i], layers[i+1])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Inject(i)
+		if i%16 == 15 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+// Property: conservation holds on random DAG topologies (not just
+// chains): every injected message reaches the sink exactly once no
+// matter how layers fan out and demux.
+func TestDAGConservationQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		depth := 2 + rng.Intn(4)
+		width := 1 + rng.Intn(3)
+		s := NewStack[int](Options{Discipline: LDLP, BatchLimit: 1 + rng.Intn(5)})
+
+		// Build a layered DAG: rank 0 is the single bottom, the last rank
+		// is a single sink layer; between them, `width` layers per rank.
+		var ranks [][]*Layer[int]
+		delivered := 0
+		mkHandler := func(rank int) Handler[int] {
+			return func(m int, emit Emit[int]) {
+				if rank+1 >= len(ranks) {
+					emit(nil, m)
+					delivered++
+					return
+				}
+				next := ranks[rank+1]
+				emit(next[m%len(next)], m)
+			}
+		}
+		nRanks := depth
+		ranks = make([][]*Layer[int], nRanks)
+		for r := 0; r < nRanks; r++ {
+			cnt := width
+			if r == 0 || r == nRanks-1 {
+				cnt = 1
+			}
+			for i := 0; i < cnt; i++ {
+				ranks[r] = append(ranks[r], s.AddLayer(fmt.Sprintf("r%d.%d", r, i), mkHandler(r)))
+			}
+		}
+		for r := 0; r+1 < nRanks; r++ {
+			for _, lo := range ranks[r] {
+				for _, hi := range ranks[r+1] {
+					s.Link(lo, hi)
+				}
+			}
+		}
+		const n = 37
+		for m := 0; m < n; m++ {
+			if s.Inject(m) != nil {
+				return false
+			}
+		}
+		s.Run()
+		return delivered == n && s.Pending() == 0 && s.Stats().Delivered == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

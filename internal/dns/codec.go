@@ -1,0 +1,266 @@
+// Package dns implements a compact DNS (RFC 1035 subset): the very first
+// protocol the paper's §1 lists among the small-message protocols that
+// are "ubiquitous in the Internet". Queries and responses are one small
+// UDP datagram each — exactly the regime where protocol-code locality,
+// not data movement, dominates — and a busy resolver or authoritative
+// server is a natural LDLP customer.
+//
+// The subset: A-record queries and answers, NXDOMAIN/FORMERR/SERVFAIL
+// response codes, recursion-desired/available bits, and name compression
+// on decode (with pointer-loop protection). Encoding writes plain labels.
+package dns
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"ldlp/internal/layers"
+)
+
+// Record types and classes (RFC 1035 §3.2).
+const (
+	TypeA   = 1
+	ClassIN = 1
+)
+
+// Header flag bits.
+const (
+	FlagQR = 1 << 15 // response
+	FlagAA = 1 << 10 // authoritative answer
+	FlagTC = 1 << 9  // truncated
+	FlagRD = 1 << 8  // recursion desired
+	FlagRA = 1 << 7  // recursion available
+)
+
+// Response codes.
+const (
+	RCodeOK       = 0
+	RCodeFormErr  = 1
+	RCodeServFail = 2
+	RCodeNXDomain = 3
+)
+
+// Decode errors.
+var (
+	ErrTruncated = errors.New("dns: truncated message")
+	ErrBadName   = errors.New("dns: malformed name")
+	ErrPtrLoop   = errors.New("dns: compression pointer loop")
+)
+
+// Question is one query.
+type Question struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// RR is one resource record (A records carry the address in A).
+type RR struct {
+	Name  string
+	Type  uint16
+	Class uint16
+	TTL   uint32
+	A     layers.IPAddr
+}
+
+// Message is a DNS message.
+type Message struct {
+	ID        uint16
+	Flags     uint16
+	Questions []Question
+	Answers   []RR
+}
+
+// RCode extracts the response code.
+func (m *Message) RCode() int { return int(m.Flags & 0xf) }
+
+// Response reports the QR bit.
+func (m *Message) Response() bool { return m.Flags&FlagQR != 0 }
+
+// encodeName appends a domain name in label format. Names are dot-
+// separated; a trailing dot is tolerated.
+func encodeName(b []byte, name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name != "" {
+		total := 0
+		for _, label := range strings.Split(name, ".") {
+			if len(label) == 0 || len(label) > 63 {
+				return nil, fmt.Errorf("%w: label %q", ErrBadName, label)
+			}
+			total += len(label) + 1
+			if total > 255 {
+				return nil, fmt.Errorf("%w: name too long", ErrBadName)
+			}
+			b = append(b, byte(len(label)))
+			b = append(b, label...)
+		}
+	}
+	return append(b, 0), nil
+}
+
+// decodeName reads a name at offset off, following compression pointers,
+// and returns the name plus the offset just past the name's in-place
+// representation.
+func decodeName(b []byte, off int) (string, int, error) {
+	var labels []string
+	jumped := false
+	next := 0 // return offset (set at the first pointer)
+	hops := 0
+	for {
+		if off >= len(b) {
+			return "", 0, ErrTruncated
+		}
+		c := int(b[off])
+		switch {
+		case c == 0:
+			if !jumped {
+				next = off + 1
+			}
+			return strings.Join(labels, "."), next, nil
+		case c&0xc0 == 0xc0:
+			if off+1 >= len(b) {
+				return "", 0, ErrTruncated
+			}
+			if hops++; hops > 32 {
+				return "", 0, ErrPtrLoop
+			}
+			ptr := (c&0x3f)<<8 | int(b[off+1])
+			if !jumped {
+				next = off + 2
+				jumped = true
+			}
+			if ptr >= off && !jumped {
+				return "", 0, ErrPtrLoop
+			}
+			off = ptr
+		case c&0xc0 != 0:
+			return "", 0, fmt.Errorf("%w: reserved label type %#x", ErrBadName, c)
+		default:
+			if off+1+c > len(b) {
+				return "", 0, ErrTruncated
+			}
+			labels = append(labels, string(b[off+1:off+1+c]))
+			if len(labels) > 64 {
+				return "", 0, fmt.Errorf("%w: too many labels", ErrBadName)
+			}
+			off += 1 + c
+		}
+	}
+}
+
+func put16(b []byte, v uint16) []byte { return append(b, byte(v>>8), byte(v)) }
+func put32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// Encode serializes the message.
+func (m *Message) Encode() ([]byte, error) {
+	b := make([]byte, 0, 64)
+	b = put16(b, m.ID)
+	b = put16(b, m.Flags)
+	b = put16(b, uint16(len(m.Questions)))
+	b = put16(b, uint16(len(m.Answers)))
+	b = put16(b, 0) // NSCOUNT
+	b = put16(b, 0) // ARCOUNT
+	var err error
+	for _, q := range m.Questions {
+		if b, err = encodeName(b, q.Name); err != nil {
+			return nil, err
+		}
+		b = put16(b, q.Type)
+		b = put16(b, q.Class)
+	}
+	for _, rr := range m.Answers {
+		if b, err = encodeName(b, rr.Name); err != nil {
+			return nil, err
+		}
+		b = put16(b, rr.Type)
+		b = put16(b, rr.Class)
+		b = put32(b, rr.TTL)
+		if rr.Type == TypeA {
+			b = put16(b, 4)
+			b = append(b, rr.A[:]...)
+		} else {
+			b = put16(b, 0)
+		}
+	}
+	return b, nil
+}
+
+func get16(b []byte, off int) (uint16, error) {
+	if off+2 > len(b) {
+		return 0, ErrTruncated
+	}
+	return uint16(b[off])<<8 | uint16(b[off+1]), nil
+}
+
+// Decode parses a DNS message (with compression-pointer support).
+func Decode(b []byte) (*Message, error) {
+	if len(b) < 12 {
+		return nil, fmt.Errorf("%w: %d-byte header", ErrTruncated, len(b))
+	}
+	m := &Message{
+		ID:    uint16(b[0])<<8 | uint16(b[1]),
+		Flags: uint16(b[2])<<8 | uint16(b[3]),
+	}
+	qd := int(b[4])<<8 | int(b[5])
+	an := int(b[6])<<8 | int(b[7])
+	if qd > 32 || an > 128 {
+		return nil, fmt.Errorf("dns: implausible counts qd=%d an=%d", qd, an)
+	}
+	off := 12
+	for i := 0; i < qd; i++ {
+		name, next, err := decodeName(b, off)
+		if err != nil {
+			return nil, err
+		}
+		off = next
+		q := Question{Name: name}
+		var err2 error
+		if q.Type, err2 = get16(b, off); err2 != nil {
+			return nil, err2
+		}
+		if q.Class, err2 = get16(b, off+2); err2 != nil {
+			return nil, err2
+		}
+		off += 4
+		m.Questions = append(m.Questions, q)
+	}
+	for i := 0; i < an; i++ {
+		name, next, err := decodeName(b, off)
+		if err != nil {
+			return nil, err
+		}
+		off = next
+		rr := RR{Name: name}
+		var err2 error
+		if rr.Type, err2 = get16(b, off); err2 != nil {
+			return nil, err2
+		}
+		if rr.Class, err2 = get16(b, off+2); err2 != nil {
+			return nil, err2
+		}
+		if off+8 > len(b) {
+			return nil, ErrTruncated
+		}
+		rr.TTL = uint32(b[off+4])<<24 | uint32(b[off+5])<<16 | uint32(b[off+6])<<8 | uint32(b[off+7])
+		rdlen, err2 := get16(b, off+8)
+		if err2 != nil {
+			return nil, err2
+		}
+		off += 10
+		if off+int(rdlen) > len(b) {
+			return nil, ErrTruncated
+		}
+		if rr.Type == TypeA {
+			if rdlen != 4 {
+				return nil, fmt.Errorf("dns: A record rdlength %d", rdlen)
+			}
+			copy(rr.A[:], b[off:off+4])
+		}
+		off += int(rdlen)
+		m.Answers = append(m.Answers, rr)
+	}
+	return m, nil
+}

@@ -1,0 +1,184 @@
+// Package httpd is a tiny HTTP/0.9-flavoured request/response server and
+// client over the netstack's TCP — the paper's conclusion names WWW
+// servers ("where the data transfer unit is 512 bytes or less in most
+// circumstances") as a surprise beneficiary of LDLP. Requests are one
+// CRLF-terminated line ("GET /path"); responses are a status line, a
+// Length: header and the body.
+//
+// Unlike a toy that assumes one request per TCP segment, this package
+// frames the byte stream properly: requests split across segments (or
+// several requests coalesced into one) are handled by per-connection
+// buffers.
+package httpd
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ldlp/internal/netstack"
+)
+
+// Handler produces a response body for a path; ok=false yields a 404.
+type Handler func(path string) (body string, ok bool)
+
+// Server serves requests on an accepting listener.
+type Server struct {
+	listener *netstack.TCPListener
+	handler  Handler
+	conns    []*serverConn
+
+	// Requests/Responses/NotFound/BadRequests count traffic.
+	Requests, Responses, NotFound, BadRequests int64
+}
+
+type serverConn struct {
+	sock *netstack.TCPSock
+	buf  []byte
+}
+
+// NewServer starts listening on the host's port with the given handler.
+func NewServer(h *netstack.Host, port uint16, handler Handler) (*Server, error) {
+	l, err := h.ListenTCP(port)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{listener: l, handler: handler}, nil
+}
+
+// Poll accepts new connections and serves complete requests. Call after
+// pumping the network.
+func (s *Server) Poll() {
+	for {
+		sock := s.listener.Accept()
+		if sock == nil {
+			break
+		}
+		s.conns = append(s.conns, &serverConn{sock: sock})
+	}
+	tmp := make([]byte, 4096)
+	for _, c := range s.conns {
+		for {
+			n := c.sock.Recv(tmp)
+			if n == 0 {
+				break
+			}
+			c.buf = append(c.buf, tmp[:n]...)
+		}
+		for {
+			line, rest, ok := takeLine(c.buf)
+			if !ok {
+				break
+			}
+			c.buf = rest
+			s.serve(c, line)
+		}
+	}
+}
+
+// takeLine splits one CRLF (or bare LF) terminated line off buf.
+func takeLine(buf []byte) (line string, rest []byte, ok bool) {
+	for i, b := range buf {
+		if b == '\n' {
+			end := i
+			if end > 0 && buf[end-1] == '\r' {
+				end--
+			}
+			return string(buf[:end]), buf[i+1:], true
+		}
+	}
+	return "", buf, false
+}
+
+func (s *Server) serve(c *serverConn, line string) {
+	s.Requests++
+	fields := strings.Fields(line)
+	if len(fields) < 2 || fields[0] != "GET" {
+		s.BadRequests++
+		c.sock.Send([]byte("400 Bad Request\r\nLength: 0\r\n"))
+		return
+	}
+	body, ok := s.handler(fields[1])
+	if !ok {
+		s.NotFound++
+		c.sock.Send([]byte("404 Not Found\r\nLength: 0\r\n"))
+		return
+	}
+	s.Responses++
+	c.sock.Send([]byte(fmt.Sprintf("200 OK\r\nLength: %d\r\n%s", len(body), body)))
+}
+
+// Client issues sequential GETs over one connection.
+type Client struct {
+	sock *netstack.TCPSock
+	buf  []byte
+
+	// Done responses are queued here in request order.
+	responses []Response
+}
+
+// Response is one parsed response.
+type Response struct {
+	Status string
+	Body   string
+}
+
+// Dial connects a client to the server.
+func Dial(h *netstack.Host, server *netstack.Host, port uint16) *Client {
+	return &Client{sock: h.DialTCP(server.IP(), port)}
+}
+
+// Connected reports whether the TCP handshake has completed.
+func (c *Client) Connected() bool { return c.sock.Established() }
+
+// Get sends one request (responses arrive as the network is pumped).
+func (c *Client) Get(path string) {
+	c.sock.Send([]byte("GET " + path + "\r\n"))
+}
+
+// Poll consumes arrived bytes and parses complete responses.
+func (c *Client) Poll() {
+	tmp := make([]byte, 4096)
+	for {
+		n := c.sock.Recv(tmp)
+		if n == 0 {
+			break
+		}
+		c.buf = append(c.buf, tmp[:n]...)
+	}
+	for {
+		resp, rest, ok := parseResponse(c.buf)
+		if !ok {
+			break
+		}
+		c.buf = rest
+		c.responses = append(c.responses, resp)
+	}
+}
+
+// Next pops the next complete response.
+func (c *Client) Next() (Response, bool) {
+	if len(c.responses) == 0 {
+		return Response{}, false
+	}
+	r := c.responses[0]
+	c.responses = c.responses[1:]
+	return r, true
+}
+
+// parseResponse parses "STATUS\r\nLength: N\r\n<N body bytes>".
+func parseResponse(buf []byte) (Response, []byte, bool) {
+	status, rest, ok := takeLine(buf)
+	if !ok {
+		return Response{}, buf, false
+	}
+	lenLine, rest2, ok := takeLine(rest)
+	if !ok || !strings.HasPrefix(lenLine, "Length: ") {
+		return Response{}, buf, false
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(lenLine, "Length: "))
+	if err != nil || n < 0 || len(rest2) < n {
+		return Response{}, buf, false
+	}
+	return Response{Status: status, Body: string(rest2[:n])}, rest2[n:], true
+}

@@ -1,0 +1,229 @@
+package httpd
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ldlp/internal/core"
+	"ldlp/internal/layers"
+	"ldlp/internal/mbuf"
+	"ldlp/internal/netstack"
+)
+
+var (
+	ipSrv = layers.IPAddr{10, 11, 0, 1}
+	ipCli = layers.IPAddr{10, 11, 0, 2}
+)
+
+func site(path string) (string, bool) {
+	pages := map[string]string{
+		"/":      "home sweet home",
+		"/paper": "Speeding up Protocols for Small Messages",
+	}
+	body, ok := pages[path]
+	return body, ok
+}
+
+func deploy(t *testing.T, d core.Discipline) (*netstack.Net, *Server, *Client) {
+	t.Helper()
+	mbuf.ResetPool()
+	n := netstack.NewNet()
+	hs := n.AddHost("www", ipSrv, netstack.DefaultOptions(d))
+	hc := n.AddHost("browser", ipCli, netstack.DefaultOptions(d))
+	srv, err := NewServer(hs, 80, site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := Dial(hc, hs, 80)
+	n.RunUntilIdle()
+	if !cli.Connected() {
+		t.Fatal("handshake failed")
+	}
+	return n, srv, cli
+}
+
+func pump(n *netstack.Net, srv *Server, clients ...*Client) {
+	for i := 0; i < 8; i++ {
+		n.RunUntilIdle()
+		srv.Poll()
+		n.RunUntilIdle()
+		for _, c := range clients {
+			c.Poll()
+		}
+	}
+	n.Tick(0.01) // flush delayed ACKs
+}
+
+func TestGetRoundTrip(t *testing.T) {
+	for _, d := range []core.Discipline{core.Conventional, core.LDLP} {
+		n, srv, cli := deploy(t, d)
+		cli.Get("/paper")
+		pump(n, srv, cli)
+		r, ok := cli.Next()
+		if !ok {
+			t.Fatalf("[%v] no response", d)
+		}
+		if r.Status != "200 OK" || !strings.Contains(r.Body, "Small Messages") {
+			t.Errorf("[%v] response = %+v", d, r)
+		}
+	}
+}
+
+func Test404(t *testing.T) {
+	n, srv, cli := deploy(t, core.Conventional)
+	cli.Get("/missing")
+	pump(n, srv, cli)
+	r, ok := cli.Next()
+	if !ok || r.Status != "404 Not Found" || r.Body != "" {
+		t.Errorf("response = %+v ok=%v", r, ok)
+	}
+	if srv.NotFound != 1 {
+		t.Errorf("NotFound = %d", srv.NotFound)
+	}
+}
+
+func TestBadRequest(t *testing.T) {
+	n, srv, cli := deploy(t, core.Conventional)
+	cli.sock.Send([]byte("BREW /coffee\r\n"))
+	pump(n, srv, cli)
+	r, ok := cli.Next()
+	if !ok || r.Status != "400 Bad Request" {
+		t.Errorf("response = %+v ok=%v", r, ok)
+	}
+	if srv.BadRequests != 1 {
+		t.Errorf("BadRequests = %d", srv.BadRequests)
+	}
+}
+
+func TestPipelinedRequestsOneSegment(t *testing.T) {
+	// Several requests coalesced into one segment must each be answered,
+	// in order.
+	n, srv, cli := deploy(t, core.LDLP)
+	cli.sock.Send([]byte("GET /\r\nGET /paper\r\nGET /\r\n"))
+	pump(n, srv, cli)
+	var bodies []string
+	for {
+		r, ok := cli.Next()
+		if !ok {
+			break
+		}
+		bodies = append(bodies, r.Body)
+	}
+	if len(bodies) != 3 {
+		t.Fatalf("responses = %d, want 3", len(bodies))
+	}
+	if bodies[0] != "home sweet home" || !strings.Contains(bodies[1], "Speeding") || bodies[2] != bodies[0] {
+		t.Errorf("bodies = %q", bodies)
+	}
+}
+
+func TestRequestSplitAcrossSegments(t *testing.T) {
+	// A request arriving byte-dribbled across many segments must still be
+	// framed correctly — the case naive per-segment parsing gets wrong.
+	n, srv, cli := deploy(t, core.Conventional)
+	for _, chunk := range []string{"GE", "T /pa", "per", "\r", "\n"} {
+		cli.sock.Send([]byte(chunk))
+		n.RunUntilIdle()
+		srv.Poll()
+		n.RunUntilIdle()
+	}
+	pump(n, srv, cli)
+	r, ok := cli.Next()
+	if !ok || r.Status != "200 OK" {
+		t.Fatalf("dribbled request: %+v ok=%v", r, ok)
+	}
+	if srv.Requests != 1 {
+		t.Errorf("server saw %d requests, want 1", srv.Requests)
+	}
+}
+
+func TestManyClientsBurst(t *testing.T) {
+	mbuf.ResetPool()
+	n := netstack.NewNet()
+	hs := n.AddHost("www", ipSrv, netstack.DefaultOptions(core.LDLP))
+	srv, err := NewServer(hs, 80, site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clients []*Client
+	for i := 0; i < 12; i++ {
+		hc := n.AddHost("c", layers.IPAddr{10, 11, 1, byte(i + 1)}, netstack.DefaultOptions(core.LDLP))
+		clients = append(clients, Dial(hc, hs, 80))
+	}
+	n.RunUntilIdle()
+	srv.Poll() // accept all
+	for _, c := range clients {
+		c.Get("/")
+		c.Get("/paper")
+	}
+	pump(n, srv, clients...)
+	pump(n, srv, clients...)
+	for i, c := range clients {
+		got := 0
+		for {
+			if _, ok := c.Next(); !ok {
+				break
+			}
+			got++
+		}
+		if got != 2 {
+			t.Errorf("client %d received %d responses, want 2", i, got)
+		}
+	}
+	if srv.Responses != 24 {
+		t.Errorf("server responses = %d, want 24", srv.Responses)
+	}
+}
+
+func TestTakeLine(t *testing.T) {
+	for _, tc := range []struct {
+		in, line, rest string
+		ok             bool
+	}{
+		{"abc\r\ndef", "abc", "def", true},
+		{"abc\ndef", "abc", "def", true},
+		{"abc", "", "abc", false},
+		{"\r\nx", "", "x", true},
+	} {
+		line, rest, ok := takeLine([]byte(tc.in))
+		if ok != tc.ok || line != tc.line || string(rest) != tc.rest {
+			t.Errorf("takeLine(%q) = %q/%q/%v", tc.in, line, rest, ok)
+		}
+	}
+}
+
+func TestParseResponseIncomplete(t *testing.T) {
+	// Partial responses must not be consumed.
+	full := "200 OK\r\nLength: 5\r\nhello"
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, ok := parseResponse([]byte(full[:cut])); ok {
+			t.Errorf("parse succeeded on %d-byte prefix", cut)
+		}
+	}
+	r, rest, ok := parseResponse([]byte(full + "tail"))
+	if !ok || r.Body != "hello" || string(rest) != "tail" {
+		t.Errorf("full parse: %+v %q %v", r, rest, ok)
+	}
+}
+
+func BenchmarkRequestResponse(b *testing.B) {
+	mbuf.ResetPool()
+	n := netstack.NewNet()
+	hs := n.AddHost("www", ipSrv, netstack.DefaultOptions(core.Conventional))
+	hc := n.AddHost("c", ipCli, netstack.DefaultOptions(core.Conventional))
+	srv, _ := NewServer(hs, 80, site)
+	cli := Dial(hc, hs, 80)
+	n.RunUntilIdle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cli.Get("/")
+		n.RunUntilIdle()
+		srv.Poll()
+		n.RunUntilIdle()
+		cli.Poll()
+		if _, ok := cli.Next(); !ok {
+			b.Fatal(fmt.Sprintf("no response at i=%d", i))
+		}
+	}
+}

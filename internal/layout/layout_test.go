@@ -1,0 +1,159 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ldlp/internal/memtrace"
+	"ldlp/internal/tcpmodel"
+)
+
+// sparseTrace builds a trace executing 8 bytes out of every 32-byte line
+// of a 1 KB function: 75% dilution, so a dense layout should cut the line
+// count by ~4x.
+func sparseTrace() *memtrace.Trace {
+	tr := memtrace.NewTrace("p")
+	for line := 0; line < 32; line++ {
+		for off := 0; off < 8; off += 4 {
+			tr.Append(memtrace.Record{
+				Addr: uint64(line*32 + off), Size: 4,
+				Kind: memtrace.IFetch, Layer: "L", Func: "f",
+			})
+		}
+	}
+	return tr
+}
+
+func TestDenseLayoutRemovesDilution(t *testing.T) {
+	b := Measure(sparseTrace(), 32)
+	if b.Before.Lines != 32 {
+		t.Fatalf("before lines = %d, want 32", b.Before.Lines)
+	}
+	// 32 lines × 8 hot bytes = 256 bytes = 8 dense lines.
+	if b.After.Lines != 8 {
+		t.Errorf("after lines = %d, want 8", b.After.Lines)
+	}
+	if b.Reduction < 0.7 {
+		t.Errorf("reduction = %v, want 0.75", b.Reduction)
+	}
+}
+
+func TestRemapIsInjectiveOnHotBytes(t *testing.T) {
+	tr := sparseTrace()
+	p := Optimize(tr, 32)
+	seen := map[uint64]uint64{}
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		for b := r.Addr; b < r.Addr+uint64(r.Size); b++ {
+			na, ok := p.remap(b)
+			if !ok {
+				t.Fatalf("hot byte %#x not in plan", b)
+			}
+			if old, dup := seen[na]; dup && old != b {
+				t.Fatalf("addresses %#x and %#x collide at %#x", old, b, na)
+			}
+			seen[na] = b
+		}
+	}
+}
+
+func TestColdBytesKeepDistinctAddresses(t *testing.T) {
+	tr := sparseTrace()
+	p := Optimize(tr, 32)
+	// A fetch the plan never saw (e.g. an error path taken only in the
+	// new workload) must not alias a hot address.
+	probe := memtrace.NewTrace("p")
+	probe.Append(memtrace.Record{Addr: 9000, Size: 4, Kind: memtrace.IFetch, Layer: "L", Func: "g"})
+	out := p.Apply(probe)
+	if out.Records[0].Addr < (uint64(3) << 32) {
+		t.Errorf("cold fetch mapped into the hot region: %#x", out.Records[0].Addr)
+	}
+}
+
+func TestFunctionsDoNotShareLines(t *testing.T) {
+	tr := memtrace.NewTrace("p")
+	// Two functions, 4 executed bytes each.
+	tr.Append(memtrace.Record{Addr: 0, Size: 4, Kind: memtrace.IFetch, Layer: "L", Func: "f"})
+	tr.Append(memtrace.Record{Addr: 1 << 20, Size: 4, Kind: memtrace.IFetch, Layer: "L", Func: "g"})
+	p := Optimize(tr, 32)
+	a, _ := p.remap(0)
+	b, _ := p.remap(1 << 20)
+	if a>>5 == b>>5 {
+		t.Errorf("functions share line: %#x %#x", a, b)
+	}
+	if p.Functions != 2 {
+		t.Errorf("functions = %d", p.Functions)
+	}
+}
+
+func TestDataAndExcludedRecordsUntouched(t *testing.T) {
+	tr := memtrace.NewTrace("p")
+	tr.Append(memtrace.Record{Addr: 100, Size: 4, Kind: memtrace.IFetch, Layer: "L", Func: "f"})
+	tr.Append(memtrace.Record{Addr: 0x5000, Size: 8, Kind: memtrace.Load, Layer: "L"})
+	tr.Append(memtrace.Record{Addr: 0x6000, Size: 4, Kind: memtrace.IFetch, Layer: "L", Func: "f", Excluded: true})
+	p := Optimize(tr, 32)
+	out := p.Apply(tr)
+	if out.Records[1].Addr != 0x5000 {
+		t.Error("data record was remapped")
+	}
+	if out.Records[2].Addr != 0x6000 {
+		t.Error("excluded record was remapped")
+	}
+}
+
+func TestTCPModelLayoutBenefitMatchesDilution(t *testing.T) {
+	// §5.4: "a perfectly dense cache layout would reduce the number of
+	// cache lines in the working set by about 25%" — i.e. by the measured
+	// dilution. Run the optimizer over the full modeled TCP trace.
+	tr := tcpmodel.New(tcpmodel.DefaultConfig()).Trace()
+	a := memtrace.Analyze(tr, 32)
+	b := Measure(tr, 32)
+	dil := a.Dilution()
+	if diff := b.Reduction - dil; diff < -0.06 || diff > 0.06 {
+		t.Errorf("layout reduction %.3f should track dilution %.3f", b.Reduction, dil)
+	}
+	if b.Reduction < 0.15 || b.Reduction > 0.35 {
+		t.Errorf("reduction = %.3f, paper says ≈0.25", b.Reduction)
+	}
+	// Dense layout must not change the executed byte count.
+	if b.After.TouchedBytes != b.Before.TouchedBytes {
+		t.Errorf("touched bytes changed: %d -> %d", b.Before.TouchedBytes, b.After.TouchedBytes)
+	}
+}
+
+// Property: for any random trace, the optimized layout never increases
+// the line-granular working set and never changes touched bytes.
+func TestLayoutNeverHurtsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := memtrace.NewTrace("p")
+		funcs := []string{"f", "g", "h"}
+		for i := 0; i < 200; i++ {
+			fi := rng.Intn(len(funcs))
+			tr.Append(memtrace.Record{
+				// Each function owns a disjoint address region, as real
+				// code does (Optimize assumes it).
+				Addr:  uint64(fi)<<16 + uint64(rng.Intn(1<<14)),
+				Size:  4,
+				Kind:  memtrace.IFetch,
+				Func:  funcs[fi],
+				Layer: "L",
+			})
+		}
+		b := Measure(tr, 32)
+		return b.After.Lines <= b.Before.Lines &&
+			b.After.TouchedBytes == b.Before.TouchedBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkOptimizeTCPTrace(b *testing.B) {
+	tr := tcpmodel.New(tcpmodel.DefaultConfig()).Trace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Optimize(tr, 32)
+	}
+}

@@ -1,0 +1,395 @@
+// Package mbuf implements 4.4BSD-style message buffers: chains of small
+// buffers and larger clusters supporting the no-copy header operations
+// protocol stacks need (prepend, trim, pull-up, split).
+//
+// The paper leans on this design twice: §1.1 credits the mbuf system with
+// making header stripping and fragment concatenation copy-free, and §3.2
+// notes LDLP "requires a buffer management scheme where lower layers hand
+// off their buffers to the higher layers" — which mbufs provide, since an
+// mbuf chain owns its storage and moves between layer queues by pointer.
+//
+// Buffers are pooled. The pool is safe for concurrent use; individual
+// mbuf chains are not (a chain belongs to one layer at a time — exactly
+// the hand-off discipline LDLP wants).
+package mbuf
+
+import (
+	"fmt"
+	"sync"
+)
+
+const (
+	// MSize is the size of a small mbuf's storage.
+	MSize = 256
+	// MCLBytes is the size of a cluster mbuf's storage (one page half,
+	// like 4.4BSD's 2 KB clusters).
+	MCLBytes = 2048
+)
+
+// Stats counts pool activity, for leak detection.
+type Stats struct {
+	Allocs   int64
+	Frees    int64
+	InUse    int64
+	Clusters int64
+}
+
+var (
+	poolMu    sync.Mutex
+	smallPool []*Mbuf
+	clustPool []*Mbuf
+	stats     Stats
+)
+
+// PoolStats returns a snapshot of allocation counters.
+func PoolStats() Stats {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	return stats
+}
+
+// ResetPool discards pooled buffers and zeroes the counters (test
+// hygiene).
+func ResetPool() {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	smallPool = nil
+	clustPool = nil
+	stats = Stats{}
+}
+
+// Mbuf is one buffer in a chain. The head of a chain represents a packet;
+// PktLen is maintained on the head only.
+type Mbuf struct {
+	buf     []byte
+	off     int
+	length  int
+	next    *Mbuf
+	cluster bool
+	freed   bool
+}
+
+// Get allocates a small mbuf with its data region positioned mid-buffer
+// so both prepends and appends have room.
+func Get() *Mbuf {
+	return get(false)
+}
+
+// GetCluster allocates a cluster mbuf.
+func GetCluster() *Mbuf {
+	return get(true)
+}
+
+func get(cluster bool) *Mbuf {
+	poolMu.Lock()
+	var m *Mbuf
+	if cluster {
+		if n := len(clustPool); n > 0 {
+			m, clustPool = clustPool[n-1], clustPool[:n-1]
+		}
+	} else {
+		if n := len(smallPool); n > 0 {
+			m, smallPool = smallPool[n-1], smallPool[:n-1]
+		}
+	}
+	stats.Allocs++
+	stats.InUse++
+	if cluster {
+		stats.Clusters++
+	}
+	poolMu.Unlock()
+	if m == nil {
+		size := MSize
+		if cluster {
+			size = MCLBytes
+		}
+		m = &Mbuf{buf: make([]byte, size), cluster: cluster}
+	}
+	// Leave ~25% headroom for prepends.
+	m.off = len(m.buf) / 4
+	m.length = 0
+	m.next = nil
+	m.freed = false
+	return m
+}
+
+// Free releases this single mbuf to the pool and returns the next mbuf in
+// the chain. Double frees panic: they are ownership bugs.
+func (m *Mbuf) Free() *Mbuf {
+	if m.freed {
+		panic("mbuf: double free")
+	}
+	next := m.next
+	m.freed = true
+	m.next = nil
+	poolMu.Lock()
+	if m.cluster {
+		clustPool = append(clustPool, m)
+		stats.Clusters--
+	} else {
+		smallPool = append(smallPool, m)
+	}
+	stats.Frees++
+	stats.InUse--
+	poolMu.Unlock()
+	return next
+}
+
+// FreeChain releases every mbuf in the chain.
+func (m *Mbuf) FreeChain() {
+	for m != nil {
+		m = m.Free()
+	}
+}
+
+// Bytes returns the mbuf's current data as a slice (aliasing the
+// underlying storage).
+func (m *Mbuf) Bytes() []byte { return m.buf[m.off : m.off+m.length] }
+
+// Len returns this mbuf's data length (not the chain's).
+func (m *Mbuf) Len() int { return m.length }
+
+// Next returns the next mbuf in the chain, or nil.
+func (m *Mbuf) Next() *Mbuf { return m.next }
+
+// PktLen returns the total data length of the chain.
+func (m *Mbuf) PktLen() int {
+	n := 0
+	for cur := m; cur != nil; cur = cur.next {
+		n += cur.length
+	}
+	return n
+}
+
+// leading reports the prepend room before the data region.
+func (m *Mbuf) leading() int { return m.off }
+
+// trailing reports the append room after the data region.
+func (m *Mbuf) trailing() int { return len(m.buf) - m.off - m.length }
+
+// Append copies data onto the end of the chain, extending the last mbuf
+// and allocating more as needed. It returns the (unchanged) head.
+func (m *Mbuf) Append(data []byte) *Mbuf {
+	last := m
+	for last.next != nil {
+		last = last.next
+	}
+	for len(data) > 0 {
+		room := last.trailing()
+		if room == 0 {
+			nm := alikeFor(len(data))
+			nm.off = 0
+			last.next = nm
+			last = nm
+			room = last.trailing()
+		}
+		n := len(data)
+		if n > room {
+			n = room
+		}
+		copy(last.buf[last.off+last.length:], data[:n])
+		last.length += n
+		data = data[n:]
+	}
+	return m
+}
+
+func alikeFor(n int) *Mbuf {
+	if n > MSize/2 {
+		return GetCluster()
+	}
+	return Get()
+}
+
+// Prepend makes room for n bytes in front of the chain's data and returns
+// the new head (a fresh mbuf if the current head lacks headroom). The new
+// bytes are zeroed and returned for the caller to fill — the no-copy
+// header push every layer's output path uses.
+func (m *Mbuf) Prepend(n int) (*Mbuf, []byte) {
+	if n <= m.leading() {
+		m.off -= n
+		m.length += n
+		hdr := m.buf[m.off : m.off+n]
+		for i := range hdr {
+			hdr[i] = 0
+		}
+		return m, hdr
+	}
+	nm := alikeFor(n)
+	if n > len(nm.buf) {
+		nm.Free()
+		panic(fmt.Sprintf("mbuf: prepend of %d exceeds cluster size", n))
+	}
+	nm.off = len(nm.buf) - n
+	nm.length = n
+	nm.next = m
+	hdr := nm.buf[nm.off:]
+	for i := range hdr {
+		hdr[i] = 0
+	}
+	return nm, hdr
+}
+
+// Adj trims data from the chain like 4.4BSD's m_adj: positive n removes
+// from the front, negative n removes from the back. Trimming more than
+// the chain holds empties it.
+func (m *Mbuf) Adj(n int) {
+	if n >= 0 {
+		for cur := m; cur != nil && n > 0; cur = cur.next {
+			if cur.length >= n {
+				cur.off += n
+				cur.length -= n
+				return
+			}
+			n -= cur.length
+			cur.off += cur.length
+			cur.length = 0
+		}
+		return
+	}
+	n = -n
+	total := m.PktLen()
+	if n >= total {
+		n = total
+	}
+	keep := total - n
+	for cur := m; cur != nil; cur = cur.next {
+		if keep >= cur.length {
+			keep -= cur.length
+			continue
+		}
+		cur.length = keep
+		keep = 0
+	}
+}
+
+// Pullup rearranges the chain so its first n bytes are contiguous in the
+// head mbuf, like m_pullup — decoders need contiguous headers. It returns
+// the new head, or an error if the chain is shorter than n or n exceeds a
+// cluster.
+func (m *Mbuf) Pullup(n int) (*Mbuf, error) {
+	if n <= m.length {
+		return m, nil
+	}
+	if n > m.PktLen() {
+		return m, fmt.Errorf("mbuf: pullup %d beyond packet length %d", n, m.PktLen())
+	}
+	if n > MCLBytes {
+		return m, fmt.Errorf("mbuf: pullup %d exceeds cluster size", n)
+	}
+	head := alikeFor(n)
+	head.off = 0
+	// Gather n bytes from the chain into the new head.
+	rest := m
+	for head.length < n && rest != nil {
+		take := n - head.length
+		if take > rest.length {
+			take = rest.length
+		}
+		copy(head.buf[head.length:], rest.Bytes()[:take])
+		head.length += take
+		rest.off += take
+		rest.length -= take
+		if rest.length == 0 {
+			rest = rest.Free()
+		}
+	}
+	head.next = rest
+	return head, nil
+}
+
+// Split divides the chain at byte offset n: the receiver keeps the first
+// n bytes, and the remainder is returned as a new chain (nil if n >= the
+// packet length). Storage is copied only at the split point's partial
+// mbuf.
+func (m *Mbuf) Split(n int) *Mbuf {
+	if n >= m.PktLen() {
+		return nil
+	}
+	cur := m
+	for cur != nil && n > cur.length {
+		n -= cur.length
+		cur = cur.next
+	}
+	if cur == nil {
+		return nil
+	}
+	if n == cur.length {
+		tail := cur.next
+		cur.next = nil
+		return tail
+	}
+	// Partial mbuf: copy the tail part into a fresh mbuf.
+	tailLen := cur.length - n
+	nm := alikeFor(tailLen)
+	nm.off = 0
+	copy(nm.buf, cur.Bytes()[n:])
+	nm.length = tailLen
+	nm.next = cur.next
+	cur.length = n
+	cur.next = nil
+	return nm
+}
+
+// CopyOut copies length bytes starting at offset off out of the chain
+// into dst, returning the number of bytes copied (short if the chain
+// ends).
+func (m *Mbuf) CopyOut(off int, dst []byte) int {
+	copied := 0
+	for cur := m; cur != nil && copied < len(dst); cur = cur.next {
+		if off >= cur.length {
+			off -= cur.length
+			continue
+		}
+		n := copy(dst[copied:], cur.Bytes()[off:])
+		copied += n
+		off = 0
+	}
+	return copied
+}
+
+// Contiguous returns the chain's full contents as one slice, copying only
+// if the chain has more than one mbuf.
+func (m *Mbuf) Contiguous() []byte {
+	if m.next == nil {
+		return m.Bytes()
+	}
+	out := make([]byte, m.PktLen())
+	m.CopyOut(0, out)
+	return out
+}
+
+// Chunks returns the chain's data as a slice of per-mbuf slices, for
+// chained checksumming without copies.
+func (m *Mbuf) Chunks() [][]byte {
+	var out [][]byte
+	for cur := m; cur != nil; cur = cur.next {
+		if cur.length > 0 {
+			out = append(out, cur.Bytes())
+		}
+	}
+	return out
+}
+
+// FromBytes builds a chain holding a copy of data, using clusters for
+// bulk.
+func FromBytes(data []byte) *Mbuf {
+	m := alikeFor(len(data))
+	m.off = len(m.buf) / 4
+	if len(data) <= m.trailing() {
+		copy(m.buf[m.off:], data)
+		m.length = len(data)
+		return m
+	}
+	m.length = 0
+	return m.Append(data)
+}
+
+// NumBufs counts the mbufs in the chain.
+func (m *Mbuf) NumBufs() int {
+	n := 0
+	for cur := m; cur != nil; cur = cur.next {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,118 @@
+package memtrace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Trace files: a line-oriented text format so traces from the model (or,
+// in principle, from a real tracing tool like the paper's alphasim) can
+// be stored, diffed and re-analyzed.
+//
+//	# ldlp-memtrace v1
+//	phases<TAB>entry<TAB>pkt intr<TAB>exit
+//	I<TAB>0x10a4<TAB>4<TAB>1<TAB>TCP<TAB>tcp_input<TAB>0
+//	L<TAB>0x84000<TAB>8<TAB>1<TAB>IP<TAB>-<TAB>0
+//
+// Columns: kind (I/L/S), address, size, phase index, layer, function
+// ("-" if none), excluded flag (0/1).
+
+const traceMagic = "# ldlp-memtrace v1"
+
+var kindLetters = map[Kind]string{IFetch: "I", Load: "L", Store: "S"}
+
+// WriteTrace serializes the trace.
+func WriteTrace(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, traceMagic); err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, "phases\t%s\n", strings.Join(t.Phases, "\t"))
+	for i := range t.Records {
+		r := &t.Records[i]
+		fn := r.Func
+		if fn == "" {
+			fn = "-"
+		}
+		ex := 0
+		if r.Excluded {
+			ex = 1
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%#x\t%d\t%d\t%s\t%s\t%d\n",
+			kindLetters[r.Kind], r.Addr, r.Size, r.Phase, r.Layer, fn, ex); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a serialized trace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	if !sc.Scan() || sc.Text() != traceMagic {
+		return nil, fmt.Errorf("memtrace: bad or missing magic line")
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("memtrace: missing phases line")
+	}
+	head := strings.Split(sc.Text(), "\t")
+	if head[0] != "phases" || len(head) < 2 {
+		return nil, fmt.Errorf("memtrace: malformed phases line %q", sc.Text())
+	}
+	t := NewTrace(head[1:]...)
+	line := 2
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Split(text, "\t")
+		if len(f) != 7 {
+			return nil, fmt.Errorf("memtrace: line %d has %d fields", line, len(f))
+		}
+		var rec Record
+		switch f[0] {
+		case "I":
+			rec.Kind = IFetch
+		case "L":
+			rec.Kind = Load
+		case "S":
+			rec.Kind = Store
+		default:
+			return nil, fmt.Errorf("memtrace: line %d unknown kind %q", line, f[0])
+		}
+		addr, err := strconv.ParseUint(f[1], 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("memtrace: line %d address: %w", line, err)
+		}
+		size, err := strconv.Atoi(f[2])
+		if err != nil || size <= 0 {
+			return nil, fmt.Errorf("memtrace: line %d size %q", line, f[2])
+		}
+		phase, err := strconv.Atoi(f[3])
+		if err != nil || phase < 0 || phase >= len(t.Phases) {
+			return nil, fmt.Errorf("memtrace: line %d phase %q", line, f[3])
+		}
+		rec.Addr, rec.Size, rec.Phase, rec.Layer = addr, size, phase, f[4]
+		if f[5] != "-" {
+			rec.Func = f[5]
+		}
+		switch f[6] {
+		case "0":
+		case "1":
+			rec.Excluded = true
+		default:
+			return nil, fmt.Errorf("memtrace: line %d excluded flag %q", line, f[6])
+		}
+		t.Records = append(t.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,129 @@
+package memtrace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := NewTrace("entry", "pkt intr", "exit")
+	tr.Append(Record{Addr: 0x10a4, Size: 4, Kind: IFetch, Phase: 1, Layer: "TCP", Func: "tcp_input"})
+	tr.Append(Record{Addr: 0x84000, Size: 8, Kind: Load, Phase: 0, Layer: "IP"})
+	tr.Append(Record{Addr: 0x9000, Size: 16, Kind: Store, Phase: 2, Layer: "Socket low", Func: "sbappend", Excluded: true})
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Phases) != 3 || got.Phases[1] != "pkt intr" {
+		t.Errorf("phases = %v", got.Phases)
+	}
+	if len(got.Records) != len(tr.Records) {
+		t.Fatalf("records = %d, want %d", len(got.Records), len(tr.Records))
+	}
+	for i := range tr.Records {
+		if got.Records[i] != tr.Records[i] {
+			t.Errorf("record %d: %+v != %+v", i, got.Records[i], tr.Records[i])
+		}
+	}
+}
+
+func TestTraceRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewTrace("a", "b")
+		layers := []string{"L1", "L2"}
+		funcs := []string{"", "f", "g"}
+		for i := 0; i < 100; i++ {
+			tr.Append(Record{
+				Addr:     uint64(rng.Intn(1 << 20)),
+				Size:     1 + rng.Intn(64),
+				Kind:     Kind(rng.Intn(3)),
+				Phase:    rng.Intn(2),
+				Layer:    layers[rng.Intn(2)],
+				Func:     funcs[rng.Intn(3)],
+				Excluded: rng.Intn(2) == 0,
+			})
+		}
+		var buf bytes.Buffer
+		if WriteTrace(&buf, tr) != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil || len(got.Records) != len(tr.Records) {
+			return false
+		}
+		for i := range tr.Records {
+			if got.Records[i] != tr.Records[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not a trace\n",
+		"# ldlp-memtrace v1\n",              // missing phases
+		"# ldlp-memtrace v1\nnophases\tx\n", // bad phases line
+		"# ldlp-memtrace v1\nphases\tp\nX\t0x0\t4\t0\tL\t-\t0\n", // bad kind
+		"# ldlp-memtrace v1\nphases\tp\nI\tzz\t4\t0\tL\t-\t0\n",  // bad addr
+		"# ldlp-memtrace v1\nphases\tp\nI\t0x0\t0\t0\tL\t-\t0\n", // zero size
+		"# ldlp-memtrace v1\nphases\tp\nI\t0x0\t4\t9\tL\t-\t0\n", // bad phase
+		"# ldlp-memtrace v1\nphases\tp\nI\t0x0\t4\t0\tL\t-\t7\n", // bad flag
+		"# ldlp-memtrace v1\nphases\tp\nI\t0x0\t4\t0\n",          // short line
+	}
+	for i, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestReadTraceSkipsComments(t *testing.T) {
+	in := "# ldlp-memtrace v1\nphases\tp\n# a comment\n\nI\t0x20\t4\t0\tL\tf\t0\n"
+	tr, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 1 || tr.Records[0].Addr != 0x20 {
+		t.Errorf("records = %+v", tr.Records)
+	}
+}
+
+func TestAnalysisSurvivesSerialization(t *testing.T) {
+	// Analyzing a deserialized trace must give identical results.
+	tr := NewTrace("p")
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		tr.Append(Record{
+			Addr: uint64(rng.Intn(1 << 16)), Size: 4,
+			Kind: Kind(rng.Intn(3)), Layer: "L", Func: "f",
+		})
+	}
+	before := Analyze(tr, 32)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := Analyze(loaded, 32)
+	if before.Code != after.Code || before.ReadOnly != after.ReadOnly || before.Mutable != after.Mutable {
+		t.Errorf("analysis changed across serialization: %+v vs %+v", before.Code, after.Code)
+	}
+}

@@ -1,0 +1,359 @@
+package memtrace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if IFetch.String() != "ifetch" || Load.String() != "load" || Store.String() != "store" {
+		t.Error("kind names changed")
+	}
+	if Kind(7).String() != "Kind(7)" {
+		t.Errorf("unknown kind renders as %q", Kind(7))
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	tr := NewTrace("only")
+	for _, r := range []Record{
+		{Addr: 0, Size: 4, Phase: 1},  // phase out of range
+		{Addr: 0, Size: 0, Phase: 0},  // zero size
+		{Addr: 0, Size: -1, Phase: 0}, // negative size
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Append(%+v) should panic", r)
+				}
+			}()
+			tr.Append(r)
+		}()
+	}
+}
+
+func TestWorkingSetLineGranularity(t *testing.T) {
+	tr := NewTrace("p")
+	// One 4-byte fetch makes a whole 32-byte line part of the working set.
+	tr.Append(Record{Addr: 100, Size: 4, Kind: IFetch, Layer: "L", Func: "f"})
+	a := Analyze(tr, 32)
+	if a.Code.Lines != 1 || a.Code.Bytes != 32 {
+		t.Errorf("code set = %+v, want 1 line / 32 bytes", a.Code)
+	}
+	if a.Code.TouchedBytes != 4 {
+		t.Errorf("touched bytes = %d, want 4", a.Code.TouchedBytes)
+	}
+	if d := a.Dilution(); d != 1-4.0/32.0 {
+		t.Errorf("dilution = %v, want %v", d, 1-4.0/32.0)
+	}
+}
+
+func TestReadOnlyVsMutableClassification(t *testing.T) {
+	tr := NewTrace("p")
+	// Line A: only loaded -> read-only. Line B: loaded then stored ->
+	// mutable, even for the load that happened before the store (the paper
+	// classifies over the whole trace).
+	tr.Append(Record{Addr: 0, Size: 8, Kind: Load, Layer: "L"})
+	tr.Append(Record{Addr: 64, Size: 8, Kind: Load, Layer: "L"})
+	tr.Append(Record{Addr: 64, Size: 8, Kind: Store, Layer: "L"})
+	a := Analyze(tr, 32)
+	if a.ReadOnly.Lines != 1 {
+		t.Errorf("read-only lines = %d, want 1", a.ReadOnly.Lines)
+	}
+	if a.Mutable.Lines != 1 {
+		t.Errorf("mutable lines = %d, want 1", a.Mutable.Lines)
+	}
+}
+
+func TestFirstTouchLayerAttribution(t *testing.T) {
+	tr := NewTrace("p")
+	tr.Append(Record{Addr: 0, Size: 4, Kind: Load, Layer: "IP"})
+	tr.Append(Record{Addr: 0, Size: 4, Kind: Load, Layer: "TCP"}) // same line, later
+	tr.Append(Record{Addr: 640, Size: 4, Kind: Load, Layer: "TCP"})
+	a := Analyze(tr, 32)
+	got := map[string]int{}
+	for _, ls := range a.PerLayer {
+		got[ls.Layer] = ls.ReadOnly
+	}
+	if got["IP"] != 32 {
+		t.Errorf("IP read-only = %d, want 32 (first touch wins)", got["IP"])
+	}
+	if got["TCP"] != 32 {
+		t.Errorf("TCP read-only = %d, want 32", got["TCP"])
+	}
+}
+
+func TestLayerOrderIsFirstAppearance(t *testing.T) {
+	tr := NewTrace("p")
+	tr.Append(Record{Addr: 0, Size: 4, Kind: IFetch, Layer: "Device", Func: "leintr"})
+	tr.Append(Record{Addr: 100000, Size: 4, Kind: IFetch, Layer: "IP", Func: "ipintr"})
+	tr.Append(Record{Addr: 200000, Size: 4, Kind: IFetch, Layer: "TCP", Func: "tcp_input"})
+	a := Analyze(tr, 32)
+	want := []string{"Device", "IP", "TCP"}
+	if len(a.PerLayer) != 3 {
+		t.Fatalf("layers = %d, want 3", len(a.PerLayer))
+	}
+	for i, w := range want {
+		if a.PerLayer[i].Layer != w {
+			t.Errorf("layer[%d] = %q, want %q", i, a.PerLayer[i].Layer, w)
+		}
+	}
+}
+
+func TestExcludedRefsSkipWorkingSetButCountInPhases(t *testing.T) {
+	tr := NewTrace("pkt intr")
+	// Packet contents: excluded from the working set (Table 1 note) but
+	// counted in Figure 1 phase totals.
+	tr.Append(Record{Addr: 0x8000, Size: 552, Kind: Load, Layer: "Copy", Excluded: true})
+	a := Analyze(tr, 32)
+	if a.ReadOnly.Lines != 0 || a.Mutable.Lines != 0 {
+		t.Errorf("excluded load leaked into working set: %+v / %+v", a.ReadOnly, a.Mutable)
+	}
+	ph := a.Phases[0]
+	if ph.ReadRefs != 1 {
+		t.Errorf("phase read refs = %d, want 1", ph.ReadRefs)
+	}
+	// 552 bytes starting line-aligned: ceil(552/32) = 18 lines = 576 bytes.
+	if ph.ReadBytes != 576 {
+		t.Errorf("phase read bytes = %d, want 576", ph.ReadBytes)
+	}
+}
+
+func TestPhaseSummaryKinds(t *testing.T) {
+	tr := NewTrace("entry", "exit")
+	tr.Append(Record{Addr: 0, Size: 4, Kind: IFetch, Phase: 0, Layer: "K", Func: "syscall"})
+	tr.Append(Record{Addr: 4, Size: 4, Kind: IFetch, Phase: 0, Layer: "K", Func: "syscall"})
+	tr.Append(Record{Addr: 0x1000, Size: 8, Kind: Store, Phase: 1, Layer: "K"})
+	a := Analyze(tr, 32)
+	if a.Phases[0].CodeRefs != 2 || a.Phases[0].CodeBytes != 32 {
+		t.Errorf("entry code = %d refs %d bytes, want 2/32", a.Phases[0].CodeRefs, a.Phases[0].CodeBytes)
+	}
+	if a.Phases[1].WriteRefs != 1 || a.Phases[1].WriteBytes != 32 {
+		t.Errorf("exit write = %d refs %d bytes", a.Phases[1].WriteRefs, a.Phases[1].WriteBytes)
+	}
+	if a.Phases[1].CodeRefs != 0 {
+		t.Errorf("exit code refs = %d, want 0", a.Phases[1].CodeRefs)
+	}
+}
+
+func TestCodeByPhaseFuncSorted(t *testing.T) {
+	tr := NewTrace("p")
+	for i := 0; i < 10; i++ {
+		tr.Append(Record{Addr: uint64(i * 32), Size: 4, Kind: IFetch, Layer: "TCP", Func: "tcp_input"})
+	}
+	tr.Append(Record{Addr: 0x100000, Size: 4, Kind: IFetch, Layer: "IP", Func: "ipintr"})
+	a := Analyze(tr, 32)
+	fts := a.CodeByPhaseFunc[0]
+	if len(fts) != 2 {
+		t.Fatalf("functions = %d, want 2", len(fts))
+	}
+	if fts[0].Func != "tcp_input" || fts[0].Bytes != 320 {
+		t.Errorf("top function = %+v, want tcp_input/320", fts[0])
+	}
+	if fts[1].Func != "ipintr" || fts[1].Bytes != 32 {
+		t.Errorf("second function = %+v, want ipintr/32", fts[1])
+	}
+}
+
+func TestMultiLineRecordStraddlesClasses(t *testing.T) {
+	tr := NewTrace("p")
+	// A 64-byte load spanning two lines where only the second is written:
+	// first line is read-only, second is mutable.
+	tr.Append(Record{Addr: 0, Size: 64, Kind: Load, Layer: "L"})
+	tr.Append(Record{Addr: 32, Size: 4, Kind: Store, Layer: "L"})
+	a := Analyze(tr, 32)
+	if a.ReadOnly.Lines != 1 || a.Mutable.Lines != 1 {
+		t.Errorf("straddle: ro=%d mut=%d, want 1/1", a.ReadOnly.Lines, a.Mutable.Lines)
+	}
+}
+
+func TestLineSweepDirections(t *testing.T) {
+	// A mixed sparsity pattern with the character of real code:
+	// isolated touches (larger lines waste bytes on them), pairs 20 bytes
+	// apart (split by 16-byte lines), and pairs 40 bytes apart (coalesced
+	// by 64-byte lines). Larger lines must waste more bytes but need fewer
+	// lines; smaller lines the reverse.
+	tr := NewTrace("p")
+	for i := 0; i < 32; i++ {
+		tr.Append(Record{Addr: 0x40000 + uint64(i*256), Size: 4, Kind: IFetch, Layer: "L", Func: "f"})
+		tr.Append(Record{Addr: 0x80000 + uint64(i*128), Size: 4, Kind: IFetch, Layer: "L", Func: "f"})
+		tr.Append(Record{Addr: 0x80000 + uint64(i*128+20), Size: 4, Kind: IFetch, Layer: "L", Func: "f"})
+		tr.Append(Record{Addr: 0xC0000 + uint64(i*128), Size: 4, Kind: IFetch, Layer: "L", Func: "f"})
+		tr.Append(Record{Addr: 0xC0000 + uint64(i*128+40), Size: 4, Kind: IFetch, Layer: "L", Func: "f"})
+	}
+	sweeps := LineSweep(tr, []int{16, 64})
+	code := sweeps[0]
+	if code.Class != "Code" {
+		t.Fatalf("first sweep class = %q", code.Class)
+	}
+	var d16, d64 LineSizeDelta
+	for _, d := range code.Deltas {
+		if d.LineSize == 16 {
+			d16 = d
+		}
+		if d.LineSize == 64 {
+			d64 = d
+		}
+	}
+	if !(d64.BytesDelta > 0) {
+		t.Errorf("64B lines should grow bytes, delta = %v", d64.BytesDelta)
+	}
+	if !(d64.LinesDelta < 0) {
+		t.Errorf("64B lines should shrink line count, delta = %v", d64.LinesDelta)
+	}
+	if !(d16.BytesDelta < 0) {
+		t.Errorf("16B lines should shrink bytes, delta = %v", d16.BytesDelta)
+	}
+	if !(d16.LinesDelta > 0) {
+		t.Errorf("16B lines should grow line count, delta = %v", d16.LinesDelta)
+	}
+}
+
+func TestAnalyzeRejectsBadLineSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Analyze with line size 33 should panic")
+		}
+	}()
+	Analyze(NewTrace("p"), 33)
+}
+
+// Property: for any trace, (a) class sets are disjoint in lines, (b) total
+// lines equals the sum of per-layer Table 1 cells, (c) touched bytes never
+// exceed line-granular bytes, (d) dilution is in [0,1).
+func TestAnalysisInvariantsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewTrace("a", "b")
+		layers := []string{"L1", "L2", "L3"}
+		for i := 0; i < 300; i++ {
+			k := Kind(rng.Intn(3))
+			tr.Append(Record{
+				Addr:  uint64(rng.Intn(1 << 14)),
+				Size:  1 + rng.Intn(64),
+				Kind:  k,
+				Phase: rng.Intn(2),
+				Layer: layers[rng.Intn(len(layers))],
+				Func:  "f",
+			})
+		}
+		a := Analyze(tr, 32)
+		var sumCode, sumRO, sumMut int
+		for _, ls := range a.PerLayer {
+			sumCode += ls.Code
+			sumRO += ls.ReadOnly
+			sumMut += ls.Mutable
+		}
+		if sumCode != a.Code.Bytes || sumRO != a.ReadOnly.Bytes || sumMut != a.Mutable.Bytes {
+			return false
+		}
+		for _, cs := range []ClassSet{a.Code, a.ReadOnly, a.Mutable} {
+			if cs.TouchedBytes > cs.Bytes || cs.Bytes != cs.Lines*32 {
+				return false
+			}
+		}
+		d := a.Dilution()
+		return d >= 0 && d < 1 || a.Code.Bytes == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: halving the line size can never increase byte-granular touched
+// bytes and can never decrease the line count.
+func TestLineSizeMonotonicityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewTrace("p")
+		for i := 0; i < 200; i++ {
+			tr.Append(Record{
+				Addr:  uint64(rng.Intn(1 << 13)),
+				Size:  1 + rng.Intn(16),
+				Kind:  IFetch,
+				Layer: "L",
+				Func:  "f",
+			})
+		}
+		prevLines, prevBytes := -1, 1<<62
+		for _, ls := range []int{64, 32, 16, 8} {
+			a := Analyze(tr, ls)
+			if a.Code.Lines < prevLines {
+				return false // smaller lines => at least as many lines
+			}
+			if a.Code.Bytes > prevBytes {
+				return false // smaller lines => no more padded bytes
+			}
+			prevLines, prevBytes = a.Code.Lines, a.Code.Bytes
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhaseOverlap(t *testing.T) {
+	tr := NewTrace("a", "b", "c")
+	// Line 0 touched by phases a and b; line 1 only by b; line 2 only c.
+	tr.Append(Record{Addr: 0, Size: 4, Kind: IFetch, Phase: 0, Layer: "L", Func: "f"})
+	tr.Append(Record{Addr: 0, Size: 4, Kind: IFetch, Phase: 1, Layer: "L", Func: "f"})
+	tr.Append(Record{Addr: 32, Size: 4, Kind: IFetch, Phase: 1, Layer: "L", Func: "f"})
+	tr.Append(Record{Addr: 64, Size: 4, Kind: IFetch, Phase: 2, Layer: "L", Func: "g"})
+	// Excluded and data records must not count.
+	tr.Append(Record{Addr: 96, Size: 4, Kind: IFetch, Phase: 2, Layer: "L", Func: "g", Excluded: true})
+	tr.Append(Record{Addr: 128, Size: 8, Kind: Load, Phase: 0, Layer: "L"})
+
+	ov := PhaseOverlap(tr, 32)
+	if ov[0][0] != 32 || ov[1][1] != 64 || ov[2][2] != 32 {
+		t.Errorf("diagonals = %d/%d/%d, want 32/64/32", ov[0][0], ov[1][1], ov[2][2])
+	}
+	if ov[0][1] != 32 || ov[1][0] != 32 {
+		t.Errorf("a∩b = %d/%d, want 32", ov[0][1], ov[1][0])
+	}
+	if ov[0][2] != 0 || ov[1][2] != 0 {
+		t.Errorf("c should not overlap: %d/%d", ov[0][2], ov[1][2])
+	}
+}
+
+func TestPhaseOverlapExplainsMarginExcess(t *testing.T) {
+	// Property on a synthetic trace: sum of per-phase code bytes minus
+	// the union equals the total pairwise-overlap mass (inclusion-
+	// exclusion with no triple overlaps in this construction).
+	tr := NewTrace("p", "q")
+	for i := 0; i < 10; i++ {
+		tr.Append(Record{Addr: uint64(i * 32), Size: 4, Kind: IFetch, Phase: 0, Layer: "L", Func: "f"})
+	}
+	for i := 5; i < 15; i++ {
+		tr.Append(Record{Addr: uint64(i * 32), Size: 4, Kind: IFetch, Phase: 1, Layer: "L", Func: "f"})
+	}
+	a := Analyze(tr, 32)
+	ov := PhaseOverlap(tr, 32)
+	sum := a.Phases[0].CodeBytes + a.Phases[1].CodeBytes
+	if sum-a.Code.Bytes != ov[0][1] {
+		t.Errorf("margin excess %d != overlap %d", sum-a.Code.Bytes, ov[0][1])
+	}
+}
+
+func TestFuncTouchRefsCountLoops(t *testing.T) {
+	tr := NewTrace("p")
+	// A 10-iteration loop over one 32-byte body: 1 line but many refs.
+	for it := 0; it < 10; it++ {
+		for off := 0; off < 32; off += 4 {
+			tr.Append(Record{Addr: uint64(off), Size: 4, Kind: IFetch, Layer: "L", Func: "loopy"})
+		}
+	}
+	tr.Append(Record{Addr: 4096, Size: 4, Kind: IFetch, Layer: "L", Func: "straight"})
+	a := Analyze(tr, 32)
+	byName := map[string]FuncTouch{}
+	for _, ft := range a.CodeByPhaseFunc[0] {
+		byName[ft.Func] = ft
+	}
+	if byName["loopy"].Bytes != 32 || byName["loopy"].Refs != 80 {
+		t.Errorf("loopy = %+v, want 32 bytes / 80 refs", byName["loopy"])
+	}
+	if byName["straight"].Refs != 1 {
+		t.Errorf("straight = %+v, want 1 ref", byName["straight"])
+	}
+}

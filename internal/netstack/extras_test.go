@@ -1,0 +1,269 @@
+package netstack
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ldlp/internal/core"
+	"ldlp/internal/layers"
+	"ldlp/internal/mbuf"
+)
+
+func TestPingEcho(t *testing.T) {
+	for _, d := range []core.Discipline{core.Conventional, core.LDLP} {
+		n, a, b := twoHosts(t, d)
+		a.Ping(ipB, 7, 1, []byte("echo me"))
+		n.RunUntilIdle()
+		replies := a.PingReplies()
+		if len(replies) != 1 {
+			t.Fatalf("[%v] replies = %d, want 1", d, len(replies))
+		}
+		r := replies[0]
+		if r.From != ipB || r.ID != 7 || r.Seq != 1 || string(r.Payload) != "echo me" {
+			t.Errorf("[%v] reply = %+v", d, r)
+		}
+		if b.Counters.EchoRequests != 1 || a.Counters.EchoReplies != 1 {
+			t.Errorf("[%v] counters: req %d rep %d", d, b.Counters.EchoRequests, a.Counters.EchoReplies)
+		}
+		checkNoLeaks(t)
+	}
+}
+
+func TestPingSweepSequence(t *testing.T) {
+	n, a, _ := twoHosts(t, core.Conventional)
+	for seq := uint16(0); seq < 5; seq++ {
+		a.Ping(ipB, 42, seq, nil)
+	}
+	n.RunUntilIdle()
+	replies := a.PingReplies()
+	if len(replies) != 5 {
+		t.Fatalf("replies = %d, want 5", len(replies))
+	}
+	for i, r := range replies {
+		if r.Seq != uint16(i) {
+			t.Errorf("reply %d has seq %d", i, r.Seq)
+		}
+	}
+	// Drained: second call is empty.
+	if len(a.PingReplies()) != 0 {
+		t.Error("PingReplies should drain")
+	}
+}
+
+func TestCorruptICMPCounted(t *testing.T) {
+	n, a, b := twoHosts(t, core.Conventional)
+	// Build a valid echo request, then corrupt the ICMP checksum only
+	// (the IP checksum must stay valid, so re-encode IP after).
+	a.Ping(ipB, 1, 1, []byte("x"))
+	// Intercept: corrupt the ICMP payload in flight.
+	n.Loss = func(dst layers.IPAddr, data []byte) bool {
+		if dst == ipB {
+			data[len(data)-1] ^= 0xff
+		}
+		return false
+	}
+	n.RunUntilIdle()
+	if b.Counters.BadICMP != 1 {
+		t.Errorf("BadICMP = %d, want 1", b.Counters.BadICMP)
+	}
+	if len(a.PingReplies()) != 0 {
+		t.Error("corrupted request should not be answered")
+	}
+	checkNoLeaks(t)
+}
+
+func TestUDPFragmentationRoundTrip(t *testing.T) {
+	for _, d := range []core.Discipline{core.Conventional, core.LDLP} {
+		n, a, b := twoHosts(t, d)
+		sa, _ := a.UDPSocket(1)
+		sb, _ := b.UDPSocket(2)
+		payload := make([]byte, 4000) // > 2 fragments at MTU 1500
+		rand.New(rand.NewSource(3)).Read(payload)
+		sa.SendTo(ipB, 2, payload)
+		n.RunUntilIdle()
+		dg, ok := sb.Recv()
+		if !ok {
+			t.Fatalf("[%v] fragmented datagram never arrived", d)
+		}
+		if !bytes.Equal(dg.Data, payload) {
+			t.Fatalf("[%v] reassembly corrupted the payload", d)
+		}
+		if a.Counters.FragmentsSent < 3 {
+			t.Errorf("[%v] fragments sent = %d, want >= 3", d, a.Counters.FragmentsSent)
+		}
+		if b.Counters.Reassembled != 1 {
+			t.Errorf("[%v] reassembled = %d, want 1", d, b.Counters.Reassembled)
+		}
+		checkNoLeaks(t)
+	}
+}
+
+func TestFragmentsArriveOutOfOrder(t *testing.T) {
+	mbuf.ResetPool()
+	n := NewNet()
+	a := n.AddHost("a", ipA, DefaultOptions(core.Conventional))
+	b := n.AddHost("b", ipB, DefaultOptions(core.Conventional))
+	sa, _ := a.UDPSocket(1)
+	sb, _ := b.UDPSocket(2)
+
+	payload := make([]byte, 3000)
+	rand.New(rand.NewSource(4)).Read(payload)
+	sa.SendTo(ipB, 2, payload)
+	// Reverse the wire queue before delivery: last fragment first.
+	for i, j := 0, len(n.wire)-1; i < j; i, j = i+1, j-1 {
+		n.wire[i], n.wire[j] = n.wire[j], n.wire[i]
+	}
+	n.RunUntilIdle()
+	dg, ok := sb.Recv()
+	if !ok || !bytes.Equal(dg.Data, payload) {
+		t.Fatal("out-of-order reassembly failed")
+	}
+	checkNoLeaks(t)
+}
+
+func TestReassemblyTimeoutDropsPartials(t *testing.T) {
+	n, a, b := twoHosts(t, core.Conventional)
+	sa, _ := a.UDPSocket(1)
+	sb, _ := b.UDPSocket(2)
+
+	// Drop the final fragment (MF=0) so the datagram never completes.
+	n.Loss = func(dst layers.IPAddr, data []byte) bool {
+		if dst != ipB || len(data) < layers.EthernetLen+layers.IPv4MinLen {
+			return false
+		}
+		var ip layers.IPv4
+		if _, err := ip.Decode(data[layers.EthernetLen:]); err != nil {
+			return false
+		}
+		return ip.IsFragment() && !ip.MoreFragments()
+	}
+	sa.SendTo(ipB, 2, make([]byte, 3000))
+	n.RunUntilIdle()
+	if _, ok := sb.Recv(); ok {
+		t.Fatal("incomplete datagram delivered")
+	}
+	if len(b.frags) != 1 {
+		t.Fatalf("partial datagrams held = %d, want 1", len(b.frags))
+	}
+	n.Tick(31) // beyond the 30s reassembly timeout
+	if b.Counters.ReassemblyTimeouts != 1 {
+		t.Errorf("timeouts = %d, want 1", b.Counters.ReassemblyTimeouts)
+	}
+	if len(b.frags) != 0 {
+		t.Error("expired partial datagram still held")
+	}
+	n.Loss = nil
+	n.RunUntilIdle()
+	checkNoLeaks(t)
+}
+
+func TestSmallMTUHostFragments(t *testing.T) {
+	mbuf.ResetPool()
+	n := NewNet()
+	opts := DefaultOptions(core.Conventional)
+	opts.MTU = 576 // classic minimum-ish MTU
+	a := n.AddHost("a", ipA, opts)
+	b := n.AddHost("b", ipB, DefaultOptions(core.Conventional))
+	sa, _ := a.UDPSocket(1)
+	sb, _ := b.UDPSocket(2)
+	payload := make([]byte, 1200)
+	sa.SendTo(ipB, 2, payload)
+	n.RunUntilIdle()
+	if a.Counters.FragmentsSent < 3 {
+		t.Errorf("fragments sent = %d at MTU 576, want >= 3", a.Counters.FragmentsSent)
+	}
+	if dg, ok := sb.Recv(); !ok || len(dg.Data) != 1200 {
+		t.Fatal("reassembly at small MTU failed")
+	}
+	checkNoLeaks(t)
+}
+
+func TestTransmitSideBatching(t *testing.T) {
+	// Under LDLP, the responses generated while processing a receive
+	// batch must go to the wire as one flush (the lestart-style transmit
+	// batch the paper's §1 discussion of transmit-side processing
+	// anticipates).
+	n, a, b := twoHosts(t, core.LDLP)
+	sa, _ := a.UDPSocket(1)
+	for i := 0; i < 10; i++ {
+		a.Ping(ipB, 1, uint16(i), nil)
+	}
+	_ = sa
+	n.RunUntilIdle()
+	if b.Counters.TxMaxBatch < 5 {
+		t.Errorf("largest transmit batch = %d, want the echo replies batched", b.Counters.TxMaxBatch)
+	}
+	if got := len(a.PingReplies()); got != 10 {
+		t.Errorf("replies = %d, want 10", got)
+	}
+	// Conventional hosts never batch transmit.
+	n2, a2, b2 := twoHosts(t, core.Conventional)
+	a2.Ping(b2.IP(), 1, 1, nil)
+	n2.RunUntilIdle()
+	if b2.Counters.TxBatches != 0 {
+		t.Errorf("conventional host recorded %d tx batches", b2.Counters.TxBatches)
+	}
+}
+
+func TestRSTTearsDownConnection(t *testing.T) {
+	n, a, b := twoHosts(t, core.Conventional)
+	l, _ := b.ListenTCP(80)
+	cli := a.DialTCP(ipB, 80)
+	n.RunUntilIdle()
+	srv := l.Accept()
+	if srv == nil {
+		t.Fatal("no connection")
+	}
+	// Forge a RST from the client's tuple.
+	pcb := cli.pcb
+	th := layers.TCP{
+		SrcPort: pcb.tuple.lport, DstPort: 80,
+		Seq: pcb.sndNxt, Ack: pcb.rcvNxt,
+		Flags: layers.TCPRst | layers.TCPAck,
+	}
+	seg := make([]byte, layers.TCPMinLen)
+	th.Encode(seg, nil, ipA, ipB)
+	m := mbuf.FromBytes(seg[layers.TCPMinLen:])
+	m.FreeChain()
+	sendRawTCP(n, a, b, seg)
+	n.RunUntilIdle()
+	if srv.State() != "closed" {
+		t.Errorf("server state after RST = %s, want closed", srv.State())
+	}
+	checkNoLeaks(t)
+}
+
+// sendRawTCP injects a hand-built TCP segment from a to b.
+func sendRawTCP(n *Net, a, b *Host, seg []byte) {
+	buf := make([]byte, layers.EthernetLen+layers.IPv4MinLen+len(seg))
+	eth := layers.Ethernet{Dst: b.mac, Src: a.mac, EtherType: layers.EtherTypeIPv4}
+	eth.Encode(buf)
+	ip := layers.IPv4{
+		TotalLen: layers.IPv4MinLen + len(seg), TTL: 64,
+		Protocol: layers.ProtoTCP, Src: a.ip, Dst: b.ip,
+	}
+	ip.Encode(buf[layers.EthernetLen:])
+	copy(buf[layers.EthernetLen+layers.IPv4MinLen:], seg)
+	n.send(frame{dst: b.mac, data: buf})
+}
+
+func TestHostNameAccessors(t *testing.T) {
+	_, a, _ := twoHosts(t, core.Conventional)
+	if a.Name() != "a" || a.IP() != ipA {
+		t.Errorf("accessors: %q %v", a.Name(), a.IP())
+	}
+}
+
+func BenchmarkPingRoundTrip(b *testing.B) {
+	mbuf.ResetPool()
+	n := NewNet()
+	ha := n.AddHost("a", ipA, DefaultOptions(core.Conventional))
+	n.AddHost("b", ipB, DefaultOptions(core.Conventional))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ha.Ping(ipB, 1, uint16(i), nil)
+		n.RunUntilIdle()
+		ha.PingReplies()
+	}
+}

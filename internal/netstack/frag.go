@@ -1,0 +1,140 @@
+package netstack
+
+import (
+	"ldlp/internal/layers"
+	"ldlp/internal/mbuf"
+)
+
+// IPv4 fragmentation and reassembly. The paper's traced fast path never
+// sees fragments ("the message is addressed to the host and is not a
+// fragment"), but a usable substrate needs the slow path too: datagrams
+// larger than the link MTU are fragmented on output and reassembled on
+// input, with a timer bounding how long partial datagrams are held.
+
+// fragKey identifies one datagram being reassembled.
+type fragKey struct {
+	src   layers.IPAddr
+	id    uint16
+	proto byte
+}
+
+// fragHole tracks received byte ranges of one datagram.
+type fragState struct {
+	data     []byte
+	have     []bool
+	totalLen int // payload length once the last fragment arrives; -1 until
+	deadline float64
+}
+
+const (
+	// fragTimeout is how long partial datagrams are kept (BSD uses 30 s;
+	// simulated time is cheap so we match).
+	fragTimeout = 30.0
+	// maxFragPayload bounds a reassembled datagram.
+	maxFragPayload = 65535
+)
+
+// fragmentOutput splits an IP payload into MTU-sized fragments and
+// transmits each. Called by ipOutput when the datagram exceeds the MTU.
+func (h *Host) fragmentOutput(m *mbuf.Mbuf, proto byte, dst layers.IPAddr, mtu int) {
+	payload := m.Contiguous()
+	m.FreeChain()
+	// Per-fragment payload: MTU minus the IP header, rounded down to a
+	// multiple of 8 (fragment offsets are in 8-byte units).
+	per := (mtu - layers.IPv4MinLen) / 8 * 8
+	if per <= 0 {
+		panic("netstack: MTU too small to fragment")
+	}
+	h.ipID++
+	id := h.ipID
+	for off := 0; off < len(payload); off += per {
+		end := off + per
+		mf := byte(0x1)
+		if end >= len(payload) {
+			end = len(payload)
+			mf = 0
+		}
+		frag := mbuf.FromBytes(payload[off:end])
+		ip := layers.IPv4{
+			TotalLen: layers.IPv4MinLen + (end - off),
+			ID:       id,
+			Flags:    mf,
+			FragOff:  off,
+			TTL:      64,
+			Protocol: proto,
+			Src:      h.ip,
+			Dst:      dst,
+		}
+		fm, hdr := frag.Prepend(layers.IPv4MinLen)
+		ip.Encode(hdr)
+		eth := layers.Ethernet{Dst: MACFor(dst), Src: h.mac, EtherType: layers.EtherTypeIPv4}
+		fm, hdr = fm.Prepend(layers.EthernetLen)
+		eth.Encode(hdr)
+		h.Counters.FramesOut++
+		h.Counters.FragmentsSent++
+		h.transmit(frame{dst: eth.Dst, data: append([]byte(nil), fm.Contiguous()...)})
+		fm.FreeChain()
+	}
+}
+
+// reassemble folds one received fragment in. It returns the complete
+// payload when the datagram finishes, or nil while holes remain.
+func (h *Host) reassemble(p *Packet) []byte {
+	if h.frags == nil {
+		h.frags = make(map[fragKey]*fragState)
+	}
+	key := fragKey{src: p.IP.Src, id: p.IP.ID, proto: p.IP.Protocol}
+	st := h.frags[key]
+	if st == nil {
+		st = &fragState{
+			data:     make([]byte, 0),
+			totalLen: -1,
+			deadline: h.net.now + fragTimeout,
+		}
+		h.frags[key] = st
+	}
+	fragPayload := p.M.Contiguous()
+	off := p.IP.FragOff
+	end := off + len(fragPayload)
+	if end > maxFragPayload {
+		h.Counters.BadIP++
+		delete(h.frags, key)
+		return nil
+	}
+	if end > len(st.data) {
+		grown := make([]byte, end)
+		copy(grown, st.data)
+		st.data = grown
+		grownHave := make([]bool, end)
+		copy(grownHave, st.have)
+		st.have = grownHave
+	}
+	copy(st.data[off:end], fragPayload)
+	for i := off; i < end; i++ {
+		st.have[i] = true
+	}
+	if !p.IP.MoreFragments() {
+		st.totalLen = end
+	}
+	if st.totalLen < 0 || len(st.data) < st.totalLen {
+		return nil
+	}
+	for i := 0; i < st.totalLen; i++ {
+		if !st.have[i] {
+			return nil
+		}
+	}
+	delete(h.frags, key)
+	h.Counters.Reassembled++
+	return st.data[:st.totalLen]
+}
+
+// fragTick expires stale partial datagrams.
+func (h *Host) fragTick() {
+	for key, st := range h.frags {
+		if h.net.now >= st.deadline {
+			delete(h.frags, key)
+			h.Counters.ReassemblyTimeouts++
+		}
+	}
+}

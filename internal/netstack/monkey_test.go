@@ -1,0 +1,224 @@
+package netstack
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ldlp/internal/core"
+	"ldlp/internal/layers"
+	"ldlp/internal/mbuf"
+)
+
+// TestMonkeyRandomOperations drives a three-host network through random
+// interleavings of UDP sends, TCP opens/sends/reads/closes, pings, loss
+// bursts and timer ticks, then checks global invariants: no mbuf leaks,
+// no panics, TCP byte streams intact and in order, and counters
+// consistent. This is the failure-injection soak for the whole substrate.
+func TestMonkeyRandomOperations(t *testing.T) {
+	f := func(seed int64, disciplineSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := []core.Discipline{core.Conventional, core.LDLP}[int(disciplineSel)%2]
+		mbuf.ResetPool()
+		n := NewNet()
+		ips := []layers.IPAddr{{10, 3, 0, 1}, {10, 3, 0, 2}, {10, 3, 0, 3}}
+		hosts := make([]*Host, 3)
+		for i, ip := range ips {
+			hosts[i] = n.AddHost("h", ip, DefaultOptions(d))
+		}
+
+		// One TCP pair with a known pattern; several UDP sockets.
+		l, err := hosts[1].ListenTCP(80)
+		if err != nil {
+			return false
+		}
+		cli := hosts[0].DialTCP(ips[1], 80)
+		n.RunUntilIdle()
+		srv := l.Accept()
+		if srv == nil || !cli.Established() {
+			return false
+		}
+		us := make([]*UDPSock, 3)
+		for i, h := range hosts {
+			us[i], err = h.UDPSocket(1000)
+			if err != nil {
+				return false
+			}
+		}
+
+		// The TCP stream sends an incrementing byte pattern; the receiver
+		// verifies order and content.
+		var sent, received int
+		expect := byte(0)
+		closed := false
+
+		lossy := false
+		n.Loss = func(dst layers.IPAddr, data []byte) bool {
+			return lossy && rng.Intn(100) < 20
+		}
+
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(8) {
+			case 0: // TCP send a small chunk
+				if closed {
+					continue
+				}
+				k := 1 + rng.Intn(200)
+				chunk := make([]byte, k)
+				for i := range chunk {
+					chunk[i] = byte(sent + i)
+				}
+				if cli.Send(chunk) == nil {
+					sent += k
+				}
+			case 1: // TCP read and verify
+				buf := make([]byte, 4096)
+				nr := srv.Recv(buf)
+				for i := 0; i < nr; i++ {
+					if buf[i] != expect {
+						return false
+					}
+					expect++
+					received++
+				}
+			case 2: // UDP scatter
+				src := rng.Intn(3)
+				dst := rng.Intn(3)
+				us[src].SendTo(ips[dst], 1000, []byte{byte(op)})
+			case 3: // ping someone
+				hosts[rng.Intn(3)].Ping(ips[rng.Intn(3)], 1, uint16(op), nil)
+			case 4: // toggle loss
+				lossy = !lossy
+			case 5: // advance time (fires rexmt, delack, persist)
+				n.Tick(0.05 + rng.Float64()*0.3)
+			case 6: // pump
+				n.RunUntilIdle()
+			case 7: // drain a random UDP socket / ping replies
+				us[rng.Intn(3)].Recv()
+				hosts[rng.Intn(3)].PingReplies()
+			}
+		}
+
+		// Settle: no loss, generous timer time for retransmissions.
+		lossy = false
+		buf := make([]byte, 8192)
+		for i := 0; i < 400 && received < sent; i++ {
+			n.Tick(0.3)
+			for {
+				nr := srv.Recv(buf)
+				if nr == 0 {
+					break
+				}
+				for k := 0; k < nr; k++ {
+					if buf[k] != expect {
+						return false
+					}
+					expect++
+					received++
+				}
+			}
+		}
+		if received != sent {
+			return false
+		}
+
+		// Orderly close both ways.
+		cli.Close()
+		closed = true
+		n.RunUntilIdle()
+		srv.Close()
+		n.RunUntilIdle()
+		n.Tick(2.5) // clear TIME-WAIT and stragglers
+		n.Tick(2.5)
+
+		// Drain all receive queues so buffered datagrams don't read as
+		// leaks (UDP payloads are copied, so queues hold no mbufs — this
+		// is belt and braces).
+		for i := range us {
+			for {
+				if _, ok := us[i].Recv(); !ok {
+					break
+				}
+			}
+		}
+		return mbuf.PoolStats().InUse == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDisciplinesAreObservationallyEquivalent is the metamorphic check
+// behind the whole technique: LDLP changes only the processing ORDER, so
+// for the same seeded scenario both disciplines must deliver exactly the
+// same datagrams to the same sockets (TCP streams likewise). Throughput
+// and latency differ on a real machine; semantics may not.
+func TestDisciplinesAreObservationallyEquivalent(t *testing.T) {
+	type outcome struct {
+		udpPayloads []string
+		tcpBytes    string
+		pingSeqs    []uint16
+	}
+	scenario := func(d core.Discipline) outcome {
+		mbuf.ResetPool()
+		rng := rand.New(rand.NewSource(77)) // same seed for both runs
+		n := NewNet()
+		a := n.AddHost("a", ipA, DefaultOptions(d))
+		b := n.AddHost("b", ipB, DefaultOptions(d))
+		sa, _ := a.UDPSocket(1)
+		sb, _ := b.UDPSocket(2)
+		l, _ := b.ListenTCP(80)
+		cli := a.DialTCP(ipB, 80)
+		n.RunUntilIdle()
+		srv := l.Accept()
+
+		var out outcome
+		for op := 0; op < 120; op++ {
+			switch rng.Intn(4) {
+			case 0:
+				sa.SendTo(ipB, 2, []byte{byte(op), byte(op >> 3)})
+			case 1:
+				cli.Send([]byte{byte(op)})
+			case 2:
+				a.Ping(ipB, 9, uint16(op), nil)
+			case 3:
+				n.RunUntilIdle()
+			}
+		}
+		n.RunUntilIdle()
+		n.Tick(0.3)
+		for {
+			dg, ok := sb.Recv()
+			if !ok {
+				break
+			}
+			out.udpPayloads = append(out.udpPayloads, string(dg.Data))
+		}
+		buf := make([]byte, 4096)
+		for {
+			nr := srv.Recv(buf)
+			if nr == 0 {
+				break
+			}
+			out.tcpBytes += string(buf[:nr])
+		}
+		for _, r := range a.PingReplies() {
+			out.pingSeqs = append(out.pingSeqs, r.Seq)
+		}
+		_ = sa
+		return out
+	}
+
+	conv := scenario(core.Conventional)
+	ldlp := scenario(core.LDLP)
+	if fmt.Sprint(conv.udpPayloads) != fmt.Sprint(ldlp.udpPayloads) {
+		t.Errorf("UDP deliveries differ:\nconv %q\nldlp %q", conv.udpPayloads, ldlp.udpPayloads)
+	}
+	if conv.tcpBytes != ldlp.tcpBytes {
+		t.Errorf("TCP streams differ: %q vs %q", conv.tcpBytes, ldlp.tcpBytes)
+	}
+	if fmt.Sprint(conv.pingSeqs) != fmt.Sprint(ldlp.pingSeqs) {
+		t.Errorf("ping replies differ: %v vs %v", conv.pingSeqs, ldlp.pingSeqs)
+	}
+}

@@ -1,0 +1,459 @@
+// Package netstack is a runnable, in-memory TCP/IP-lite protocol stack
+// built on the repository's substrates: mbuf chains for buffering,
+// layers for wire formats, checksum for integrity, and the core LDLP
+// engine for receive-path scheduling.
+//
+// It mirrors the structure whose working set §2 of the paper measures —
+// device input, Ethernet demux, IP input, TCP with a fast path and a
+// single-entry PCB cache, delayed ACKs every second data segment, and a
+// socket layer — and its receive path can run under either the
+// conventional or the LDLP discipline, so the examples can exercise the
+// paper's scheduling idea over a real protocol stack.
+//
+// The whole network is single-threaded and explicitly pumped: hosts
+// exchange frames through a Net, and time advances only via Tick. That
+// keeps every test deterministic.
+package netstack
+
+import (
+	"fmt"
+
+	"ldlp/internal/core"
+	"ldlp/internal/layers"
+	"ldlp/internal/mbuf"
+)
+
+// Packet is the unit flowing up the receive path: an mbuf chain plus the
+// decoded headers so far (preallocated, gopacket-style).
+type Packet struct {
+	M   *mbuf.Mbuf
+	Eth layers.Ethernet
+	IP  layers.IPv4
+	TCP layers.TCP
+	UDP layers.UDP
+}
+
+// Counters is the per-host accounting the tests and examples inspect.
+type Counters struct {
+	FramesIn, FramesOut int64
+	BadEther            int64 // wrong MAC or unknown ethertype
+	BadIP               int64 // checksum/version/length failures
+	BadTCP, BadUDP      int64 // checksum/port failures
+	BadICMP             int64
+	NoSocket            int64
+	TCPFastPath         int64
+	TCPSlowPath         int64
+	PCBCacheHits        int64
+	PCBCacheMisses      int64
+	AcksSent            int64
+	DelayedAcks         int64
+	Retransmits         int64
+	DataSegsIn          int64
+	EchoRequests        int64
+	EchoReplies         int64
+	Fragments           int64 // fragments received
+	FragmentsSent       int64
+	Reassembled         int64 // datagrams completed from fragments
+	ReassemblyTimeouts  int64
+	TxBatches           int64 // transmit-side LDLP: queued-output flushes
+	TxMaxBatch          int   // largest single transmit flush
+	WindowProbes        int64 // zero-window persist probes sent
+}
+
+// Options configures a host.
+type Options struct {
+	// Discipline selects the receive-path schedule (conventional
+	// call-through or LDLP batching). Under LDLP the transmit side also
+	// batches: frames generated while processing a receive batch are
+	// flushed to the wire together, lestart-style (the transmit-side
+	// LDLP the paper notes but does not evaluate).
+	Discipline core.Discipline
+	// BatchLimit caps LDLP batches at the device layer (0 = unlimited).
+	BatchLimit int
+	// InputLimit bounds frames buffered in the receive path (drop-tail).
+	InputLimit int
+	// MTU is the link MTU; IP datagrams beyond it are fragmented.
+	// 0 means 1500.
+	MTU int
+}
+
+// DefaultOptions mirror the paper's LDLP setup bounded by a 500-packet
+// buffer.
+func DefaultOptions(d core.Discipline) Options {
+	return Options{Discipline: d, BatchLimit: 14, InputLimit: 500, MTU: 1500}
+}
+
+// mtu returns the effective MTU.
+func (o Options) mtu() int {
+	if o.MTU <= 0 {
+		return 1500
+	}
+	return o.MTU
+}
+
+// frame is a wire frame in flight between hosts.
+type frame struct {
+	dst  layers.MACAddr
+	data []byte
+}
+
+// Net is a broadcast segment connecting hosts, with an explicit clock.
+type Net struct {
+	hosts  map[layers.MACAddr]*Host
+	byIP   map[layers.IPAddr]*Host
+	wire   []frame
+	now    float64
+	inPump bool
+	// Loss, if set, is consulted per frame; returning true drops it
+	// (failure injection for retransmission tests).
+	Loss func(dst layers.IPAddr, data []byte) bool
+}
+
+// NewNet creates an empty network segment.
+func NewNet() *Net {
+	return &Net{hosts: make(map[layers.MACAddr]*Host), byIP: make(map[layers.IPAddr]*Host)}
+}
+
+// Now returns the simulated time in seconds.
+func (n *Net) Now() float64 { return n.now }
+
+// MACFor derives the static MAC address for an IP (this stack uses a
+// fixed mapping instead of ARP; §2's trace shows arpresolve as pure
+// overhead on the fast path, which a static mapping makes explicit).
+func MACFor(ip layers.IPAddr) layers.MACAddr {
+	return layers.MACAddr{0x02, 0x00, ip[0], ip[1], ip[2], ip[3]}
+}
+
+// AddHost creates a host attached to this network.
+func (n *Net) AddHost(name string, ip layers.IPAddr, opts Options) *Host {
+	if _, dup := n.byIP[ip]; dup {
+		panic(fmt.Sprintf("netstack: duplicate IP %v", ip))
+	}
+	h := newHost(n, name, ip, opts)
+	n.hosts[h.mac] = h
+	n.byIP[ip] = h
+	return h
+}
+
+// send queues a frame for delivery.
+func (n *Net) send(f frame) {
+	n.wire = append(n.wire, f)
+}
+
+// RunUntilIdle delivers frames and pumps hosts until the network is
+// quiescent. Returns the number of frames delivered.
+func (n *Net) RunUntilIdle() int {
+	if n.inPump {
+		return 0 // output during processing is collected by the outer pump
+	}
+	n.inPump = true
+	defer func() { n.inPump = false }()
+	delivered := 0
+	for guard := 0; ; guard++ {
+		if guard > 1_000_000 {
+			panic("netstack: network failed to quiesce (routing loop?)")
+		}
+		if len(n.wire) == 0 {
+			// Let every host drain its LDLP queues; processing can emit
+			// more frames.
+			progress := false
+			for _, h := range n.hosts {
+				if h.process() > 0 {
+					progress = true
+				}
+			}
+			if !progress && len(n.wire) == 0 {
+				return delivered
+			}
+			continue
+		}
+		f := n.wire[0]
+		n.wire = n.wire[1:]
+		dst, ok := n.hosts[f.dst]
+		if !ok {
+			continue // frame to nowhere
+		}
+		if n.Loss != nil && n.Loss(dst.ip, f.data) {
+			continue
+		}
+		dst.deliver(f.data)
+		delivered++
+	}
+}
+
+// Tick advances simulated time (firing TCP timers) and pumps the network.
+func (n *Net) Tick(dt float64) {
+	n.now += dt
+	for _, h := range n.hosts {
+		h.tick()
+	}
+	n.RunUntilIdle()
+}
+
+// Host is one endpoint: a NIC, the input protocol stack, transport state
+// and sockets.
+type Host struct {
+	net  *Net
+	name string
+	mac  layers.MACAddr
+	ip   layers.IPAddr
+	opts Options
+
+	stack  *core.Stack[*Packet]
+	device *core.Layer[*Packet]
+	ether  *core.Layer[*Packet]
+	ipin   *core.Layer[*Packet]
+	tcpin  *core.Layer[*Packet]
+	udpin  *core.Layer[*Packet]
+	icmpin *core.Layer[*Packet]
+	sock   *core.Layer[*Packet]
+
+	Counters Counters
+
+	ipID uint16
+
+	// Transmit-side batching (LDLP): frames queued during processing,
+	// flushed together.
+	txq []frame
+
+	// ICMP state (icmp.go).
+	pingReplies []PingReply
+
+	// Reassembly state (frag.go).
+	frags map[fragKey]*fragState
+
+	// TCP state (tcp.go).
+	pcbs      map[fourTuple]*tcpPCB
+	listeners map[uint16]*TCPListener
+	pcbCache  *tcpPCB
+
+	// UDP state (udp.go).
+	udpSocks map[uint16]*UDPSock
+}
+
+// newHost wires up the receive path: device -> ether -> ip -> {tcp,udp}
+// -> socket.
+func newHost(n *Net, name string, ip layers.IPAddr, opts Options) *Host {
+	h := &Host{
+		net: n, name: name, ip: ip, mac: MACFor(ip), opts: opts,
+		pcbs:      make(map[fourTuple]*tcpPCB),
+		listeners: make(map[uint16]*TCPListener),
+		udpSocks:  make(map[uint16]*UDPSock),
+	}
+	h.stack = core.NewStack[*Packet](core.Options{
+		Discipline: opts.Discipline,
+		BatchLimit: opts.BatchLimit,
+		MaxQueued:  opts.InputLimit,
+	})
+	h.device = h.stack.AddLayer("device", h.deviceInput)
+	h.ether = h.stack.AddLayer("ether", h.etherInput)
+	h.ipin = h.stack.AddLayer("ip", h.ipInput)
+	h.tcpin = h.stack.AddLayer("tcp", h.tcpInput)
+	h.udpin = h.stack.AddLayer("udp", h.udpInput)
+	h.icmpin = h.stack.AddLayer("icmp", h.icmpInput)
+	h.sock = h.stack.AddLayer("socket", h.sockInput)
+	h.stack.Link(h.device, h.ether)
+	h.stack.Link(h.ether, h.ipin)
+	h.stack.Link(h.ipin, h.tcpin)
+	h.stack.Link(h.ipin, h.udpin)
+	h.stack.Link(h.ipin, h.icmpin)
+	h.stack.Link(h.tcpin, h.sock)
+	h.stack.Link(h.udpin, h.sock)
+	h.stack.Link(h.icmpin, h.sock)
+	return h
+}
+
+// Name returns the host's name.
+func (h *Host) Name() string { return h.name }
+
+// IP returns the host's address.
+func (h *Host) IP() layers.IPAddr { return h.ip }
+
+// StackStats exposes the LDLP engine counters (batch sizes, queue ops).
+func (h *Host) StackStats() core.Stats { return h.stack.Stats() }
+
+// Now returns the network's simulated time, for protocol timers built on
+// top of the stack.
+func (h *Host) Now() float64 { return h.net.now }
+
+// deliver receives a frame from the wire into the protocol stack.
+func (h *Host) deliver(data []byte) {
+	h.Counters.FramesIn++
+	pkt := &Packet{M: mbuf.FromBytes(data)}
+	if err := h.stack.Inject(pkt); err != nil {
+		pkt.M.FreeChain()
+	}
+}
+
+// process drains the LDLP queues (no-op under conventional, where Inject
+// already ran the stack) and flushes the transmit queue.
+func (h *Host) process() int {
+	n := int(h.stack.Run())
+	return n + h.flushTx()
+}
+
+// transmit hands a frame to the wire — immediately under conventional
+// processing, queued for a batched flush under LDLP.
+func (h *Host) transmit(f frame) {
+	if h.opts.Discipline == core.LDLP {
+		h.txq = append(h.txq, f)
+		return
+	}
+	h.net.send(f)
+}
+
+// flushTx drains the transmit queue in one batch.
+func (h *Host) flushTx() int {
+	n := len(h.txq)
+	if n == 0 {
+		return 0
+	}
+	if n > h.Counters.TxMaxBatch {
+		h.Counters.TxMaxBatch = n
+	}
+	h.Counters.TxBatches++
+	for _, f := range h.txq {
+		h.net.send(f)
+	}
+	h.txq = h.txq[:0]
+	return n
+}
+
+// deviceInput models the driver layer: frame length sanity.
+func (h *Host) deviceInput(p *Packet, emit core.Emit[*Packet]) {
+	if p.M.PktLen() < layers.EthernetLen {
+		h.Counters.BadEther++
+		p.M.FreeChain()
+		return
+	}
+	emit(h.ether, p)
+}
+
+// etherInput decodes and strips the Ethernet header and demuxes on
+// ethertype.
+func (h *Host) etherInput(p *Packet, emit core.Emit[*Packet]) {
+	buf := p.M.Bytes()
+	n, err := p.Eth.Decode(buf)
+	if err != nil {
+		h.Counters.BadEther++
+		p.M.FreeChain()
+		return
+	}
+	if p.Eth.Dst != h.mac && p.Eth.Dst != (layers.MACAddr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}) {
+		h.Counters.BadEther++
+		p.M.FreeChain()
+		return
+	}
+	p.M.Adj(n)
+	if p.Eth.EtherType != layers.EtherTypeIPv4 {
+		h.Counters.BadEther++
+		p.M.FreeChain()
+		return
+	}
+	emit(h.ipin, p)
+}
+
+// ipInput validates the IP header, trims padding, strips the header and
+// demuxes on protocol.
+func (h *Host) ipInput(p *Packet, emit core.Emit[*Packet]) {
+	var err error
+	p.M, err = p.M.Pullup(min(p.M.PktLen(), layers.IPv4MinLen))
+	if err != nil {
+		h.Counters.BadIP++
+		p.M.FreeChain()
+		return
+	}
+	n, err := p.IP.Decode(p.M.Bytes())
+	if err != nil {
+		h.Counters.BadIP++
+		p.M.FreeChain()
+		return
+	}
+	if p.IP.Dst != h.ip {
+		h.Counters.BadIP++
+		p.M.FreeChain()
+		return
+	}
+	if p.IP.TotalLen > p.M.PktLen() {
+		h.Counters.BadIP++
+		p.M.FreeChain()
+		return
+	}
+	// Trim link-layer padding beyond TotalLen, then strip the header.
+	p.M.Adj(-(p.M.PktLen() - p.IP.TotalLen))
+	p.M.Adj(n)
+	if p.IP.IsFragment() {
+		// The slow path the paper's traced fast path never sees: hold the
+		// fragment until the datagram completes, then continue the demux
+		// with the reassembled payload.
+		h.Counters.Fragments++
+		whole := h.reassemble(p)
+		p.M.FreeChain()
+		if whole == nil {
+			return
+		}
+		p.M = mbuf.FromBytes(whole)
+		p.IP.TotalLen = layers.IPv4MinLen + len(whole)
+		p.IP.Flags, p.IP.FragOff = 0, 0
+	}
+	switch p.IP.Protocol {
+	case layers.ProtoTCP:
+		emit(h.tcpin, p)
+	case layers.ProtoUDP:
+		emit(h.udpin, p)
+	case layers.ProtoICMP:
+		emit(h.icmpin, p)
+	default:
+		h.Counters.BadIP++
+		p.M.FreeChain()
+	}
+}
+
+// sockInput is the top of the receive path: the transport layers have
+// already appended payload to the owning socket; this layer models the
+// wakeup.
+func (h *Host) sockInput(p *Packet, emit core.Emit[*Packet]) {
+	p.M.FreeChain()
+	emit(nil, p)
+}
+
+// ipOutput wraps a transport segment in IP + Ethernet and transmits,
+// fragmenting datagrams that exceed the link MTU.
+func (h *Host) ipOutput(m *mbuf.Mbuf, proto byte, dst layers.IPAddr) {
+	mtu := h.opts.mtu()
+	if layers.IPv4MinLen+m.PktLen() > mtu {
+		h.fragmentOutput(m, proto, dst, mtu)
+		return
+	}
+	h.ipID++
+	ip := layers.IPv4{
+		TotalLen: layers.IPv4MinLen + m.PktLen(),
+		ID:       h.ipID,
+		TTL:      64,
+		Protocol: proto,
+		Src:      h.ip,
+		Dst:      dst,
+	}
+	m, hdr := m.Prepend(layers.IPv4MinLen)
+	ip.Encode(hdr)
+	eth := layers.Ethernet{Dst: MACFor(dst), Src: h.mac, EtherType: layers.EtherTypeIPv4}
+	m, hdr = m.Prepend(layers.EthernetLen)
+	eth.Encode(hdr)
+	h.Counters.FramesOut++
+	h.transmit(frame{dst: eth.Dst, data: append([]byte(nil), m.Contiguous()...)})
+	m.FreeChain()
+}
+
+// tick fires host timers (TCP retransmit / delayed ACK, reassembly
+// expiry).
+func (h *Host) tick() {
+	h.tcpTick()
+	h.fragTick()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

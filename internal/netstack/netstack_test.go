@@ -1,0 +1,507 @@
+package netstack
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ldlp/internal/core"
+	"ldlp/internal/layers"
+	"ldlp/internal/mbuf"
+)
+
+var (
+	ipA = layers.IPAddr{10, 0, 0, 1}
+	ipB = layers.IPAddr{10, 0, 0, 2}
+)
+
+func twoHosts(t *testing.T, d core.Discipline) (*Net, *Host, *Host) {
+	t.Helper()
+	mbuf.ResetPool()
+	n := NewNet()
+	a := n.AddHost("a", ipA, DefaultOptions(d))
+	b := n.AddHost("b", ipB, DefaultOptions(d))
+	return n, a, b
+}
+
+func checkNoLeaks(t *testing.T) {
+	t.Helper()
+	if s := mbuf.PoolStats(); s.InUse != 0 {
+		t.Errorf("mbuf leak: %+v", s)
+	}
+}
+
+func TestUDPEchoConventional(t *testing.T) {
+	testUDPEcho(t, core.Conventional)
+}
+
+func TestUDPEchoLDLP(t *testing.T) {
+	testUDPEcho(t, core.LDLP)
+}
+
+func testUDPEcho(t *testing.T, d core.Discipline) {
+	n, a, b := twoHosts(t, d)
+	sa, err := a.UDPSocket(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.UDPSocket(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sa.SendTo(ipB, 2000, []byte("ping"))
+	n.RunUntilIdle()
+
+	dg, ok := sb.Recv()
+	if !ok {
+		t.Fatal("server received nothing")
+	}
+	if string(dg.Data) != "ping" || dg.Src != ipA || dg.SrcPort != 1000 {
+		t.Fatalf("got %+v", dg)
+	}
+
+	sb.SendTo(dg.Src, dg.SrcPort, []byte("pong"))
+	n.RunUntilIdle()
+	reply, ok := sa.Recv()
+	if !ok || string(reply.Data) != "pong" {
+		t.Fatalf("echo reply: %v %q", ok, reply.Data)
+	}
+	checkNoLeaks(t)
+}
+
+func TestUDPBigDatagramSpansClusters(t *testing.T) {
+	n, a, b := twoHosts(t, core.Conventional)
+	sa, _ := a.UDPSocket(1)
+	sb, _ := b.UDPSocket(2)
+	payload := make([]byte, 1400)
+	rand.New(rand.NewSource(1)).Read(payload)
+	sa.SendTo(ipB, 2, payload)
+	n.RunUntilIdle()
+	dg, ok := sb.Recv()
+	if !ok || !bytes.Equal(dg.Data, payload) {
+		t.Fatal("large datagram corrupted")
+	}
+	checkNoLeaks(t)
+}
+
+func TestUDPNoSocketCounted(t *testing.T) {
+	n, a, b := twoHosts(t, core.Conventional)
+	sa, _ := a.UDPSocket(1)
+	sa.SendTo(ipB, 9999, []byte("nobody home"))
+	n.RunUntilIdle()
+	if b.Counters.NoSocket != 1 {
+		t.Errorf("NoSocket = %d, want 1", b.Counters.NoSocket)
+	}
+	checkNoLeaks(t)
+}
+
+func TestUDPQueueLimitDrops(t *testing.T) {
+	n, a, b := twoHosts(t, core.Conventional)
+	sa, _ := a.UDPSocket(1)
+	sb, _ := b.UDPSocket(2)
+	sb.QueueLimit = 3
+	for i := 0; i < 5; i++ {
+		sa.SendTo(ipB, 2, []byte{byte(i)})
+	}
+	n.RunUntilIdle()
+	if sb.Pending() != 3 || sb.Dropped != 2 {
+		t.Errorf("pending %d dropped %d, want 3/2", sb.Pending(), sb.Dropped)
+	}
+	checkNoLeaks(t)
+}
+
+func TestPortInUse(t *testing.T) {
+	_, a, _ := twoHosts(t, core.Conventional)
+	if _, err := a.UDPSocket(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.UDPSocket(7); err == nil {
+		t.Error("duplicate UDP bind should fail")
+	}
+	if _, err := a.ListenTCP(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ListenTCP(7); err == nil {
+		t.Error("duplicate TCP listen should fail")
+	}
+}
+
+func TestTCPHandshakeAndData(t *testing.T) {
+	for _, d := range []core.Discipline{core.Conventional, core.LDLP} {
+		n, a, b := twoHosts(t, d)
+		l, err := b.ListenTCP(80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli := a.DialTCP(ipB, 80)
+		n.RunUntilIdle()
+		if !cli.Established() {
+			t.Fatalf("[%v] client state %s after handshake", d, cli.State())
+		}
+		srv := l.Accept()
+		if srv == nil {
+			t.Fatalf("[%v] no accepted connection", d)
+		}
+
+		if err := cli.Send([]byte("hello over tcp")); err != nil {
+			t.Fatal(err)
+		}
+		n.RunUntilIdle()
+		buf := make([]byte, 100)
+		nr := srv.Recv(buf)
+		if string(buf[:nr]) != "hello over tcp" {
+			t.Fatalf("[%v] server got %q", d, buf[:nr])
+		}
+
+		// Server responds.
+		srv.Send([]byte("and back"))
+		n.RunUntilIdle()
+		nr = cli.Recv(buf)
+		if string(buf[:nr]) != "and back" {
+			t.Fatalf("[%v] client got %q", d, buf[:nr])
+		}
+		checkNoLeaks(t)
+	}
+}
+
+func TestTCPBulkTransferAndSegmentation(t *testing.T) {
+	n, a, b := twoHosts(t, core.Conventional)
+	l, _ := b.ListenTCP(80)
+	cli := a.DialTCP(ipB, 80)
+	n.RunUntilIdle()
+	srv := l.Accept()
+
+	payload := make([]byte, 20000) // > 13 MSS segments
+	rand.New(rand.NewSource(2)).Read(payload)
+	cli.Send(payload)
+	n.RunUntilIdle()
+	n.Tick(0.05) // flush delayed ACKs
+	var got []byte
+	buf := make([]byte, 4096)
+	for {
+		nr := srv.Recv(buf)
+		if nr == 0 {
+			break
+		}
+		got = append(got, buf[:nr]...)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("bulk transfer corrupted: %d bytes vs %d", len(got), len(payload))
+	}
+	if b.Counters.DataSegsIn < 13 {
+		t.Errorf("segments in = %d, want >= 13 (MSS segmentation)", b.Counters.DataSegsIn)
+	}
+	checkNoLeaks(t)
+}
+
+func TestDelayedAckEverySecondSegment(t *testing.T) {
+	// The paper's trace: "this TCP implementation sends an ACK for every
+	// second data packet".
+	n, a, b := twoHosts(t, core.Conventional)
+	l, _ := b.ListenTCP(80)
+	cli := a.DialTCP(ipB, 80)
+	n.RunUntilIdle()
+	_ = l.Accept()
+
+	before := b.Counters.AcksSent
+	// Send 8 separate MSS-sized pushes -> 8 data segments -> ~4 ACKs.
+	for i := 0; i < 8; i++ {
+		cli.Send(make([]byte, tcpMSS))
+		n.RunUntilIdle()
+	}
+	acks := b.Counters.AcksSent - before
+	if acks != 4 {
+		t.Errorf("acks for 8 data segments = %d, want 4 (every 2nd)", acks)
+	}
+	if b.Counters.TCPFastPath < 6 {
+		t.Errorf("fast path hits = %d, want most of 8 in-order segments", b.Counters.TCPFastPath)
+	}
+}
+
+func TestDelayedAckTimerFlushesOddSegment(t *testing.T) {
+	n, a, b := twoHosts(t, core.Conventional)
+	l, _ := b.ListenTCP(80)
+	cli := a.DialTCP(ipB, 80)
+	n.RunUntilIdle()
+	_ = l.Accept()
+
+	before := b.Counters.DelayedAcks
+	cli.Send([]byte("one lonely segment"))
+	n.RunUntilIdle()
+	n.Tick(0.01)
+	if b.Counters.DelayedAcks != before+1 {
+		t.Errorf("delayed-ack timer fired %d times, want 1", b.Counters.DelayedAcks-before)
+	}
+}
+
+func TestPCBSingleEntryCache(t *testing.T) {
+	n, a, b := twoHosts(t, core.Conventional)
+	l, _ := b.ListenTCP(80)
+	cli := a.DialTCP(ipB, 80)
+	n.RunUntilIdle()
+	_ = l.Accept()
+
+	base := b.Counters.PCBCacheHits
+	for i := 0; i < 10; i++ {
+		cli.Send([]byte("x"))
+		n.RunUntilIdle()
+		n.Tick(0.01)
+	}
+	if hits := b.Counters.PCBCacheHits - base; hits < 8 {
+		t.Errorf("PCB cache hits = %d over 10 in-order segments, want nearly all", hits)
+	}
+}
+
+func TestRetransmissionOnLoss(t *testing.T) {
+	n, a, b := twoHosts(t, core.Conventional)
+	l, _ := b.ListenTCP(80)
+	cli := a.DialTCP(ipB, 80)
+	n.RunUntilIdle()
+	_ = l.Accept()
+
+	// Drop the next data-bearing frame to B exactly once.
+	dropped := 0
+	n.Loss = func(dst layers.IPAddr, data []byte) bool {
+		if dst == ipB && len(data) > 60 && dropped == 0 {
+			dropped++
+			return true
+		}
+		return false
+	}
+	cli.Send([]byte("must arrive eventually"))
+	n.RunUntilIdle()
+	buf := make([]byte, 100)
+	if nr := cli.pcb.host.name; nr == "" {
+		t.Fatal("unreachable")
+	}
+	srv := b.pcbs[fourTuple{raddr: ipA, rport: cli.pcb.tuple.lport, lport: 80}]
+	if srv == nil {
+		t.Fatal("server pcb missing")
+	}
+	if len(srv.rcvBuf) != 0 {
+		t.Fatal("data arrived despite loss")
+	}
+	// Fire the retransmit timer.
+	for i := 0; i < 5 && len(srv.rcvBuf) == 0; i++ {
+		n.Tick(0.25)
+	}
+	if a.Counters.Retransmits == 0 {
+		t.Error("no retransmission recorded")
+	}
+	nrec := copy(buf, srv.rcvBuf)
+	if string(buf[:nrec]) != "must arrive eventually" {
+		t.Errorf("after retransmit got %q", buf[:nrec])
+	}
+	checkNoLeaks(t)
+}
+
+func TestTCPCloseHandshake(t *testing.T) {
+	n, a, b := twoHosts(t, core.Conventional)
+	l, _ := b.ListenTCP(80)
+	cli := a.DialTCP(ipB, 80)
+	n.RunUntilIdle()
+	srv := l.Accept()
+
+	cli.Close()
+	n.RunUntilIdle()
+	if srv.State() != "close-wait" {
+		t.Errorf("server state after FIN = %s, want close-wait", srv.State())
+	}
+	srv.Close()
+	n.RunUntilIdle()
+	if got := srv.State(); got != "closed" {
+		t.Errorf("server final state = %s", got)
+	}
+	if err := cli.Send([]byte("late")); err == nil {
+		t.Error("send on closed socket should fail")
+	}
+}
+
+func TestFlowControlWindowStallsSender(t *testing.T) {
+	n, a, b := twoHosts(t, core.Conventional)
+	l, _ := b.ListenTCP(80)
+	cli := a.DialTCP(ipB, 80)
+	n.RunUntilIdle()
+	srv := l.Accept()
+
+	// Send more than the 64 KB window without the receiver reading.
+	payload := make([]byte, 100000)
+	cli.Send(payload)
+	n.RunUntilIdle()
+	n.Tick(0.01)
+	if got := srv.Buffered(); got > tcpWindow {
+		t.Errorf("receiver buffered %d > advertised window %d", got, tcpWindow)
+	}
+	if cli.pcb.inFlight() > tcpWindow {
+		t.Errorf("in flight %d exceeds window", cli.pcb.inFlight())
+	}
+	// Draining the receiver opens the window and the rest flows.
+	buf := make([]byte, 8192)
+	total := 0
+	for i := 0; i < 200; i++ {
+		nr := srv.Recv(buf)
+		total += nr
+		if total >= len(payload) {
+			break
+		}
+		n.Tick(0.3)
+	}
+	if total != len(payload) {
+		t.Errorf("received %d of %d after window reopened", total, len(payload))
+	}
+}
+
+func TestBadFramesCounted(t *testing.T) {
+	n, _, b := twoHosts(t, core.Conventional)
+
+	// Runt frame.
+	n.send(frame{dst: b.mac, data: []byte{1, 2, 3}})
+	// Wrong ethertype.
+	badType := make([]byte, 60)
+	eth := layers.Ethernet{Dst: b.mac, Src: MACFor(ipA), EtherType: layers.EtherTypeARP}
+	eth.Encode(badType)
+	n.send(frame{dst: b.mac, data: badType})
+	// Corrupt IP checksum.
+	good := make([]byte, layers.EthernetLen+layers.IPv4MinLen)
+	eth.EtherType = layers.EtherTypeIPv4
+	eth.Encode(good)
+	iph := layers.IPv4{TotalLen: 20, TTL: 64, Protocol: layers.ProtoUDP, Src: ipA, Dst: ipB}
+	iph.Encode(good[layers.EthernetLen:])
+	good[layers.EthernetLen+8] ^= 0xff
+	n.send(frame{dst: b.mac, data: good})
+	n.RunUntilIdle()
+
+	if b.Counters.BadEther != 2 {
+		t.Errorf("BadEther = %d, want 2", b.Counters.BadEther)
+	}
+	if b.Counters.BadIP != 1 {
+		t.Errorf("BadIP = %d, want 1", b.Counters.BadIP)
+	}
+	checkNoLeaks(t)
+}
+
+func TestFragmentsCountedNotCrashed(t *testing.T) {
+	n, _, b := twoHosts(t, core.Conventional)
+	buf := make([]byte, layers.EthernetLen+layers.IPv4MinLen+8)
+	eth := layers.Ethernet{Dst: b.mac, Src: MACFor(ipA), EtherType: layers.EtherTypeIPv4}
+	eth.Encode(buf)
+	iph := layers.IPv4{TotalLen: 28, TTL: 64, Protocol: layers.ProtoUDP, Flags: 0x1, Src: ipA, Dst: ipB}
+	iph.Encode(buf[layers.EthernetLen:])
+	n.send(frame{dst: b.mac, data: buf})
+	n.RunUntilIdle()
+	if b.Counters.Fragments != 1 {
+		t.Errorf("Fragments = %d, want 1", b.Counters.Fragments)
+	}
+	checkNoLeaks(t)
+}
+
+func TestLDLPBatchingOnBurst(t *testing.T) {
+	n, a, b := twoHosts(t, core.LDLP)
+	sa, _ := a.UDPSocket(1)
+	sb, _ := b.UDPSocket(2)
+	for i := 0; i < 40; i++ {
+		sa.SendTo(ipB, 2, []byte{byte(i)})
+	}
+	n.RunUntilIdle()
+	if sb.Pending() != 40 {
+		t.Fatalf("pending = %d, want 40", sb.Pending())
+	}
+	st := b.StackStats()
+	if st.LargestBatch < 10 {
+		t.Errorf("largest LDLP batch = %d, want a real burst batch", st.LargestBatch)
+	}
+	if st.LargestBatch > 14 {
+		t.Errorf("largest batch = %d exceeds the device batch limit", st.LargestBatch)
+	}
+	checkNoLeaks(t)
+}
+
+func TestInputLimitDropTail(t *testing.T) {
+	mbuf.ResetPool()
+	n := NewNet()
+	a := n.AddHost("a", ipA, DefaultOptions(core.Conventional))
+	opts := DefaultOptions(core.LDLP)
+	opts.InputLimit = 10
+	b := n.AddHost("b", ipB, opts)
+	sa, _ := a.UDPSocket(1)
+	sb, _ := b.UDPSocket(2)
+	for i := 0; i < 30; i++ {
+		sa.SendTo(ipB, 2, []byte{byte(i)})
+	}
+	// Deliver frames without letting b process: drive the wire manually.
+	n.RunUntilIdle()
+	// With processing interleaved the limit may never be hit; force a
+	// burst by sending again with processing suppressed via direct
+	// deliveries.
+	for i := 0; i < 30; i++ {
+		b.deliver(make([]byte, 60)) // garbage frames, queued then rejected
+	}
+	if dropped := b.StackStats().Dropped; dropped < 20 {
+		t.Errorf("stack dropped %d of 30 over-limit frames, want >= 20", dropped)
+	}
+	if got := sb.Pending(); got > 40 {
+		t.Errorf("socket somehow saw %d datagrams", got)
+	}
+	n.RunUntilIdle() // drain what was admitted before leak accounting
+	checkNoLeaks(t)
+}
+
+func TestDuplicateIPPanics(t *testing.T) {
+	n := NewNet()
+	n.AddHost("a", ipA, DefaultOptions(core.Conventional))
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate IP should panic")
+		}
+	}()
+	n.AddHost("a2", ipA, DefaultOptions(core.Conventional))
+}
+
+func TestMACForIsStable(t *testing.T) {
+	if MACFor(ipA) != MACFor(ipA) {
+		t.Error("MACFor must be deterministic")
+	}
+	if MACFor(ipA) == MACFor(ipB) {
+		t.Error("distinct IPs must map to distinct MACs")
+	}
+}
+
+func BenchmarkUDPRoundTrip(b *testing.B) {
+	mbuf.ResetPool()
+	n := NewNet()
+	ha := n.AddHost("a", ipA, DefaultOptions(core.Conventional))
+	hb := n.AddHost("b", ipB, DefaultOptions(core.Conventional))
+	sa, _ := ha.UDPSocket(1)
+	sb, _ := hb.UDPSocket(2)
+	payload := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sa.SendTo(ipB, 2, payload)
+		n.RunUntilIdle()
+		if dg, ok := sb.Recv(); ok {
+			_ = dg
+		}
+	}
+}
+
+func BenchmarkTCPSegmentIn(b *testing.B) {
+	mbuf.ResetPool()
+	n := NewNet()
+	ha := n.AddHost("a", ipA, DefaultOptions(core.Conventional))
+	hb := n.AddHost("b", ipB, DefaultOptions(core.Conventional))
+	l, _ := hb.ListenTCP(80)
+	cli := ha.DialTCP(ipB, 80)
+	n.RunUntilIdle()
+	srv := l.Accept()
+	payload := make([]byte, 512)
+	buf := make([]byte, 4096)
+	b.SetBytes(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cli.Send(payload)
+		n.RunUntilIdle()
+		for srv.Recv(buf) > 0 {
+		}
+	}
+}

@@ -1,0 +1,575 @@
+package netstack
+
+import (
+	"errors"
+	"fmt"
+
+	"ldlp/internal/core"
+	"ldlp/internal/layers"
+	"ldlp/internal/mbuf"
+)
+
+// TCP-lite: enough of TCP for the examples and benchmarks to move real
+// data — three-way handshake, cumulative ACKs, flow-control window, the
+// 4.4BSD header-prediction fast path with a single-entry PCB cache, an
+// ACK for every second data segment (the behaviour §2's trace captures),
+// FIN teardown and timer-driven retransmission. No congestion control,
+// options, or urgent data.
+
+const (
+	tcpMSS        = 1460
+	tcpWindow     = 65535
+	tcpRTO        = 0.2 // seconds
+	tcpMaxBackoff = 3.2
+	// tcpPersist is the zero-window probe interval: if the peer closes
+	// its window and the reopening window update is lost, the sender
+	// probes rather than deadlocking.
+	tcpPersist = 0.5
+	// tcp2MSL holds a closed connection in TIME-WAIT so late segments
+	// (and a retransmitted FIN) are handled rather than treated as new.
+	tcp2MSL = 1.0
+	// tcpBacklog bounds un-accepted connections per listener.
+	tcpBacklog = 16
+)
+
+type tcpState int
+
+const (
+	stClosed tcpState = iota
+	stSynSent
+	stSynRcvd
+	stEstablished
+	stFinWait1
+	stFinWait2
+	stCloseWait
+	stLastAck
+	stTimeWait
+)
+
+var tcpStateNames = map[tcpState]string{
+	stClosed: "closed", stSynSent: "syn-sent", stSynRcvd: "syn-rcvd",
+	stEstablished: "established", stFinWait1: "fin-wait-1",
+	stFinWait2: "fin-wait-2", stCloseWait: "close-wait",
+	stLastAck: "last-ack", stTimeWait: "time-wait",
+}
+
+func (s tcpState) String() string { return tcpStateNames[s] }
+
+type fourTuple struct {
+	raddr layers.IPAddr
+	rport uint16
+	lport uint16
+}
+
+type unackedSeg struct {
+	seq     uint32
+	data    []byte
+	syn     bool
+	fin     bool
+	sentAt  float64
+	backoff float64
+}
+
+type tcpPCB struct {
+	host  *Host
+	tuple fourTuple
+	state tcpState
+
+	iss, irs       uint32
+	sndUna, sndNxt uint32
+	rcvNxt         uint32
+	sndWnd         int
+
+	sndBuf  []byte
+	rcvBuf  []byte
+	unacked []unackedSeg
+
+	delAckPending int
+	finQueued     bool
+	sock          *TCPSock
+
+	// lastProbe is the last zero-window persist probe time.
+	lastProbe float64
+	// timeWaitAt, when nonzero, is when TIME-WAIT expires and the PCB is
+	// reaped.
+	timeWaitAt float64
+}
+
+// TCPSock is a stream socket handle.
+type TCPSock struct {
+	pcb *tcpPCB
+}
+
+// TCPListener accepts inbound connections on a port.
+type TCPListener struct {
+	host    *Host
+	port    uint16
+	backlog []*TCPSock
+	// Dropped counts SYNs discarded because the backlog was full.
+	Dropped int64
+}
+
+var (
+	// ErrPortInUse is returned when binding an occupied port.
+	ErrPortInUse = errors.New("netstack: port in use")
+	// ErrClosed is returned for operations on closed sockets.
+	ErrClosed = errors.New("netstack: socket closed")
+)
+
+var issCounter uint32 = 1000
+
+// ListenTCP opens a passive socket on port.
+func (h *Host) ListenTCP(port uint16) (*TCPListener, error) {
+	if _, ok := h.listeners[port]; ok {
+		return nil, fmt.Errorf("%w: tcp %d", ErrPortInUse, port)
+	}
+	l := &TCPListener{host: h, port: port}
+	h.listeners[port] = l
+	return l, nil
+}
+
+// Accept returns a pending inbound connection, or nil if none has
+// completed the handshake yet.
+func (l *TCPListener) Accept() *TCPSock {
+	for i, s := range l.backlog {
+		if s.pcb.state == stEstablished {
+			l.backlog = append(l.backlog[:i], l.backlog[i+1:]...)
+			return s
+		}
+	}
+	return nil
+}
+
+// Close stops listening (existing connections are unaffected).
+func (l *TCPListener) Close() { delete(l.host.listeners, l.port) }
+
+var ephemeral uint16 = 32768
+
+// DialTCP initiates a connection; the handshake completes as the network
+// is pumped (check Established or poll Accept on the peer).
+func (h *Host) DialTCP(dst layers.IPAddr, port uint16) *TCPSock {
+	ephemeral++
+	issCounter += 64000
+	pcb := &tcpPCB{
+		host:  h,
+		tuple: fourTuple{raddr: dst, rport: port, lport: ephemeral},
+		state: stSynSent,
+		iss:   issCounter,
+	}
+	pcb.sndUna, pcb.sndNxt = pcb.iss, pcb.iss
+	pcb.sndWnd = tcpWindow
+	pcb.sock = &TCPSock{pcb: pcb}
+	h.pcbs[pcb.tuple] = pcb
+	pcb.sendSegment(layers.TCPSyn, nil, true)
+	return pcb.sock
+}
+
+// Established reports whether the handshake has completed.
+func (s *TCPSock) Established() bool { return s.pcb.state == stEstablished }
+
+// State names the connection state.
+func (s *TCPSock) State() string { return s.pcb.state.String() }
+
+// Send queues data for transmission (flow-controlled by the peer's
+// window as the network is pumped). Sending remains legal in CLOSE-WAIT:
+// the peer half-closed, our direction is still open.
+func (s *TCPSock) Send(data []byte) error {
+	switch s.pcb.state {
+	case stEstablished, stSynSent, stSynRcvd, stCloseWait:
+	default:
+		return ErrClosed
+	}
+	s.pcb.sndBuf = append(s.pcb.sndBuf, data...)
+	s.pcb.trySend()
+	return nil
+}
+
+// Recv copies received data into buf, returning the number of bytes (0
+// when nothing is buffered). Draining a previously-full buffer sends a
+// window update so a stalled peer resumes (the sb-drop wakeup path).
+func (s *TCPSock) Recv(buf []byte) int {
+	pcb := s.pcb
+	before := len(pcb.rcvBuf)
+	n := copy(buf, pcb.rcvBuf)
+	pcb.rcvBuf = pcb.rcvBuf[n:]
+	if n > 0 && before >= tcpWindow/2 && pcb.state == stEstablished {
+		pcb.sendAck() // window update
+	}
+	return n
+}
+
+// Buffered reports bytes waiting in the receive buffer.
+func (s *TCPSock) Buffered() int { return len(s.pcb.rcvBuf) }
+
+// Close sends FIN after queued data drains.
+func (s *TCPSock) Close() {
+	pcb := s.pcb
+	switch pcb.state {
+	case stEstablished:
+		pcb.state = stFinWait1
+	case stCloseWait:
+		pcb.state = stLastAck
+	case stSynSent, stSynRcvd:
+		pcb.teardown()
+		return
+	default:
+		return
+	}
+	pcb.finQueued = true
+	pcb.trySend()
+}
+
+func (pcb *tcpPCB) teardown() {
+	if pcb.host.pcbCache == pcb {
+		pcb.host.pcbCache = nil
+	}
+	delete(pcb.host.pcbs, pcb.tuple)
+	pcb.state = stClosed
+}
+
+// lookupPCB finds the PCB for a tuple through the single-entry cache §2's
+// trace mentions ("the single-entry PCB cache hits").
+func (h *Host) lookupPCB(t fourTuple) *tcpPCB {
+	if c := h.pcbCache; c != nil && c.tuple == t {
+		h.Counters.PCBCacheHits++
+		return c
+	}
+	h.Counters.PCBCacheMisses++
+	pcb := h.pcbs[t]
+	if pcb != nil {
+		h.pcbCache = pcb
+	}
+	return pcb
+}
+
+// tcpInput is the receive-path TCP layer.
+func (h *Host) tcpInput(p *Packet, emit core.Emit[*Packet]) {
+	seg := p.M.Contiguous()
+	n, err := p.TCP.Decode(seg, p.IP.Src, p.IP.Dst)
+	if err != nil {
+		h.Counters.BadTCP++
+		p.M.FreeChain()
+		return
+	}
+	payload := seg[n:]
+	th := &p.TCP
+	tuple := fourTuple{raddr: p.IP.Src, rport: th.SrcPort, lport: th.DstPort}
+	pcb := h.lookupPCB(tuple)
+
+	if pcb == nil {
+		// Passive open?
+		if th.Flags&layers.TCPSyn != 0 && th.Flags&layers.TCPAck == 0 {
+			if l, ok := h.listeners[th.DstPort]; ok {
+				if len(l.backlog) >= tcpBacklog {
+					l.Dropped++
+					p.M.FreeChain()
+					return
+				}
+				issCounter += 64000
+				pcb = &tcpPCB{
+					host: h, tuple: tuple, state: stSynRcvd,
+					iss: issCounter, irs: th.Seq,
+					rcvNxt: th.Seq + 1, sndWnd: int(th.Window),
+				}
+				pcb.sndUna, pcb.sndNxt = pcb.iss, pcb.iss
+				pcb.sock = &TCPSock{pcb: pcb}
+				h.pcbs[tuple] = pcb
+				l.backlog = append(l.backlog, pcb.sock)
+				pcb.sendSegment(layers.TCPSyn|layers.TCPAck, nil, true)
+			} else {
+				h.Counters.NoSocket++
+			}
+		} else {
+			h.Counters.NoSocket++
+		}
+		p.M.FreeChain()
+		return
+	}
+
+	// Header prediction: the 4.4BSD fast path. Established, plain
+	// ACK(+PSH), in-order, window unchanged handling is folded in.
+	if pcb.state == stEstablished &&
+		th.Flags&^(layers.TCPAck|layers.TCPPsh) == 0 &&
+		th.Flags&layers.TCPAck != 0 &&
+		th.Seq == pcb.rcvNxt {
+		h.Counters.TCPFastPath++
+		pcb.processAck(th)
+		if len(payload) > 0 {
+			pcb.acceptData(payload)
+			h.Counters.DataSegsIn++
+			emit(h.sock, p)
+			return
+		}
+		p.M.FreeChain()
+		return
+	}
+
+	h.Counters.TCPSlowPath++
+	h.tcpSlowPath(pcb, th, payload, p, emit)
+}
+
+// tcpSlowPath handles everything header prediction does not.
+func (h *Host) tcpSlowPath(pcb *tcpPCB, th *layers.TCP, payload []byte, p *Packet, emit core.Emit[*Packet]) {
+	if th.Flags&layers.TCPRst != 0 {
+		pcb.teardown()
+		p.M.FreeChain()
+		return
+	}
+
+	switch pcb.state {
+	case stSynSent:
+		if th.Flags&(layers.TCPSyn|layers.TCPAck) == layers.TCPSyn|layers.TCPAck &&
+			th.Ack == pcb.iss+1 {
+			pcb.irs = th.Seq
+			pcb.rcvNxt = th.Seq + 1
+			pcb.sndUna = th.Ack
+			pcb.sndNxt = th.Ack
+			pcb.sndWnd = int(th.Window)
+			pcb.state = stEstablished
+			pcb.dropAcked(th.Ack)
+			pcb.sendAck()
+			pcb.trySend()
+		}
+		p.M.FreeChain()
+		return
+	case stSynRcvd:
+		if th.Flags&layers.TCPAck != 0 && th.Ack == pcb.iss+1 {
+			pcb.sndUna = th.Ack
+			pcb.sndNxt = th.Ack
+			pcb.sndWnd = int(th.Window)
+			pcb.state = stEstablished
+			pcb.dropAcked(th.Ack)
+		}
+		// Fall through: the ACK completing the handshake may carry data.
+	}
+
+	if th.Flags&layers.TCPAck != 0 {
+		pcb.processAck(th)
+	}
+
+	if th.Seq != pcb.rcvNxt {
+		// Out of order (or duplicate): this lite stack does not reassemble;
+		// re-ACK what we expect so the peer retransmits.
+		pcb.sendAck()
+		p.M.FreeChain()
+		return
+	}
+
+	delivered := false
+	if len(payload) > 0 {
+		switch pcb.state {
+		case stEstablished, stFinWait1, stFinWait2:
+			pcb.acceptData(payload)
+			h.Counters.DataSegsIn++
+			delivered = true
+		}
+	}
+
+	if th.Flags&layers.TCPFin != 0 {
+		pcb.rcvNxt++
+		switch pcb.state {
+		case stEstablished:
+			pcb.state = stCloseWait
+		case stFinWait1, stFinWait2:
+			pcb.state = stTimeWait
+			pcb.timeWaitAt = h.net.now + tcp2MSL
+		case stTimeWait:
+			// Retransmitted FIN: restart 2MSL, re-ACK below.
+			pcb.rcvNxt-- // do not double-count the FIN
+			pcb.timeWaitAt = h.net.now + tcp2MSL
+		}
+		pcb.sendAck()
+	}
+
+	if pcb.state == stLastAck && pcb.sndUna == pcb.sndNxt {
+		pcb.teardown()
+	}
+	if pcb.state == stFinWait1 && pcb.sndUna == pcb.sndNxt {
+		pcb.state = stFinWait2
+	}
+
+	if delivered {
+		emit(h.sock, p)
+	} else {
+		p.M.FreeChain()
+	}
+}
+
+// acceptData appends in-order payload and runs the delayed-ACK rule: an
+// ACK for every second data segment.
+func (pcb *tcpPCB) acceptData(payload []byte) {
+	pcb.rcvNxt += uint32(len(payload))
+	pcb.rcvBuf = append(pcb.rcvBuf, payload...)
+	pcb.delAckPending++
+	if pcb.delAckPending >= 2 {
+		pcb.sendAck()
+	}
+}
+
+// processAck advances sndUna, releases acked segments and window, and
+// sends more queued data.
+func (pcb *tcpPCB) processAck(th *layers.TCP) {
+	if seqAfter(th.Ack, pcb.sndUna) && !seqAfter(th.Ack, pcb.sndNxt) {
+		pcb.sndUna = th.Ack
+		pcb.dropAcked(th.Ack)
+	}
+	pcb.sndWnd = int(th.Window)
+	pcb.trySend()
+}
+
+func (pcb *tcpPCB) dropAcked(ack uint32) {
+	keep := pcb.unacked[:0]
+	for _, u := range pcb.unacked {
+		end := u.seq + uint32(len(u.data))
+		if u.syn || u.fin {
+			end++
+		}
+		if seqAfter(end, ack) {
+			keep = append(keep, u)
+		}
+	}
+	pcb.unacked = keep
+}
+
+// seqAfter reports a > b in sequence space.
+func seqAfter(a, b uint32) bool { return int32(a-b) > 0 }
+
+// inFlight reports unacknowledged bytes.
+func (pcb *tcpPCB) inFlight() int { return int(pcb.sndNxt - pcb.sndUna) }
+
+// trySend transmits queued data within the peer's window, then a queued
+// FIN.
+func (pcb *tcpPCB) trySend() {
+	if pcb.state != stEstablished && pcb.state != stFinWait1 && pcb.state != stLastAck &&
+		pcb.state != stCloseWait {
+		return
+	}
+	for len(pcb.sndBuf) > 0 {
+		room := pcb.sndWnd - pcb.inFlight()
+		if room <= 0 {
+			return
+		}
+		n := min(min(tcpMSS, len(pcb.sndBuf)), room)
+		chunk := append([]byte(nil), pcb.sndBuf[:n]...)
+		pcb.sndBuf = pcb.sndBuf[n:]
+		pcb.sendSegment(layers.TCPAck|layers.TCPPsh, chunk, true)
+	}
+	if pcb.finQueued && len(pcb.sndBuf) == 0 {
+		pcb.finQueued = false
+		pcb.sendSegment(layers.TCPFin|layers.TCPAck, nil, true)
+	}
+}
+
+// sendAck emits a bare ACK and clears the delayed-ACK counter.
+func (pcb *tcpPCB) sendAck() {
+	pcb.delAckPending = 0
+	pcb.host.Counters.AcksSent++
+	pcb.sendSegment(layers.TCPAck, nil, false)
+}
+
+// sendSegment builds and transmits one segment; track=true records it for
+// retransmission (SYN/FIN/data).
+func (pcb *tcpPCB) sendSegment(flags byte, payload []byte, track bool) {
+	h := pcb.host
+	th := layers.TCP{
+		SrcPort: pcb.tuple.lport,
+		DstPort: pcb.tuple.rport,
+		Seq:     pcb.sndNxt,
+		Window:  uint16(tcpWindow - min(len(pcb.rcvBuf), tcpWindow)),
+	}
+	if pcb.state != stSynSent { // no ACK field before the handshake
+		th.Ack = pcb.rcvNxt
+	}
+	th.Flags = flags
+
+	m := mbuf.FromBytes(payload)
+	mm, hdr := m.Prepend(layers.TCPMinLen)
+	th.Encode(hdr, payload, h.ip, pcb.tuple.raddr)
+
+	consumed := uint32(len(payload))
+	if flags&layers.TCPSyn != 0 || flags&layers.TCPFin != 0 {
+		consumed++
+	}
+	if track && consumed > 0 {
+		h2 := append([]byte(nil), payload...)
+		pcb.unacked = append(pcb.unacked, unackedSeg{
+			seq: pcb.sndNxt, data: h2,
+			syn: flags&layers.TCPSyn != 0, fin: flags&layers.TCPFin != 0,
+			sentAt: h.net.now, backoff: tcpRTO,
+		})
+		pcb.sndNxt += consumed
+	}
+	h.ipOutput(mm, layers.ProtoTCP, pcb.tuple.raddr)
+}
+
+// tcpTick fires retransmission, delayed-ACK, persist and TIME-WAIT
+// timers.
+func (h *Host) tcpTick() {
+	for _, pcb := range h.pcbs {
+		if pcb.state == stTimeWait {
+			if h.net.now >= pcb.timeWaitAt {
+				pcb.teardown()
+			}
+			continue
+		}
+		if pcb.delAckPending > 0 {
+			h.Counters.DelayedAcks++
+			pcb.sendAck()
+		}
+		// Zero-window persist: data queued, nothing in flight, no window.
+		if len(pcb.sndBuf) > 0 && pcb.inFlight() == 0 &&
+			pcb.sndWnd <= 0 && pcb.state == stEstablished &&
+			h.net.now-pcb.lastProbe >= tcpPersist {
+			pcb.lastProbe = h.net.now
+			h.Counters.WindowProbes++
+			// Probe with one byte of real data, tracked like any send.
+			chunk := pcb.sndBuf[:1:1]
+			pcb.sndBuf = pcb.sndBuf[1:]
+			pcb.sendSegment(layers.TCPAck|layers.TCPPsh, chunk, true)
+		}
+		if len(pcb.unacked) == 0 {
+			continue
+		}
+		u := &pcb.unacked[0]
+		if h.net.now-u.sentAt >= u.backoff {
+			h.Counters.Retransmits++
+			u.sentAt = h.net.now
+			if u.backoff < tcpMaxBackoff {
+				u.backoff *= 2
+			}
+			flags := byte(layers.TCPAck)
+			if u.syn {
+				flags = layers.TCPSyn
+				if pcb.state != stSynSent {
+					flags |= layers.TCPAck
+				}
+			}
+			if u.fin {
+				flags |= layers.TCPFin
+			}
+			if len(u.data) > 0 {
+				flags |= layers.TCPPsh
+			}
+			pcb.retransmit(u, flags)
+		}
+	}
+}
+
+// retransmit re-emits one tracked segment without re-tracking it.
+func (pcb *tcpPCB) retransmit(u *unackedSeg, flags byte) {
+	h := pcb.host
+	th := layers.TCP{
+		SrcPort: pcb.tuple.lport,
+		DstPort: pcb.tuple.rport,
+		Seq:     u.seq,
+		Window:  uint16(tcpWindow - min(len(pcb.rcvBuf), tcpWindow)),
+		Flags:   flags,
+	}
+	if pcb.state != stSynSent {
+		th.Ack = pcb.rcvNxt
+	}
+	m := mbuf.FromBytes(u.data)
+	mm, hdr := m.Prepend(layers.TCPMinLen)
+	th.Encode(hdr, u.data, h.ip, pcb.tuple.raddr)
+	h.ipOutput(mm, layers.ProtoTCP, pcb.tuple.raddr)
+}

@@ -1,0 +1,216 @@
+package netstack
+
+import (
+	"testing"
+
+	"ldlp/internal/core"
+	"ldlp/internal/layers"
+)
+
+func TestPersistProbeRecoversLostWindowUpdate(t *testing.T) {
+	n, a, b := twoHosts(t, core.Conventional)
+	l, _ := b.ListenTCP(80)
+	cli := a.DialTCP(ipB, 80)
+	n.RunUntilIdle()
+	srv := l.Accept()
+
+	// Fill the receiver's window completely.
+	payload := make([]byte, 100000)
+	cli.Send(payload)
+	n.RunUntilIdle()
+	n.Tick(0.01)
+	if cli.pcb.sndWnd > 0 && len(cli.pcb.sndBuf) == 0 {
+		t.Skip("window never closed; nothing to probe")
+	}
+
+	// The receiver drains, but its window-update ACK is lost.
+	lose := true
+	n.Loss = func(dst layers.IPAddr, data []byte) bool {
+		if dst == ipA && lose {
+			lose = false
+			return true
+		}
+		return false
+	}
+	buf := make([]byte, tcpWindow)
+	srv.Recv(buf) // triggers (and loses) the window update
+	n.RunUntilIdle()
+
+	if cli.pcb.sndWnd > 0 {
+		t.Fatal("sender already saw the window reopen; loss injection failed")
+	}
+	// The persist timer must unstick the connection.
+	n.Loss = nil
+	total := tcpWindow
+	for i := 0; i < 400 && total < len(payload); i++ {
+		n.Tick(0.6)
+		for {
+			nr := srv.Recv(buf)
+			if nr == 0 {
+				break
+			}
+			total += nr
+		}
+	}
+	if total != len(payload) {
+		t.Errorf("received %d of %d after persist probing", total, len(payload))
+	}
+	if a.Counters.WindowProbes == 0 {
+		t.Error("no window probes recorded")
+	}
+}
+
+func TestTimeWaitHoldsThenReaps(t *testing.T) {
+	n, a, b := twoHosts(t, core.Conventional)
+	l, _ := b.ListenTCP(80)
+	cli := a.DialTCP(ipB, 80)
+	n.RunUntilIdle()
+	srv := l.Accept()
+
+	cli.Close()
+	n.RunUntilIdle()
+	srv.Close()
+	n.RunUntilIdle()
+
+	if cli.State() != "time-wait" {
+		t.Fatalf("active closer state = %s, want time-wait", cli.State())
+	}
+	if _, held := a.pcbs[cli.pcb.tuple]; !held {
+		t.Fatal("TIME-WAIT pcb should still be tracked")
+	}
+	// Before 2MSL: still present. After: reaped.
+	n.Tick(0.4)
+	if cli.State() != "time-wait" {
+		t.Errorf("state after 0.4s = %s, want time-wait (2MSL=1s)", cli.State())
+	}
+	n.Tick(1.0)
+	if cli.State() != "closed" {
+		t.Errorf("state after 2MSL = %s, want closed", cli.State())
+	}
+	if _, held := a.pcbs[cli.pcb.tuple]; held {
+		t.Error("pcb not reaped after 2MSL")
+	}
+}
+
+func TestTimeWaitReAcksRetransmittedFin(t *testing.T) {
+	n, a, b := twoHosts(t, core.Conventional)
+	l, _ := b.ListenTCP(80)
+	cli := a.DialTCP(ipB, 80)
+	n.RunUntilIdle()
+	srv := l.Accept()
+
+	// Lose the client's final ACK of the server's FIN, so the server
+	// retransmits its FIN into the client's TIME-WAIT.
+	cli.Close()
+	n.RunUntilIdle() // client FIN-WAIT-2, server CLOSE-WAIT
+	lost := 0
+	n.Loss = func(dst layers.IPAddr, data []byte) bool {
+		if dst == ipB && lost == 0 {
+			lost++
+			return true
+		}
+		return false
+	}
+	srv.Close() // server FIN; client's ACK will be dropped
+	n.RunUntilIdle()
+	n.Loss = nil
+	if cli.State() != "time-wait" {
+		t.Fatalf("client state = %s, want time-wait", cli.State())
+	}
+	if srv.State() != "last-ack" {
+		t.Fatalf("server state = %s, want last-ack (its FIN unACKed)", srv.State())
+	}
+	// Server's RTO fires, retransmits FIN; client re-ACKs from TIME-WAIT.
+	n.Tick(0.25)
+	n.Tick(0.25)
+	if srv.State() != "closed" {
+		t.Errorf("server state after FIN retransmit = %s, want closed", srv.State())
+	}
+}
+
+func TestListenerBacklogLimit(t *testing.T) {
+	n := NewNet()
+	srvHost := n.AddHost("srv", ipB, DefaultOptions(core.Conventional))
+	l, _ := srvHost.ListenTCP(80)
+	// More dialers than the backlog allows.
+	for i := 0; i < tcpBacklog+5; i++ {
+		h := n.AddHost("c", layers.IPAddr{10, 5, 0, byte(i + 1)}, DefaultOptions(core.Conventional))
+		h.DialTCP(ipB, 80)
+	}
+	n.RunUntilIdle()
+	if l.Dropped != 5 {
+		t.Errorf("backlog drops = %d, want 5", l.Dropped)
+	}
+	accepted := 0
+	for l.Accept() != nil {
+		accepted++
+	}
+	if accepted != tcpBacklog {
+		t.Errorf("accepted = %d, want %d", accepted, tcpBacklog)
+	}
+}
+
+func TestHalfCloseStillDeliversData(t *testing.T) {
+	// Client closes its sending side (FIN); the server may keep sending —
+	// the classic half-close. Our client in FIN-WAIT-2 must still accept
+	// and deliver data.
+	n, a, b := twoHosts(t, core.Conventional)
+	l, _ := b.ListenTCP(80)
+	cli := a.DialTCP(ipB, 80)
+	n.RunUntilIdle()
+	srv := l.Accept()
+
+	cli.Close()
+	n.RunUntilIdle()
+	if cli.State() != "fin-wait-2" {
+		t.Fatalf("client state = %s, want fin-wait-2", cli.State())
+	}
+	if srv.State() != "close-wait" {
+		t.Fatalf("server state = %s, want close-wait", srv.State())
+	}
+	// Server sends into the half-open connection.
+	if err := srv.Send([]byte("parting words")); err != nil {
+		t.Fatal(err)
+	}
+	n.RunUntilIdle()
+	buf := make([]byte, 64)
+	nr := cli.Recv(buf)
+	if string(buf[:nr]) != "parting words" {
+		t.Errorf("half-close delivery = %q", buf[:nr])
+	}
+	srv.Close()
+	n.RunUntilIdle()
+	n.Tick(2.5)
+	if cli.State() != "closed" || srv.State() != "closed" {
+		t.Errorf("final states: %s / %s", cli.State(), srv.State())
+	}
+}
+
+func TestSimultaneousClose(t *testing.T) {
+	// Both ends close before seeing the other's FIN: both sides are in
+	// FIN-WAIT-1 when the crossing FINs arrive, and both must reach
+	// closed via TIME-WAIT without deadlock.
+	n, a, b := twoHosts(t, core.Conventional)
+	l, _ := b.ListenTCP(80)
+	cli := a.DialTCP(ipB, 80)
+	n.RunUntilIdle()
+	srv := l.Accept()
+
+	// Close both ends without pumping in between: the FINs cross.
+	cli.Close()
+	srv.Close()
+	n.RunUntilIdle()
+	okStates := map[string]bool{"time-wait": true, "closed": true}
+	if !okStates[cli.State()] || !okStates[srv.State()] {
+		t.Fatalf("after crossing FINs: %s / %s", cli.State(), srv.State())
+	}
+	n.Tick(1.5)
+	n.Tick(1.5)
+	if cli.State() != "closed" || srv.State() != "closed" {
+		t.Errorf("final states: %s / %s", cli.State(), srv.State())
+	}
+	if len(a.pcbs) != 0 || len(b.pcbs) != 0 {
+		t.Errorf("pcbs leaked: %d / %d", len(a.pcbs), len(b.pcbs))
+	}
+	checkNoLeaks(t)
+}

@@ -1,0 +1,87 @@
+package netstack
+
+import (
+	"fmt"
+
+	"ldlp/internal/core"
+	"ldlp/internal/layers"
+	"ldlp/internal/mbuf"
+)
+
+// Datagram is one received UDP message.
+type Datagram struct {
+	Src     layers.IPAddr
+	SrcPort uint16
+	Data    []byte
+}
+
+// UDPSock is an unconnected datagram socket bound to a local port.
+type UDPSock struct {
+	host  *Host
+	port  uint16
+	queue []Datagram
+	// QueueLimit bounds buffered datagrams (drop-tail beyond it).
+	QueueLimit int
+	Dropped    int64
+}
+
+// UDPSocket binds a datagram socket to port.
+func (h *Host) UDPSocket(port uint16) (*UDPSock, error) {
+	if _, ok := h.udpSocks[port]; ok {
+		return nil, fmt.Errorf("%w: udp %d", ErrPortInUse, port)
+	}
+	s := &UDPSock{host: h, port: port, QueueLimit: 512}
+	h.udpSocks[port] = s
+	return s, nil
+}
+
+// Close unbinds the socket.
+func (s *UDPSock) Close() { delete(s.host.udpSocks, s.port) }
+
+// SendTo transmits one datagram.
+func (s *UDPSock) SendTo(dst layers.IPAddr, port uint16, payload []byte) {
+	uh := layers.UDP{SrcPort: s.port, DstPort: port}
+	m := mbuf.FromBytes(payload)
+	mm, hdr := m.Prepend(layers.UDPLen)
+	uh.Encode(hdr, payload, s.host.ip, dst)
+	s.host.ipOutput(mm, layers.ProtoUDP, dst)
+}
+
+// Recv pops the next datagram, reporting ok=false when the queue is
+// empty.
+func (s *UDPSock) Recv() (Datagram, bool) {
+	if len(s.queue) == 0 {
+		return Datagram{}, false
+	}
+	d := s.queue[0]
+	s.queue = s.queue[1:]
+	return d, true
+}
+
+// Pending reports queued datagrams.
+func (s *UDPSock) Pending() int { return len(s.queue) }
+
+// udpInput is the receive-path UDP layer.
+func (h *Host) udpInput(p *Packet, emit core.Emit[*Packet]) {
+	buf := p.M.Contiguous()
+	n, err := p.UDP.Decode(buf, p.IP.Src, p.IP.Dst)
+	if err != nil {
+		h.Counters.BadUDP++
+		p.M.FreeChain()
+		return
+	}
+	sock, ok := h.udpSocks[p.UDP.DstPort]
+	if !ok {
+		h.Counters.NoSocket++
+		p.M.FreeChain()
+		return
+	}
+	if len(sock.queue) >= sock.QueueLimit {
+		sock.Dropped++
+		p.M.FreeChain()
+		return
+	}
+	payload := append([]byte(nil), buf[n:p.UDP.Length]...)
+	sock.queue = append(sock.queue, Datagram{Src: p.IP.Src, SrcPort: p.UDP.SrcPort, Data: payload})
+	emit(h.sock, p)
+}

@@ -1,0 +1,277 @@
+package rpc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"ldlp/internal/core"
+	"ldlp/internal/layers"
+	"ldlp/internal/mbuf"
+	"ldlp/internal/netstack"
+)
+
+var (
+	ipSrv = layers.IPAddr{10, 7, 1, 1}
+	ipCli = layers.IPAddr{10, 7, 1, 2}
+)
+
+const rpcPort = 2049
+
+func deploy(t *testing.T, d core.Discipline) (*netstack.Net, *Server, *FileServer, *Client) {
+	t.Helper()
+	mbuf.ResetPool()
+	n := netstack.NewNet()
+	hs := n.AddHost("srv", ipSrv, netstack.DefaultOptions(d))
+	hc := n.AddHost("cli", ipCli, netstack.DefaultOptions(d))
+	srv, err := NewServer(hs, rpcPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFileServer(srv)
+	cli, err := NewClient(hc, 900, ipSrv, rpcPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, srv, fs, cli
+}
+
+func pump(n *netstack.Net, srv *Server, cli *Client) {
+	for i := 0; i < 10; i++ {
+		n.RunUntilIdle()
+		srv.Poll()
+		n.RunUntilIdle()
+		cli.Poll()
+		if cli.Outstanding() == 0 {
+			return
+		}
+	}
+}
+
+func call(t *testing.T, n *netstack.Net, srv *Server, cli *Client, prog, proc uint32, args []byte) *Pending {
+	t.Helper()
+	p := cli.Call(prog, proc, args)
+	pump(n, srv, cli)
+	if !p.Done {
+		t.Fatalf("call %d/%d never completed", prog, proc)
+	}
+	return p
+}
+
+func TestMessageCodecRoundTrip(t *testing.T) {
+	f := func(xid, prog, proc, status uint32, payload []byte) bool {
+		m := &message{xid: xid, typ: msgCall, prog: prog, proc: proc, status: status, payload: payload}
+		got, err := decodeMessage(m.encode())
+		return err == nil && got.xid == xid && got.prog == prog &&
+			got.proc == proc && got.status == status && bytes.Equal(got.payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMessageCodecRejectsGarbage(t *testing.T) {
+	if _, err := decodeMessage([]byte{1, 2, 3}); err == nil {
+		t.Error("short message accepted")
+	}
+	bad := (&message{typ: 9}).encode()
+	if _, err := decodeMessage(bad); err == nil {
+		t.Error("bad type accepted")
+	}
+}
+
+func TestNullProc(t *testing.T) {
+	n, srv, _, cli := deploy(t, core.Conventional)
+	p := call(t, n, srv, cli, NFSProgram, ProcNull, nil)
+	if p.Err != nil || p.Status != StatusOK {
+		t.Errorf("NULL: %v status %d", p.Err, p.Status)
+	}
+}
+
+func TestLookupGetAttrRead(t *testing.T) {
+	n, srv, fs, cli := deploy(t, core.LDLP)
+	fh := fs.Create("motd", []byte("small messages rule"))
+	_ = fh
+
+	p := call(t, n, srv, cli, NFSProgram, ProcLookup, LookupArgs("motd"))
+	got, err := LookupReply(p.Reply)
+	if err != nil || got == 0 {
+		t.Fatalf("lookup: fh=%d err=%v", got, err)
+	}
+
+	p = call(t, n, srv, cli, NFSProgram, ProcGetAttr, GetAttrArgs(got))
+	attr, err := GetAttrReply(p.Reply)
+	if err != nil || attr.Size != 19 {
+		t.Fatalf("getattr: %+v err=%v", attr, err)
+	}
+
+	p = call(t, n, srv, cli, NFSProgram, ProcRead, ReadArgs(got, 6, 8))
+	if string(p.Reply) != "messages" {
+		t.Errorf("read window = %q", p.Reply)
+	}
+	if s := mbuf.PoolStats(); s.InUse != 0 {
+		t.Errorf("mbuf leak: %+v", s)
+	}
+}
+
+func TestLookupMissingFile(t *testing.T) {
+	n, srv, _, cli := deploy(t, core.Conventional)
+	p := call(t, n, srv, cli, NFSProgram, ProcLookup, LookupArgs("nope"))
+	fh, err := LookupReply(p.Reply)
+	if err != nil || fh != 0 {
+		t.Errorf("missing file: fh=%d err=%v", fh, err)
+	}
+}
+
+func TestWriteExtendsAndOverwrites(t *testing.T) {
+	n, srv, fs, cli := deploy(t, core.Conventional)
+	fh := fs.Create("log", []byte("aaaa"))
+	p := call(t, n, srv, cli, NFSProgram, ProcWrite, WriteArgs(fh, 2, []byte("BBBB")))
+	nw, err := WriteReply(p.Reply)
+	if err != nil || nw != 4 {
+		t.Fatalf("write: n=%d err=%v", nw, err)
+	}
+	p = call(t, n, srv, cli, NFSProgram, ProcRead, ReadArgs(fh, 0, 100))
+	if string(p.Reply) != "aaBBBB" {
+		t.Errorf("after write: %q", p.Reply)
+	}
+}
+
+func TestUnknownProgAndProc(t *testing.T) {
+	n, srv, _, cli := deploy(t, core.Conventional)
+	p := call(t, n, srv, cli, 424242, 0, nil)
+	if p.Status != StatusProgUnavail {
+		t.Errorf("unknown prog status = %d", p.Status)
+	}
+	p = call(t, n, srv, cli, NFSProgram, 99, nil)
+	if p.Status != StatusProcUnavail {
+		t.Errorf("unknown proc status = %d", p.Status)
+	}
+}
+
+func TestGarbageArgs(t *testing.T) {
+	n, srv, _, cli := deploy(t, core.Conventional)
+	p := call(t, n, srv, cli, NFSProgram, ProcLookup, []byte{1})
+	if p.Status != StatusGarbageArgs {
+		t.Errorf("garbage args status = %d", p.Status)
+	}
+	p = call(t, n, srv, cli, NFSProgram, ProcGetAttr, GetAttrArgs(999))
+	if p.Status != StatusSystemErr {
+		t.Errorf("stale handle status = %d", p.Status)
+	}
+}
+
+func TestDuplicateRequestCacheMakesWriteRetrySafe(t *testing.T) {
+	// The classic: the WRITE executes, the REPLY is lost, the client
+	// retries with the same XID. The duplicate-request cache must answer
+	// from the cache — the write must not apply twice.
+	n, srv, fs, cli := deploy(t, core.Conventional)
+	cli.RetryInterval = 0.3
+	fh := fs.Create("append.log", nil)
+
+	lost := 0
+	n.Loss = func(dst layers.IPAddr, data []byte) bool {
+		if dst == ipCli && lost == 0 {
+			lost++
+			return true // drop the first reply
+		}
+		return false
+	}
+	p := cli.Call(NFSProgram, ProcWrite, WriteArgs(fh, 0, []byte("once")))
+	pump(n, srv, cli)
+	if p.Done {
+		t.Fatal("completed despite lost reply")
+	}
+	n.Tick(0.35)
+	cli.Tick()
+	pump(n, srv, cli)
+	if !p.Done || p.Err != nil {
+		t.Fatalf("retry failed: %v / %v", p.Done, p.Err)
+	}
+	if srv.Duplicates != 1 {
+		t.Errorf("server duplicates = %d, want 1", srv.Duplicates)
+	}
+	if fs.Writes != 1 {
+		t.Errorf("write executed %d times, want exactly 1", fs.Writes)
+	}
+	if cli.Retries != 1 {
+		t.Errorf("client retries = %d, want 1", cli.Retries)
+	}
+}
+
+func TestDupCacheEviction(t *testing.T) {
+	n, srv, _, cli := deploy(t, core.Conventional)
+	srv.DupCacheSize = 4
+	for i := 0; i < 10; i++ {
+		call(t, n, srv, cli, NFSProgram, ProcNull, nil)
+	}
+	if len(srv.dupCache) > 4 || len(srv.dupOrder) > 4 {
+		t.Errorf("dup cache grew beyond bound: %d/%d", len(srv.dupCache), len(srv.dupOrder))
+	}
+}
+
+func TestTimeoutWhenServerGone(t *testing.T) {
+	n, srv, _, cli := deploy(t, core.Conventional)
+	cli.RetryInterval = 0.2
+	cli.MaxAttempts = 2
+	n.Loss = func(dst layers.IPAddr, data []byte) bool { return dst == ipSrv }
+	p := cli.Call(NFSProgram, ProcNull, nil)
+	for i := 0; i < 5; i++ {
+		n.Tick(0.25)
+		cli.Tick()
+		pump(n, srv, cli)
+	}
+	if !p.Done || p.Err == nil {
+		t.Fatalf("black-holed call: done=%v err=%v", p.Done, p.Err)
+	}
+	if cli.Timeouts != 1 {
+		t.Errorf("timeouts = %d", cli.Timeouts)
+	}
+}
+
+func TestStringCodec(t *testing.T) {
+	b := putString(nil, "hello")
+	s, rest, err := getString(b)
+	if err != nil || s != "hello" || len(rest) != 0 {
+		t.Errorf("string codec: %q %v %v", s, rest, err)
+	}
+	if _, _, err := getString([]byte{0, 0, 0, 9, 'x'}); err == nil {
+		t.Error("overlong string accepted")
+	}
+	if _, _, err := getString([]byte{1}); err == nil {
+		t.Error("short buffer accepted")
+	}
+}
+
+func TestFileServerNames(t *testing.T) {
+	_, _, fs, _ := deploy(t, core.Conventional)
+	fs.Create("b", nil)
+	fs.Create("a", nil)
+	names := fs.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func BenchmarkNFSGetAttr(b *testing.B) {
+	mbuf.ResetPool()
+	n := netstack.NewNet()
+	hs := n.AddHost("srv", ipSrv, netstack.DefaultOptions(core.Conventional))
+	hc := n.AddHost("cli", ipCli, netstack.DefaultOptions(core.Conventional))
+	srv, _ := NewServer(hs, rpcPort)
+	fs := NewFileServer(srv)
+	cli, _ := NewClient(hc, 900, ipSrv, rpcPort)
+	fh := fs.Create("f", make([]byte, 100))
+	args := GetAttrArgs(fh)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := cli.Call(NFSProgram, ProcGetAttr, args)
+		n.RunUntilIdle()
+		srv.Poll()
+		n.RunUntilIdle()
+		cli.Poll()
+		if !p.Done {
+			b.Fatal("stuck")
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package signal
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ldlp/internal/core"
+	"ldlp/internal/layers"
+	"ldlp/internal/mbuf"
+	"ldlp/internal/netstack"
+	"ldlp/internal/sim"
+	"ldlp/internal/traffic"
+)
+
+var (
+	ipU = layers.IPAddr{10, 1, 0, 1}
+	ipN = layers.IPAddr{10, 1, 0, 2}
+)
+
+func pair(t *testing.T, d core.Discipline) (*netstack.Net, *Agent, *Agent) {
+	t.Helper()
+	mbuf.ResetPool()
+	n := netstack.NewNet()
+	hu := n.AddHost("user", ipU, netstack.DefaultOptions(d))
+	hn := n.AddHost("network", ipN, netstack.DefaultOptions(d))
+	au, err := NewAgent(hu, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := NewAgent(hn, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, au, an
+}
+
+// pump runs the network and both agents to quiescence.
+func pump(n *netstack.Net, agents ...*Agent) {
+	for i := 0; i < 20; i++ {
+		n.RunUntilIdle()
+		progress := false
+		for _, a := range agents {
+			in := a.Stats.MsgsIn
+			a.Poll()
+			if a.Stats.MsgsIn != in {
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	msgs := []Message{
+		{CallRef: 1, Type: MsgSetup, Called: 0xdead, Calling: 0xbeef, PeakCells: 353},
+		{CallRef: 2, Type: MsgCallProceeding},
+		{CallRef: 3, Type: MsgConnect},
+		{CallRef: 4, Type: MsgConnectAck},
+		{CallRef: 5, Type: MsgRelease, Cause: CauseNormal},
+		{CallRef: 6, Type: MsgReleaseComplete, Cause: CauseRejected},
+	}
+	for _, m := range msgs {
+		got, err := Decode(m.Encode())
+		if err != nil {
+			t.Fatalf("%v: %v", m.Type, err)
+		}
+		if got.CallRef != m.CallRef || got.Type != m.Type || got.Cause != m.Cause ||
+			got.Called != m.Called || got.Calling != m.Calling || got.PeakCells != m.PeakCells {
+			t.Errorf("round trip %v: got %+v", m.Type, got)
+		}
+	}
+}
+
+func TestCodecRoundTripQuick(t *testing.T) {
+	f := func(ref, called, calling, peak uint32) bool {
+		if called == 0 {
+			called = 1
+		}
+		m := Message{CallRef: ref, Type: MsgSetup, Called: called, Calling: calling, PeakCells: peak}
+		got, err := Decode(m.Encode())
+		return err == nil && got == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		{0x08, 0, 0, 0, 1, byte(MsgSetup)}, // wrong discriminator
+		{protoDiscriminator, 0, 0, 0, 1, byte(MsgSetup), 0x70},       // dangling IE
+		{protoDiscriminator, 0, 0, 0, 1, byte(MsgSetup), 0x70, 9, 1}, // short IE value
+		{protoDiscriminator, 0, 0, 0, 1, byte(MsgSetup)},             // SETUP w/o called party
+	}
+	for i, b := range cases {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("case %d should fail to decode", i)
+		}
+	}
+}
+
+func TestDecodeSkipsUnknownIE(t *testing.T) {
+	m := Message{CallRef: 9, Type: MsgConnect}
+	b := m.Encode()
+	b = append(b, 0x42, 2, 7, 7) // unknown IE
+	got, err := Decode(b)
+	if err != nil || got.Type != MsgConnect {
+		t.Errorf("unknown IE should be skipped: %v %v", got, err)
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	if MsgSetup.String() != "SETUP" || MsgReleaseComplete.String() != "RELEASE COMPLETE" {
+		t.Error("message names changed")
+	}
+	if MsgType(0xee).String() != "MsgType(0xee)" {
+		t.Error("unknown type rendering changed")
+	}
+}
+
+func TestCallSetupAndTeardown(t *testing.T) {
+	for _, d := range []core.Discipline{core.Conventional, core.LDLP} {
+		n, au, an := pair(t, d)
+		call := au.Dial(ipN, 200, 353)
+		pump(n, au, an)
+		if call.State() != StateActive {
+			t.Fatalf("[%v] caller state %v, want active", d, call.State())
+		}
+		if an.ActiveCalls() != 1 {
+			t.Fatalf("[%v] callee active calls = %d", d, an.ActiveCalls())
+		}
+		call.Hangup()
+		pump(n, au, an)
+		if call.State() != StateNull {
+			t.Errorf("[%v] caller state after hangup = %v", d, call.State())
+		}
+		if an.ActiveCalls() != 0 {
+			t.Errorf("[%v] callee still has active calls", d)
+		}
+		if au.Stats.CallsCompleted != 1 || an.Stats.CallsCompleted != 1 {
+			t.Errorf("[%v] completed = %d/%d, want 1/1", d, au.Stats.CallsCompleted, an.Stats.CallsCompleted)
+		}
+	}
+}
+
+func TestAdmissionRejection(t *testing.T) {
+	n, au, an := pair(t, core.Conventional)
+	an.Admission = func(m *Message) bool { return m.PeakCells <= 1000 }
+	ok := au.Dial(ipN, 200, 400)
+	hog := au.Dial(ipN, 200, 40000)
+	pump(n, au, an)
+	if ok.State() != StateActive {
+		t.Errorf("modest call state = %v, want active", ok.State())
+	}
+	if hog.State() != StateNull {
+		t.Errorf("rejected call state = %v, want null", hog.State())
+	}
+	if an.Stats.Rejected != 1 || au.Stats.Rejected != 1 {
+		t.Errorf("rejected counters = %d/%d, want 1/1", an.Stats.Rejected, au.Stats.Rejected)
+	}
+}
+
+func TestManyConcurrentCalls(t *testing.T) {
+	n, au, an := pair(t, core.LDLP)
+	var calls []*Call
+	for i := 0; i < 50; i++ {
+		calls = append(calls, au.Dial(ipN, 200, uint32(i)))
+	}
+	pump(n, au, an)
+	for i, c := range calls {
+		if c.State() != StateActive {
+			t.Fatalf("call %d state %v", i, c.State())
+		}
+	}
+	if an.ActiveCalls() != 50 {
+		t.Fatalf("callee sees %d active calls", an.ActiveCalls())
+	}
+	for _, c := range calls {
+		c.Hangup()
+	}
+	pump(n, au, an)
+	if au.ActiveCalls() != 0 || an.ActiveCalls() != 0 {
+		t.Error("calls survived hangup")
+	}
+	if s := mbuf.PoolStats(); s.InUse != 0 {
+		t.Errorf("mbuf leak: %+v", s)
+	}
+}
+
+func TestDuplicateSetupIgnored(t *testing.T) {
+	n, au, an := pair(t, core.Conventional)
+	c := au.Dial(ipN, 200, 1)
+	pump(n, au, an)
+	if c.State() != StateActive {
+		t.Fatal("setup failed")
+	}
+	// Replay the SETUP exactly as a retransmission would: the caller
+	// originated the reference, so the call reference flag is set.
+	m := Message{CallRef: c.Ref | callRefFlag, Type: MsgSetup, Called: 200, Calling: 100, PeakCells: 1}
+	sock := au
+	_ = sock
+	// Send it raw from the caller's socket.
+	auSock := au.sock
+	auSock.SendTo(ipN, SignalPort, m.Encode())
+	pump(n, au, an)
+	if an.ActiveCalls() != 1 {
+		t.Errorf("duplicate SETUP created extra call: %d active", an.ActiveCalls())
+	}
+}
+
+func TestBadMessageCounted(t *testing.T) {
+	n, au, an := pair(t, core.Conventional)
+	au.sock.SendTo(ipN, SignalPort, []byte{0xff, 0xff})
+	pump(n, au, an)
+	if an.Stats.BadMessages != 1 {
+		t.Errorf("BadMessages = %d, want 1", an.Stats.BadMessages)
+	}
+}
+
+func TestSimConfigSane(t *testing.T) {
+	for _, d := range []core.Discipline{core.Conventional, core.LDLP} {
+		cfg := SimConfig(d)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%v config invalid: %v", d, err)
+		}
+		if cfg.Layers != 4 {
+			t.Errorf("layers = %d", cfg.Layers)
+		}
+	}
+}
+
+func TestSignallingGoalUnderLDLP(t *testing.T) {
+	// The §1 goal: 10000 setup/teardown pairs/second with a *processing*
+	// latency of 100 µs per setup request, on a 100 MHz workstation CPU.
+	// Evaluate both disciplines on the machine model. The pass criteria:
+	// LDLP sustains the offered load losslessly with per-message
+	// processing (CPU service) time within the 100 µs goal; conventional
+	// fails the same load outright.
+	const duration = 0.5
+	offered := float64(GoalPairsPerSec * MessagesPerPair)
+	runOne := func(d core.Discipline) sim.Result {
+		cfg := SimConfig(d)
+		cfg.Duration = duration
+		return sim.New(cfg).Run(traffic.NewPoisson(offered, MessageBytes, 11))
+	}
+	ldlp := runOne(core.LDLP)
+	conv := runOne(core.Conventional)
+
+	if ldlp.Dropped > 0 {
+		t.Errorf("LDLP dropped %d of %d signalling messages at goal load", ldlp.Dropped, ldlp.Offered)
+	}
+	procLDLP := ldlp.BusyFrac * duration / float64(ldlp.Processed)
+	if procLDLP > GoalLatency {
+		t.Errorf("LDLP processing latency %.1fµs exceeds the %.0fµs goal", procLDLP*1e6, GoalLatency*1e6)
+	}
+	// Total (queueing-inclusive) latency stays sub-millisecond.
+	if got := ldlp.Latency.Mean(); got > 1e-3 {
+		t.Errorf("LDLP mean total latency %.1fµs, want sub-millisecond", got*1e6)
+	}
+	if conv.Dropped == 0 {
+		t.Error("conventional should overflow the buffer at goal load")
+	}
+	procConv := conv.BusyFrac * duration / float64(conv.Processed)
+	if procConv < GoalLatency {
+		t.Errorf("conventional processing latency %.1fµs unexpectedly meets the goal", procConv*1e6)
+	}
+}
+
+func BenchmarkSetupTeardown(b *testing.B) {
+	mbuf.ResetPool()
+	n := netstack.NewNet()
+	hu := n.AddHost("user", ipU, netstack.DefaultOptions(core.LDLP))
+	hn := n.AddHost("network", ipN, netstack.DefaultOptions(core.LDLP))
+	au, _ := NewAgent(hu, 100)
+	an, _ := NewAgent(hn, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := au.Dial(ipN, 200, 1)
+		n.RunUntilIdle()
+		an.Poll()
+		n.RunUntilIdle()
+		au.Poll()
+		n.RunUntilIdle()
+		an.Poll()
+		c.Hangup()
+		n.RunUntilIdle()
+		an.Poll()
+		n.RunUntilIdle()
+		au.Poll()
+	}
+}

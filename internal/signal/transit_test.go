@@ -1,0 +1,162 @@
+package signal
+
+import (
+	"fmt"
+	"testing"
+
+	"ldlp/internal/core"
+	"ldlp/internal/layers"
+	"ldlp/internal/mbuf"
+	"ldlp/internal/netstack"
+)
+
+// buildChain creates user — switch1 — … — switchN — callee, each switch
+// routing toward the next hop, and returns the network, the agents in
+// path order, and a pump helper.
+func buildChain(t *testing.T, hops int, d core.Discipline) (*netstack.Net, []*Agent) {
+	t.Helper()
+	mbuf.ResetPool()
+	n := netstack.NewNet()
+	total := hops + 2 // user + switches + callee
+	agents := make([]*Agent, total)
+	ips := make([]layers.IPAddr, total)
+	for i := 0; i < total; i++ {
+		ips[i] = layers.IPAddr{10, 4, byte(i >> 8), byte(i + 1)}
+		h := n.AddHost(fmt.Sprintf("n%d", i), ips[i], netstack.DefaultOptions(d))
+		a, err := NewAgent(h, uint32(1000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents[i] = a
+	}
+	calleeAddr := uint32(1000 + total - 1)
+	for i := 1; i < total-1; i++ {
+		next := ips[i+1]
+		agents[i].Route = func(called uint32) (layers.IPAddr, bool) {
+			if called == calleeAddr {
+				return next, true
+			}
+			return layers.IPAddr{}, false
+		}
+	}
+	return n, agents
+}
+
+func pumpAll(n *netstack.Net, agents []*Agent) {
+	for i := 0; i < 12*len(agents); i++ {
+		moved := n.RunUntilIdle() > 0
+		for _, a := range agents {
+			in := a.Stats.MsgsIn
+			a.Poll()
+			if a.Stats.MsgsIn != in {
+				moved = true
+			}
+		}
+		if n.RunUntilIdle() > 0 {
+			moved = true
+		}
+		if !moved {
+			return
+		}
+	}
+}
+
+func TestTransitCallAcrossSwitchChain(t *testing.T) {
+	const hops = 5
+	n, agents := buildChain(t, hops, core.LDLP)
+	user, callee := agents[0], agents[len(agents)-1]
+
+	// Dial toward the first switch with the callee's address.
+	realCall := user.Dial(firstHopIP(), callee.Address, 353)
+	pumpAll(n, agents)
+
+	if realCall.State() != StateActive {
+		t.Fatalf("end-to-end call state = %v, want active", realCall.State())
+	}
+	if callee.ActiveCalls() != 1 {
+		t.Fatalf("callee active calls = %d", callee.ActiveCalls())
+	}
+	// Every transit switch holds exactly two active legs.
+	for i := 1; i < len(agents)-1; i++ {
+		if got := agents[i].ActiveCalls(); got != 2 {
+			t.Errorf("switch %d active legs = %d, want 2", i, got)
+		}
+		if agents[i].Stats.TransitSetups != 1 {
+			t.Errorf("switch %d transit setups = %d", i, agents[i].Stats.TransitSetups)
+		}
+	}
+
+	// Hang up at the caller: the release must ripple to the far end.
+	realCall.Hangup()
+	pumpAll(n, agents)
+	for i, a := range agents {
+		if got := a.ActiveCalls(); got != 0 {
+			t.Errorf("agent %d still has %d active calls after release", i, got)
+		}
+	}
+	if s := mbuf.PoolStats(); s.InUse != 0 {
+		t.Errorf("mbuf leak: %+v", s)
+	}
+}
+
+// firstHopIP is the address of switch1 in buildChain's layout.
+func firstHopIP() layers.IPAddr { return layers.IPAddr{10, 4, 0, 2} }
+
+func TestTransitNoRoute(t *testing.T) {
+	n, agents := buildChain(t, 1, core.Conventional)
+	user := agents[0]
+	// Dial an address no switch can route.
+	call := user.Dial(firstHopIP(), 0xdead, 1)
+	pumpAll(n, agents)
+	if call.State() != StateNull {
+		t.Errorf("unroutable call state = %v, want null", call.State())
+	}
+	if user.Stats.Rejected != 1 {
+		t.Errorf("caller rejected count = %d, want 1", user.Stats.Rejected)
+	}
+	if agents[1].Stats.Rejected != 1 {
+		t.Errorf("switch rejected count = %d, want 1", agents[1].Stats.Rejected)
+	}
+}
+
+func TestTransitCalleeHangupPropagatesBack(t *testing.T) {
+	n, agents := buildChain(t, 3, core.Conventional)
+	user, callee := agents[0], agents[len(agents)-1]
+	call := user.Dial(firstHopIP(), callee.Address, 1)
+	pumpAll(n, agents)
+	if call.State() != StateActive {
+		t.Fatal("setup failed")
+	}
+	// The callee hangs up.
+	var calleeLeg *Call
+	for _, c := range callee.calls {
+		calleeLeg = c
+	}
+	calleeLeg.Hangup()
+	pumpAll(n, agents)
+	if call.State() != StateNull {
+		t.Errorf("caller state after far-end hangup = %v, want null", call.State())
+	}
+	for i := 1; i < len(agents)-1; i++ {
+		if agents[i].ActiveCalls() != 0 {
+			t.Errorf("switch %d still holds legs", i)
+		}
+	}
+}
+
+func TestTwentySwitchPath(t *testing.T) {
+	// §1's worst case: "a cross-country connection might pass through 10
+	// to 20 switches".
+	n, agents := buildChain(t, 20, core.LDLP)
+	callee := agents[len(agents)-1]
+	call := agents[0].Dial(firstHopIP(), callee.Address, 353)
+	pumpAll(n, agents)
+	if call.State() != StateActive {
+		t.Fatalf("20-switch call state = %v", call.State())
+	}
+	call.Hangup()
+	pumpAll(n, agents)
+	if callee.ActiveCalls() != 0 {
+		t.Error("far end still active after release across 20 switches")
+	}
+}

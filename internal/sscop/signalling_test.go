@@ -1,0 +1,81 @@
+package sscop
+
+import (
+	"math/rand"
+	"testing"
+
+	"ldlp/internal/core"
+	"ldlp/internal/layers"
+	"ldlp/internal/mbuf"
+	"ldlp/internal/netstack"
+	"ldlp/internal/signal"
+)
+
+// TestQ93BOverSSCOP carries real signalling messages over the assured
+// link under heavy loss — the actual SAAL arrangement: Q.93B assumes its
+// transport delivers messages reliably and in order, which is exactly
+// what SSCOP provides over a lossy VC.
+func TestQ93BOverSSCOP(t *testing.T) {
+	mbuf.ResetPool()
+	n := netstack.NewNet()
+	ha := n.AddHost("user", ipA, netstack.DefaultOptions(core.LDLP))
+	hb := n.AddHost("switch", ipB, netstack.DefaultOptions(core.LDLP))
+	la, err := New(ha, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := New(hb, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la.Connect(ipB, port)
+	pump(n, la, lb)
+	if !la.Established() {
+		t.Fatal("link establishment failed")
+	}
+
+	// 30% SD loss in both directions.
+	rng := rand.New(rand.NewSource(99))
+	n.Loss = func(dst layers.IPAddr, data []byte) bool {
+		off := layers.EthernetLen + layers.IPv4MinLen + layers.UDPLen
+		return len(data) > off && data[off] == pduSD && rng.Intn(100) < 30
+	}
+
+	// The user side sends a full call's worth of messages; the switch
+	// must see them in protocol order despite the loss.
+	sent := []signal.Message{
+		{CallRef: 1, Type: signal.MsgSetup, Called: 42, Calling: 7, PeakCells: 353},
+		{CallRef: 2, Type: signal.MsgSetup, Called: 43, Calling: 7, PeakCells: 100},
+		{CallRef: 1, Type: signal.MsgConnectAck},
+		{CallRef: 2, Type: signal.MsgConnectAck},
+		{CallRef: 1, Type: signal.MsgRelease, Cause: signal.CauseNormal},
+		{CallRef: 2, Type: signal.MsgRelease, Cause: signal.CauseNormal},
+	}
+	next := 0
+	for round := 0; round < 100 && next < len(sent); round++ {
+		for next < len(sent) {
+			if la.Send(sent[next].Encode()) != nil {
+				break
+			}
+			next++
+		}
+		tickPump(n, PollInterval+0.01, la, lb)
+	}
+	for round := 0; round < 50 && lb.Pending() < len(sent); round++ {
+		tickPump(n, PollInterval+0.01, la, lb)
+	}
+
+	for i, want := range sent {
+		raw, ok := lb.Recv()
+		if !ok {
+			t.Fatalf("message %d never delivered", i)
+		}
+		got, err := signal.Decode(raw)
+		if err != nil {
+			t.Fatalf("message %d corrupted: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("message %d = %+v, want %+v (order violated?)", i, got, want)
+		}
+	}
+}

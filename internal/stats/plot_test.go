@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func samplePlotTable() *Table {
+	t := NewTable("latency vs rate", "rate", "conv", "ldlp")
+	t.Add(1000, 300e-6, 310e-6)
+	t.Add(4000, 60e-3, 500e-6)
+	t.Add(8000, 120e-3, 1.2e-3)
+	return t
+}
+
+func TestPlotContainsStructure(t *testing.T) {
+	s := samplePlotTable().Plot(PlotOptions{Width: 40, Height: 10, LogY: true, YLabel: "seconds"})
+	if !strings.Contains(s, "# latency vs rate") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(s, "*=conv") || !strings.Contains(s, "o=ldlp") {
+		t.Errorf("missing legend:\n%s", s)
+	}
+	if !strings.Contains(s, "(rate)") {
+		t.Error("missing x label")
+	}
+	if !strings.Contains(s, "log scale") {
+		t.Error("missing log marker")
+	}
+	if !strings.Contains(s, "*") || !strings.Contains(s, "o") {
+		t.Error("missing data glyphs")
+	}
+	// Plot area height: 10 grid lines between the title and the axis.
+	lines := strings.Split(s, "\n")
+	gridLines := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			gridLines++
+		}
+	}
+	if gridLines != 10 {
+		t.Errorf("grid lines = %d, want 10", gridLines)
+	}
+}
+
+func TestPlotOrdersSeriesVertically(t *testing.T) {
+	// At high x, conv latency >> ldlp latency: the '*' must appear above
+	// (earlier row than) the 'o' in the rightmost columns.
+	s := samplePlotTable().Plot(PlotOptions{Width: 30, Height: 12, LogY: true})
+	lines := strings.Split(s, "\n")
+	starRow, oRow := -1, -1
+	for i, l := range lines {
+		bar := strings.IndexByte(l, '|')
+		if bar < 0 {
+			continue
+		}
+		right := l[bar+len(l[bar:])/2:] // right half of the plot area
+		if strings.Contains(right, "*") && starRow == -1 {
+			starRow = i
+		}
+		if strings.Contains(right, "o") && oRow == -1 {
+			oRow = i
+		}
+	}
+	if starRow == -1 || oRow == -1 {
+		t.Fatalf("glyphs not found:\n%s", s)
+	}
+	if !(starRow < oRow) {
+		t.Errorf("conv (*, row %d) should plot above ldlp (o, row %d):\n%s", starRow, oRow, s)
+	}
+}
+
+func TestPlotEmptyTable(t *testing.T) {
+	s := NewTable("empty", "x", "y").Plot(PlotOptions{})
+	if !strings.Contains(s, "no data") {
+		t.Errorf("empty table rendering: %q", s)
+	}
+}
+
+func TestPlotLinearAndDegenerate(t *testing.T) {
+	tab := NewTable("flat", "x", "y")
+	tab.Add(1, 5)
+	tab.Add(2, 5) // zero y-range: must not divide by zero
+	s := tab.Plot(PlotOptions{Width: 20, Height: 5})
+	if !strings.Contains(s, "*") {
+		t.Errorf("flat series not plotted:\n%s", s)
+	}
+	// Single point, zero x-range.
+	tab2 := NewTable("point", "x", "y")
+	tab2.Add(3, 7)
+	if s2 := tab2.Plot(PlotOptions{}); !strings.Contains(s2, "*") {
+		t.Errorf("single point not plotted:\n%s", s2)
+	}
+}
+
+func TestPlotLogSkipsNonPositive(t *testing.T) {
+	tab := NewTable("withzero", "x", "y")
+	tab.Add(1, 0) // cannot be plotted on a log axis
+	tab.Add(2, 10)
+	s := tab.Plot(PlotOptions{LogY: true, Width: 20, Height: 5})
+	inGrid := 0
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, "|") {
+			inGrid += strings.Count(l, "*")
+		}
+	}
+	if inGrid != 1 {
+		t.Errorf("log plot should skip the zero point (plotted %d):\n%s", inGrid, s)
+	}
+}

@@ -1,0 +1,222 @@
+package tcpmodel
+
+// Phase indices for the three Table 2 phases.
+const (
+	PhaseEntry = iota
+	PhasePktIntr
+	PhaseExit
+	numPhases
+)
+
+// PhaseNames names the phases in trace order.
+var PhaseNames = []string{"entry", "pkt intr", "exit"}
+
+// LoopSpec models a data loop inside a function (checksum, copy, device
+// buffer shuffles): a small code body re-executed once per unit of message
+// data, optionally touching message bytes (which the paper's working-set
+// accounting excludes).
+type LoopSpec struct {
+	Phase int
+	// BytesPerIter is how many message bytes one iteration consumes; the
+	// iteration count is ceil(messageLen/BytesPerIter). If zero, Iters is
+	// used directly.
+	BytesPerIter int
+	Iters        int
+	// Message selects which buffer the loop's excluded data references
+	// touch (see msgBuffer); -1 for none.
+	Message int
+	// BodyBytes is the size of the loop body; its instructions are
+	// re-fetched every iteration (refs go up, working set does not).
+	BodyBytes int
+	// LoadsPerIter/StoresPerIter are excluded message-data references
+	// emitted each iteration, LoadBytes/StoreBytes wide each.
+	LoadsPerIter, StoresPerIter int
+	LoadBytes, StoreBytes       int
+}
+
+// Message buffer identifiers for LoopSpec.Message.
+const (
+	msgNone   = -1
+	msgDevice = iota - 1 // LANCE receive buffer
+	msgMbuf              // mbuf data area
+	msgUser              // user address space destination
+)
+
+// FuncSpec describes one kernel function in the model: its Figure 1 size,
+// Table 1 layer, and how much of its *touched* code each phase executes
+// (a prefix fraction; the phase with fraction 1.0 executes every touched
+// byte, smaller fractions model partial paths like soreceive's
+// block-then-sleep entry visit).
+type FuncSpec struct {
+	Name  string
+	Size  int
+	Layer string
+	Cover [numPhases]float64
+	Loops []LoopSpec
+}
+
+// synthetic marks functions that do not appear in Figure 1's plot but are
+// part of the measured working set (the figure only plots functions with
+// visible activity; Table 1's Buffer mgmt and Common rows are larger than
+// the sum of plotted functions). Sizes are typical of their 4.4BSD
+// counterparts compiled for the Alpha.
+const synthetic = true
+
+type funcEntry struct {
+	FuncSpec
+	Synthetic bool
+}
+
+// inventory is the full function table. Sizes of non-synthetic entries are
+// exactly the byte counts printed beside Figure 1.
+func inventory() []funcEntry {
+	f := func(name string, size int, layer string, cover [numPhases]float64, loops ...LoopSpec) funcEntry {
+		return funcEntry{FuncSpec: FuncSpec{Name: name, Size: size, Layer: layer, Cover: cover, Loops: loops}}
+	}
+	syn := func(name string, size int, layer string, cover [numPhases]float64, loops ...LoopSpec) funcEntry {
+		e := f(name, size, layer, cover, loops...)
+		e.Synthetic = true
+		return e
+	}
+	e := func(entry, intr, exit float64) [numPhases]float64 {
+		return [numPhases]float64{entry, intr, exit}
+	}
+
+	return []funcEntry{
+		// --- Ethernet: LANCE driver, TURBOchannel glue, ethernet I/O ---
+		f("leintr", 3264, "Ethernet", e(0, 1, 0),
+			LoopSpec{Phase: PhasePktIntr, Iters: 48, Message: msgDevice, BodyBytes: 128,
+				LoadsPerIter: 1, LoadBytes: 4}),
+		f("lestart", 1824, "Ethernet", e(0, 0, 1),
+			LoopSpec{Phase: PhaseExit, Iters: 32, Message: msgDevice, BodyBytes: 96,
+				StoresPerIter: 1, StoreBytes: 4}), // descriptor ring setup
+		f("lewritereg", 216, "Ethernet", e(0, 0.6, 1)),
+		f("asic_intr", 392, "Ethernet", e(0, 1, 0)),
+		f("tc_3000_500_iointr", 848, "Ethernet", e(0, 1, 0)),
+		f("ether_input", 2728, "Ethernet", e(0, 1, 0)),
+		f("ether_output", 3632, "Ethernet", e(0, 0, 1)),
+		f("arpresolve", 944, "Ethernet", e(0, 0, 1)),
+		f("in_broadcast", 288, "Ethernet", e(0, 0, 1)),
+
+		// --- IP ---
+		f("ipintr", 2648, "IP", e(0, 1, 0)),
+		f("ip_output", 5120, "IP", e(0, 0, 1)),
+
+		// --- TCP (fast path: a small fraction of a large body) ---
+		f("tcp_input", 11872, "TCP", e(0, 1, 0),
+			LoopSpec{Phase: PhasePktIntr, Iters: 10, Message: msgNone, BodyBytes: 80}), // option/reass guards
+		f("tcp_output", 4872, "TCP", e(0, 0, 1)),
+		f("tcp_usrreq", 2352, "TCP", e(0, 0, 1)),
+
+		// --- Socket low: soreceive and the sb machinery ---
+		f("soreceive", 5536, "Socket low", e(0.2, 0, 1)),
+		f("sbappend", 160, "Socket low", e(0, 1, 0)),
+		f("sbcompress", 704, "Socket low", e(0, 1, 0)),
+		f("sbwait", 160, "Socket low", e(1, 0, 0)),
+		f("sowakeup", 360, "Socket low", e(0, 1, 0)),
+
+		// --- Socket high: file-descriptor dispatch ---
+		f("soo_read", 80, "Socket high", e(1, 0, 0.5)),
+		f("read", 312, "Socket high", e(1, 0, 0.4)),
+		f("selwakeup", 456, "Socket high", e(0, 1, 0)),
+
+		// --- Kernel entry/exit ---
+		f("XentSys", 148, "Kernel entry/exit", e(1, 0, 0.6)),
+		f("XentInt", 208, "Kernel entry/exit", e(0, 1, 0)),
+		f("rei", 320, "Kernel entry/exit", e(0.4, 1, 0.7)),
+		f("syscall", 1176, "Kernel entry/exit", e(1, 0, 0.5)),
+		f("trap", 2008, "Kernel entry/exit", e(0, 0, 1)), // AST delivery on return to user
+		f("pal_swpipl", 8, "Kernel entry/exit", e(1, 1, 1)),
+		f("spl0", 136, "Kernel entry/exit", e(0, 1, 0)),
+
+		// --- Process control ---
+		f("tsleep", 1096, "Process control", e(1, 0, 0.6)),
+		f("wakeup", 488, "Process control", e(0, 1, 0)),
+		f("mi_switch", 520, "Process control", e(1, 0, 0.7)),
+		f("cpu_switch", 460, "Process control", e(1, 0, 0.8)),
+		f("setrunqueue", 176, "Process control", e(0, 1, 0)),
+		f("idle", 68, "Process control", e(1, 0, 0)),
+		f("netintr", 344, "Process control", e(0, 1, 0)),
+		f("do_sir", 200, "Process control", e(0, 1, 0)),
+		f("interrupt", 184, "Process control", e(0, 1, 0)),
+
+		// --- Buffer mgmt: malloc/free plus the mbuf machinery. Figure 1
+		// plots only malloc, free and m_adj; Table 1's 5472-byte row
+		// includes the rest of the mbuf layer, modelled here. ---
+		f("malloc", 1608, "Buffer mgmt", e(0, 1, 0.3)),
+		f("free", 856, "Buffer mgmt", e(0, 0.5, 1)),
+		f("m_adj", 376, "Buffer mgmt", e(0, 0, 1)),
+		syn("m_get", 512, "Buffer mgmt", e(0, 1, 0)),
+		syn("m_gethdr", 400, "Buffer mgmt", e(0, 1, 0)),
+		syn("m_freem", 448, "Buffer mgmt", e(0, 0, 1)),
+		syn("m_pullup", 640, "Buffer mgmt", e(0, 1, 0)),
+		syn("m_copym", 560, "Buffer mgmt", e(0, 0, 1)),
+		syn("m_copydata", 512, "Buffer mgmt", e(0, 0, 1)),
+		syn("mclget", 360, "Buffer mgmt", e(0, 1, 0)),
+		syn("m_prepend", 288, "Buffer mgmt", e(0, 0, 1)),
+
+		// --- Common: helpers shared by several layers ---
+		f("microtime", 288, "Common", e(0, 1, 1)),
+		f("ntohs", 32, "Common", e(0, 1, 0)),
+		f("ntohl", 64, "Common", e(0, 1, 0.5)),
+		f("bzero", 184, "Common", e(0, 1, 0)),
+		syn("insque", 96, "Common", e(0, 1, 0)),
+		syn("remque", 96, "Common", e(0, 1, 0)),
+		syn("splx_misc", 224, "Common", e(1, 1, 1)),
+		syn("log_guard", 320, "Common", e(0, 0, 1)),
+		syn("timeout", 432, "Common", e(0, 0, 1)),
+		syn("untimeout", 336, "Common", e(0, 1, 0)),
+
+		// --- Copy, checksum: the data loops. The LANCE buffer has a
+		// gap2/gap16 layout (16-bit wide device memory), which is why the
+		// driver copies are so reference-heavy in Figure 1's middle
+		// column. ---
+		f("in_cksum", 1104, "Copy, checksum", e(0, 1, 0),
+			LoopSpec{Phase: PhasePktIntr, BytesPerIter: 4, Message: msgMbuf, BodyBytes: 96,
+				LoadsPerIter: 1, LoadBytes: 4}),
+		f("bcopy", 620, "Copy, checksum", e(0, 1, 0.9),
+			LoopSpec{Phase: PhasePktIntr, BytesPerIter: 4, Message: msgMbuf, BodyBytes: 64,
+				LoadsPerIter: 1, StoresPerIter: 1, LoadBytes: 4, StoreBytes: 4}),
+		f("copyout", 132, "Copy, checksum", e(0, 0, 1)),
+		f("uiomove", 424, "Copy, checksum", e(0, 0, 1),
+			LoopSpec{Phase: PhaseExit, BytesPerIter: 8, Message: msgUser, BodyBytes: 80,
+				LoadsPerIter: 1, StoresPerIter: 1, LoadBytes: 8, StoreBytes: 8}),
+		f("copyfrombuf_gap2", 240, "Copy, checksum", e(0, 1, 0),
+			// The pre-BWX Alpha has no 16-bit loads: every halfword from
+			// gap2 LANCE memory costs a load/extract/merge sequence, which
+			// is why this loop dominates Figure 1's middle-column refs.
+			LoopSpec{Phase: PhasePktIntr, BytesPerIter: 1, Message: msgDevice, BodyBytes: 240,
+				LoadsPerIter: 2, StoresPerIter: 1, LoadBytes: 1, StoreBytes: 1}),
+		f("copyfrombuf_gap16", 208, "Copy, checksum", e(0, 1, 0),
+			LoopSpec{Phase: PhasePktIntr, Iters: 8, Message: msgDevice, BodyBytes: 64,
+				LoadsPerIter: 2, LoadBytes: 16}),
+		f("copytobuf_gap2", 256, "Copy, checksum", e(0, 0, 1),
+			// 54-byte ACK frame written byte-at-a-time into gap2 memory.
+			LoopSpec{Phase: PhaseExit, Iters: 54, Message: msgDevice, BodyBytes: 240,
+				LoadsPerIter: 1, StoresPerIter: 1, LoadBytes: 1, StoreBytes: 1}),
+		f("copytobuf_gap16", 208, "Copy, checksum", e(0, 0, 1),
+			LoopSpec{Phase: PhaseExit, Iters: 4, Message: msgDevice, BodyBytes: 64,
+				StoresPerIter: 1, StoreBytes: 16}),
+		f("zerobuf_gap16", 184, "Copy, checksum", e(0, 0, 1),
+			LoopSpec{Phase: PhaseExit, Iters: 28, Message: msgDevice, BodyBytes: 48,
+				StoresPerIter: 1, StoreBytes: 16}),
+	}
+}
+
+// dataSpec describes one layer's data-object population for a class:
+// scattered small objects whose line-granular total is calibrated to the
+// Table 1 cell.
+type dataSpec struct {
+	Layer string
+	// ROTarget/MutTarget are Table 1 cells in bytes (32-byte lines).
+	ROTarget, MutTarget int
+}
+
+// dataSpecs returns per-layer data calibration targets (from Table 1).
+func dataSpecs() []dataSpec {
+	specs := make([]dataSpec, 0, len(PaperLayers))
+	for _, row := range PaperTable1() {
+		specs = append(specs, dataSpec{Layer: row.Layer, ROTarget: row.ReadOnly, MutTarget: row.Mutable})
+	}
+	return specs
+}

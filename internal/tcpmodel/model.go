@@ -1,0 +1,567 @@
+package tcpmodel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ldlp/internal/machine"
+	"ldlp/internal/memtrace"
+)
+
+// Config parameterizes the model.
+type Config struct {
+	// MessageLen is the received TCP segment length on the wire at the IP
+	// layer (the paper's workload is 552-byte messages: 512 bytes of
+	// payload under 40 bytes of TCP/IP header).
+	MessageLen int
+	// Seed drives the deterministic pseudo-random touch patterns. The
+	// same seed always yields byte-identical traces.
+	Seed int64
+	// Density scales all code sizes, modelling §5.2's CISC/RISC
+	// comparison: 1.0 (or 0) is the measured Alpha code; 0.55 models the
+	// i386, whose networking code the paper measures at 45–55% smaller.
+	// Copy routines shrink further (CopyDensity) because the i386 has
+	// block-move instructions (bcopy touches 64 bytes of code on the
+	// i386 vs 448 on the Alpha).
+	Density float64
+	// CopyDensity applies to the "Copy, checksum" layer; 0 defaults to
+	// Density*0.3, reflecting the i386's string instructions.
+	CopyDensity float64
+}
+
+// DefaultConfig returns the paper's workload configuration (Alpha code).
+func DefaultConfig() Config { return Config{MessageLen: 552, Seed: 1} }
+
+// I386Config returns the §5.2 CISC variant: typical code 55% of the
+// Alpha's size, copy routines far smaller.
+func I386Config() Config {
+	cfg := DefaultConfig()
+	cfg.Density = 0.55
+	return cfg
+}
+
+// scale returns n scaled by the config's density for the given layer,
+// rounded to instruction granularity with a floor of one line.
+func (c Config) scale(layer string, n int) int {
+	d := c.Density
+	if d == 0 || d == 1 {
+		return n
+	}
+	if layer == "Copy, checksum" {
+		cd := c.CopyDensity
+		if cd == 0 {
+			cd = d * 0.3
+		}
+		d = cd
+	}
+	v := int(float64(n)*d) / 4 * 4
+	if v < 32 {
+		v = 32
+	}
+	return v
+}
+
+type byteRange struct{ off, length int }
+
+type modelFunc struct {
+	entry        funcEntry
+	seg          *machine.Segment
+	ranges       []byteRange
+	touchedBytes int
+}
+
+type dataObject struct {
+	seg    *machine.Segment
+	off    int
+	length int
+	phase  int
+	// rereads is how many extra times the object is loaded in its phase
+	// (structure fields are consulted repeatedly; this raises reference
+	// counts without growing the working set).
+	rereads int
+}
+
+type layerData struct {
+	layer string
+	ro    []dataObject
+	mut   []dataObject
+}
+
+// Model is a placed, calibrated instance of the TCP receive & acknowledge
+// path, ready to emit reference traces.
+type Model struct {
+	cfg   Config
+	funcs []*modelFunc
+	data  []*layerData
+	// msgSegs holds the three message buffers: device (LANCE), mbuf
+	// cluster, and user destination.
+	msgSegs [3]*machine.Segment
+	// stackSeg models the kernel stack; its accesses are excluded from
+	// working sets (as in the paper) but counted in phase margins.
+	stackSeg *machine.Segment
+}
+
+// New builds and places the model. The layout is deterministic for a given
+// config.
+func New(cfg Config) *Model {
+	if cfg.MessageLen <= 0 {
+		panic(fmt.Sprintf("tcpmodel: non-positive message length %d", cfg.MessageLen))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	layout := machine.NewLayout(32)
+	m := &Model{cfg: cfg}
+
+	// Per-layer touched-code targets from Table 1, split across the
+	// layer's functions in proportion to their sizes. Under a CISC
+	// density model (§5.2) both the function sizes and the layer targets
+	// scale together, preserving each layer's touched fraction.
+	targets := make(map[string]int)
+	sizes := make(map[string]int)
+	for _, row := range PaperTable1() {
+		targets[row.Layer] = cfg.scale(row.Layer, row.Code)
+	}
+	inv := inventory()
+	for i := range inv {
+		inv[i].Size = cfg.scale(inv[i].Layer, inv[i].Size)
+		sizes[inv[i].Layer] += inv[i].Size
+	}
+
+	for _, fe := range inv {
+		frac := float64(targets[fe.Layer]) / float64(sizes[fe.Layer])
+		if frac > 1 {
+			frac = 1
+		}
+		targetLines := int(float64(fe.Size)*frac/32 + 0.5)
+		if targetLines < 1 {
+			targetLines = 1
+		}
+		dense := frac > 0.9
+		mf := &modelFunc{entry: fe, seg: machine.NewSegment(fe.Name, machine.Code, fe.Size)}
+		layout.PlaceSequential(mf.seg)
+		mf.ranges = touchPattern(rng, fe.Size, targetLines, dense)
+		for _, r := range mf.ranges {
+			mf.touchedBytes += r.length
+		}
+		m.funcs = append(m.funcs, mf)
+	}
+
+	// Data objects per layer, calibrated to the Table 1 read-only and
+	// mutable cells, assigned to phases in proportion to the layer's code
+	// activity there.
+	weights := m.layerPhaseWeights()
+	for _, ds := range dataSpecs() {
+		ld := &layerData{layer: ds.Layer}
+		w := weights[ds.Layer]
+		ld.ro = makeObjects(rng, layout, ds.Layer+".rodata", machine.ReadOnly, ds.ROTarget, w)
+		ld.mut = makeObjects(rng, layout, ds.Layer+".data", machine.Mutable, ds.MutTarget, w)
+		m.data = append(m.data, ld)
+	}
+
+	// Message buffers. The device buffer models LANCE receive memory; the
+	// mbuf buffer is where the driver copies the frame; the user buffer is
+	// the read(2) destination.
+	names := []string{"lance_rxbuf", "mbuf_cluster", "user_buf"}
+	for i, n := range names {
+		m.msgSegs[i] = machine.NewSegment(n, machine.Mutable, 2048)
+		layout.PlaceSequential(m.msgSegs[i])
+	}
+	m.stackSeg = machine.NewSegment("kstack", machine.Mutable, 8192)
+	layout.PlaceSequential(m.stackSeg)
+	return m
+}
+
+// layerPhaseWeights estimates how much of each layer's touched code runs in
+// each phase, for distributing data objects.
+func (m *Model) layerPhaseWeights() map[string][numPhases]float64 {
+	out := make(map[string][numPhases]float64)
+	for _, mf := range m.funcs {
+		w := out[mf.entry.Layer]
+		for p := 0; p < numPhases; p++ {
+			w[p] += mf.entry.Cover[p] * float64(mf.touchedBytes)
+		}
+		out[mf.entry.Layer] = w
+	}
+	return out
+}
+
+// touchPattern produces the executed-byte ranges of one function: runs of
+// straight-line code separated by skipped blocks (untaken error paths,
+// unused feature code), self-correcting so that the covered 32-byte-line
+// count lands on targetLines. Dense functions (copy/checksum loops) use
+// long runs and tiny gaps.
+func touchPattern(rng *rand.Rand, size, targetLines int, dense bool) []byteRange {
+	maxLines := (size + 31) / 32
+	if targetLines > maxLines {
+		targetLines = maxLines
+	}
+	var ranges []byteRange
+	pos := 0
+	covered := 0
+	lastLine := -1
+	for covered < targetLines && pos < size {
+		var run int
+		if dense {
+			run = 128 + 4*rng.Intn(97) // 128..512
+		} else {
+			run = 24 + 4*rng.Intn(25) // 24..120
+		}
+		if run > size-pos {
+			run = size - pos
+		}
+		if run < 4 {
+			run = 4
+		}
+		ranges = append(ranges, byteRange{off: pos, length: run})
+		l0, l1 := pos/32, (pos+run-1)/32
+		if lastLine >= l0 {
+			l0 = lastLine + 1
+		}
+		if l1 >= l0 {
+			covered += l1 - l0 + 1
+		}
+		if (pos+run-1)/32 > lastLine {
+			lastLine = (pos + run - 1) / 32
+		}
+		pos += run
+
+		remTarget := targetLines - covered
+		if remTarget <= 0 || pos >= size {
+			break
+		}
+		remaining := size - pos
+		d := float64(remTarget*32) / float64(remaining)
+		var gap int
+		if dense || d >= 1 {
+			gap = 4 + 4*rng.Intn(2)
+		} else {
+			mean := float64(run) * (1 - d) / d
+			gap = int(mean*(0.5+rng.Float64())) / 4 * 4
+			if gap < 4 {
+				gap = 4
+			}
+		}
+		pos += gap
+	}
+	if len(ranges) == 0 {
+		// Degenerate tiny function: touch it all.
+		n := size
+		if n < 4 {
+			n = 4
+		}
+		ranges = append(ranges, byteRange{off: 0, length: n})
+	}
+	return ranges
+}
+
+// makeObjects scatters small data objects through a fresh segment until
+// their line-granular footprint reaches target bytes, and assigns each
+// object to a phase with probability proportional to the layer's per-phase
+// code activity.
+func makeObjects(rng *rand.Rand, layout *machine.Layout, name string, class machine.Class, target int, weights [numPhases]float64) []dataObject {
+	if target <= 0 {
+		return nil
+	}
+	targetLines := (target + 31) / 32
+	segSize := target * 3
+	if segSize < 64 {
+		segSize = 64
+	}
+	seg := machine.NewSegment(name, class, segSize)
+	layout.PlaceSequential(seg)
+
+	var totalW float64
+	for _, w := range weights {
+		totalW += w
+	}
+	pickPhase := func() int {
+		if totalW <= 0 {
+			return PhasePktIntr
+		}
+		x := rng.Float64() * totalW
+		for p, w := range weights {
+			if x < w {
+				return p
+			}
+			x -= w
+		}
+		return numPhases - 1
+	}
+
+	// Object lengths are 8-aligned multiples of the Alpha word, weighted
+	// toward small objects so that the per-line fill matches Table 3's
+	// read-only/mutable rows (≈14 touched bytes per 32-byte line).
+	lengths := []int{8, 8, 16, 16, 24}
+	var objs []dataObject
+	pos := 0
+	covered := 0
+	lastLine := -1
+	for covered < targetLines && pos < segSize {
+		length := lengths[rng.Intn(len(lengths))]
+		if length > segSize-pos {
+			length = segSize - pos
+		}
+		if length < 8 {
+			break
+		}
+		objs = append(objs, dataObject{
+			seg: seg, off: pos, length: length, phase: pickPhase(),
+			rereads: 1 + rng.Intn(4),
+		})
+		l0, l1 := pos/32, (pos+length-1)/32
+		if lastLine >= l0 {
+			l0 = lastLine + 1
+		}
+		if l1 >= l0 {
+			covered += l1 - l0 + 1
+		}
+		if (pos+length-1)/32 > lastLine {
+			lastLine = (pos + length - 1) / 32
+		}
+		pos += length
+
+		remTarget := targetLines - covered
+		if remTarget <= 0 {
+			break
+		}
+		remaining := segSize - pos
+		if remaining <= 0 {
+			break
+		}
+		d := float64(remTarget*32) / float64(remaining)
+		var gap int
+		if d >= 1 {
+			gap = 8
+		} else {
+			mean := float64(length) * (1 - d) / d
+			gap = int(mean*(0.5+rng.Float64())) / 8 * 8
+			if gap < 8 {
+				gap = 8
+			}
+		}
+		pos += gap
+	}
+	return objs
+}
+
+// prefixRanges returns the leading ranges covering fraction frac of the
+// function's touched bytes — the partial-execution model for functions a
+// phase only walks partway through.
+func (mf *modelFunc) prefixRanges(frac float64) []byteRange {
+	if frac >= 1 {
+		return mf.ranges
+	}
+	budget := int(frac * float64(mf.touchedBytes))
+	var out []byteRange
+	for _, r := range mf.ranges {
+		if budget <= 0 {
+			break
+		}
+		take := r.length
+		if take > budget {
+			take = (budget + 3) / 4 * 4
+			if take > r.length {
+				take = r.length
+			}
+		}
+		out = append(out, byteRange{off: r.off, length: take})
+		budget -= take
+	}
+	return out
+}
+
+// Trace emits one complete receive & acknowledge iteration: the entry,
+// packet-interrupt and exit phases of Table 2.
+func (m *Model) Trace() *memtrace.Trace {
+	tr := memtrace.NewTrace(PhaseNames...)
+	for p := 0; p < numPhases; p++ {
+		m.emitPhase(tr, p)
+	}
+	return tr
+}
+
+func (m *Model) emitPhase(tr *memtrace.Trace, phase int) {
+	for fi, mf := range m.funcs {
+		cover := mf.entry.Cover[phase]
+		if cover <= 0 {
+			continue
+		}
+		// Call prologue: push a stack frame (at a depth staggered by call
+		// position). Stack references are excluded from the working set
+		// (Table 1 note) but show up in the phase margins of Figure 1.
+		frame := mf.entry.Size / 16
+		if frame < 32 {
+			frame = 32
+		}
+		if frame > 192 {
+			frame = 192
+		}
+		stackPos := (fi * 56) % (8192 - 256)
+		m.emitStack(tr, phase, mf.entry.Layer, stackPos, frame, memtrace.Store)
+
+		base := mf.seg.Addr()
+		for _, r := range mf.prefixRanges(cover) {
+			for off := 0; off < r.length; off += 4 {
+				tr.Append(memtrace.Record{
+					Addr: base + uint64(r.off+off), Size: 4,
+					Kind: memtrace.IFetch, Phase: phase,
+					Layer: mf.entry.Layer, Func: mf.entry.Name,
+				})
+			}
+		}
+		for _, loop := range mf.entry.Loops {
+			if loop.Phase == phase {
+				m.emitLoop(tr, mf, loop)
+			}
+		}
+
+		// Epilogue: restore saved registers.
+		m.emitStack(tr, phase, mf.entry.Layer, stackPos, frame, memtrace.Load)
+	}
+
+	// Data structure references for this phase.
+	for _, ld := range m.data {
+		for _, obj := range ld.ro {
+			if obj.phase != phase {
+				continue
+			}
+			for k := 0; k <= obj.rereads; k++ {
+				tr.Append(memtrace.Record{
+					Addr: obj.seg.Addr() + uint64(obj.off), Size: obj.length,
+					Kind: memtrace.Load, Phase: phase, Layer: ld.layer,
+				})
+			}
+		}
+		for _, obj := range ld.mut {
+			if obj.phase != phase {
+				continue
+			}
+			addr := obj.seg.Addr() + uint64(obj.off)
+			for k := 0; k <= obj.rereads; k++ {
+				tr.Append(memtrace.Record{Addr: addr, Size: obj.length, Kind: memtrace.Load, Phase: phase, Layer: ld.layer})
+			}
+			// Stores cover the whole object: a partially-written object
+			// would reclassify its unwritten lines as read-only, which the
+			// paper's whole-trace classification does not exhibit at this
+			// scale.
+			tr.Append(memtrace.Record{Addr: addr, Size: obj.length, Kind: memtrace.Store, Phase: phase, Layer: ld.layer})
+		}
+	}
+}
+
+// emitStack emits excluded 8-byte stack references for one call frame.
+func (m *Model) emitStack(tr *memtrace.Trace, phase int, layer string, pos, frame int, kind memtrace.Kind) {
+	base := m.stackSeg.Addr()
+	for off := 0; off < frame; off += 8 {
+		tr.Append(memtrace.Record{
+			Addr: base + uint64(pos+off), Size: 8,
+			Kind: kind, Phase: phase, Layer: layer, Excluded: true,
+		})
+	}
+}
+
+// emitLoop replays a data loop: the body instructions are re-fetched every
+// iteration (driving up reference counts without growing the working set)
+// and the loop's message-buffer loads/stores are emitted as Excluded
+// records, since the paper's working-set accounting skips packet contents.
+func (m *Model) emitLoop(tr *memtrace.Trace, mf *modelFunc, loop LoopSpec) {
+	iters := loop.Iters
+	if loop.BytesPerIter > 0 {
+		iters = (m.cfg.MessageLen + loop.BytesPerIter - 1) / loop.BytesPerIter
+	}
+	if iters <= 0 {
+		return
+	}
+	// The loop body is the leading BodyBytes of the function's touched code.
+	var body []byteRange
+	budget := loop.BodyBytes
+	for _, r := range mf.ranges {
+		if budget <= 0 {
+			break
+		}
+		take := r.length
+		if take > budget {
+			take = budget
+		}
+		body = append(body, byteRange{off: r.off, length: take})
+		budget -= take
+	}
+	base := mf.seg.Addr()
+	var msgBase uint64
+	if loop.Message != msgNone {
+		msgBase = m.msgSegs[loop.Message].Addr()
+	}
+	pos := 0
+	for it := 0; it < iters; it++ {
+		for _, r := range body {
+			for off := 0; off < r.length; off += 4 {
+				tr.Append(memtrace.Record{
+					Addr: base + uint64(r.off+off), Size: 4,
+					Kind: memtrace.IFetch, Phase: loop.Phase,
+					Layer: mf.entry.Layer, Func: mf.entry.Name,
+				})
+			}
+		}
+		if loop.Message == msgNone {
+			continue
+		}
+		for l := 0; l < loop.LoadsPerIter; l++ {
+			tr.Append(memtrace.Record{
+				Addr: msgBase + uint64(pos%2000), Size: loop.LoadBytes,
+				Kind: memtrace.Load, Phase: loop.Phase,
+				Layer: mf.entry.Layer, Func: mf.entry.Name, Excluded: true,
+			})
+		}
+		for s := 0; s < loop.StoresPerIter; s++ {
+			tr.Append(memtrace.Record{
+				Addr: msgBase + uint64(pos%2000), Size: loop.StoreBytes,
+				Kind: memtrace.Store, Phase: loop.Phase,
+				Layer: mf.entry.Layer, Func: mf.entry.Name, Excluded: true,
+			})
+		}
+		step := loop.BytesPerIter
+		if step == 0 {
+			step = loop.LoadBytes
+			if loop.StoreBytes > step {
+				step = loop.StoreBytes
+			}
+		}
+		pos += step
+	}
+}
+
+// Funcs lists the model's function inventory (name, size, layer) for
+// report rendering.
+func (m *Model) Funcs() []FuncSpec {
+	out := make([]FuncSpec, len(m.funcs))
+	for i, mf := range m.funcs {
+		out[i] = mf.entry.FuncSpec
+	}
+	return out
+}
+
+// MessageLen reports the configured message length.
+func (m *Model) MessageLen() int { return m.cfg.MessageLen }
+
+// MessageTraffic reports the modeled off-CPU IO volume of the message
+// contents per receive+ACK iteration: bytes loaded and stored through the
+// primary cache by the excluded data loops (mbuf fill, checksum, copy to
+// user). Device (LANCE) buffer accesses are uncached I/O space and are
+// not counted, matching §2.4's accounting: the message is "fetched twice
+// into the primary cache and stored twice for an off-CPU IO volume of
+// 2.2 KB in most cases".
+func (m *Model) MessageTraffic() (loadBytes, storeBytes int) {
+	for _, mf := range m.funcs {
+		for _, loop := range mf.entry.Loops {
+			if loop.Message == msgNone || loop.Message == msgDevice {
+				continue
+			}
+			iters := loop.Iters
+			if loop.BytesPerIter > 0 {
+				iters = (m.cfg.MessageLen + loop.BytesPerIter - 1) / loop.BytesPerIter
+			}
+			loadBytes += iters * loop.LoadsPerIter * loop.LoadBytes
+			storeBytes += iters * loop.StoresPerIter * loop.StoreBytes
+		}
+	}
+	return
+}

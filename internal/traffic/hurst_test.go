@@ -1,0 +1,91 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHurstPoissonNearHalf(t *testing.T) {
+	// A Poisson process has independent increments: H ≈ 0.5.
+	arrivals := Take(NewPoisson(2000, 64, 11), 120, 0)
+	h, err := EstimateHurst(arrivals, 120, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0.35 || h > 0.65 {
+		t.Errorf("Poisson H = %.3f, want ≈0.5", h)
+	}
+}
+
+func TestHurstSelfSimilarHigh(t *testing.T) {
+	// The aggregated Pareto ON/OFF model should show long-range
+	// dependence: the Bellcore traces measure H ≈ 0.7–0.9.
+	arrivals := Take(NewSelfSimilar(DefaultSelfSimilar(2000, 11)), 120, 0)
+	h, err := EstimateHurst(arrivals, 120, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0.65 {
+		t.Errorf("self-similar H = %.3f, want > 0.65 (Bellcore-like)", h)
+	}
+}
+
+func TestHurstSeparatesTheModels(t *testing.T) {
+	// Whatever the absolute estimates, the self-similar source must
+	// measure clearly burstier than Poisson at the same rate and seed.
+	for _, seed := range []int64{1, 2, 3} {
+		pois := Take(NewPoisson(1500, 64, seed), 100, 0)
+		self := Take(NewSelfSimilar(DefaultSelfSimilar(1500, seed)), 100, 0)
+		hp, err1 := EstimateHurst(pois, 100, 0.1)
+		hs, err2 := EstimateHurst(self, 100, 0.1)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if !(hs > hp+0.1) {
+			t.Errorf("seed %d: H(self)=%.3f not clearly above H(poisson)=%.3f", seed, hs, hp)
+		}
+	}
+}
+
+func TestHurstErrors(t *testing.T) {
+	arrivals := Take(NewPoisson(100, 64, 1), 1, 0)
+	if _, err := EstimateHurst(arrivals, 1, 0.5); err == nil {
+		t.Error("too few bins should error")
+	}
+	if _, err := EstimateHurst(arrivals, 0, 0.1); err == nil {
+		t.Error("zero horizon should error")
+	}
+	if _, err := EstimateHurst(arrivals, 1, 0); err == nil {
+		t.Error("zero bin should error")
+	}
+}
+
+func TestHurstDeterministicProcess(t *testing.T) {
+	// A perfectly regular process has (near-)zero aggregated variance at
+	// every level that divides evenly; the estimator must not blow up.
+	arrivals := Take(NewDeterministic(1000, 64), 60, 0)
+	h, err := EstimateHurst(arrivals, 60, 0.1)
+	if err != nil {
+		// Acceptable: zero variance at all levels yields an error rather
+		// than a bogus estimate.
+		return
+	}
+	if math.IsNaN(h) || h < 0 || h > 1 {
+		t.Errorf("deterministic H = %v, want within [0,1]", h)
+	}
+}
+
+func TestSlopeFit(t *testing.T) {
+	// y = 3 - 0.6x exactly.
+	x := []float64{0, 1, 2, 3, 4}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 3 - 0.6*v
+	}
+	if got := slope(x, y); math.Abs(got+0.6) > 1e-12 {
+		t.Errorf("slope = %v, want -0.6", got)
+	}
+	if got := slope([]float64{1, 1}, []float64{2, 3}); got != 0 {
+		t.Errorf("degenerate slope = %v, want 0", got)
+	}
+}

@@ -1,0 +1,355 @@
+// Package traffic generates the arrival processes the paper's evaluation
+// uses: Poisson arrivals of fixed-size messages (Figures 5 and 6) and
+// self-similar Ethernet traffic in the style of the Bellcore traces of
+// Leland et al. (Figure 7).
+//
+// The original pOct89 trace is not redistributable here, so the
+// self-similar source implements the standard generative model for that
+// data — an aggregate of many ON/OFF sources with heavy-tailed
+// (Pareto-distributed) ON and OFF periods — which is exactly the
+// construction Willinger et al. showed explains the Bellcore traces'
+// burstiness. A Bellcore-shaped trace file format (one "timestamp size"
+// pair per line) is supported for replay, and Synthesize writes such a
+// file from the generative model.
+package traffic
+
+import (
+	"bufio"
+	"container/heap"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Arrival is one message arrival.
+type Arrival struct {
+	// Time is the arrival time in seconds from the start of the run.
+	Time float64
+	// Size is the message size in bytes.
+	Size int
+}
+
+// Source produces a monotonically non-decreasing arrival stream. Next
+// reports ok=false when the source is exhausted (trace sources end;
+// generative sources never do).
+type Source interface {
+	Next() (Arrival, bool)
+}
+
+// Poisson is a Poisson arrival process of fixed-size messages — the §4
+// workload ("a stream of 552-byte messages from a Poisson traffic
+// source").
+type Poisson struct {
+	rate float64
+	size int
+	rng  *rand.Rand
+	now  float64
+}
+
+// NewPoisson creates a Poisson source with the given mean arrival rate
+// (messages/second) and message size.
+func NewPoisson(rate float64, size int, seed int64) *Poisson {
+	if rate <= 0 || size <= 0 {
+		panic(fmt.Sprintf("traffic: invalid poisson rate %v / size %d", rate, size))
+	}
+	return &Poisson{rate: rate, size: size, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next arrival; a Poisson source never ends.
+func (p *Poisson) Next() (Arrival, bool) {
+	p.now += p.rng.ExpFloat64() / p.rate
+	return Arrival{Time: p.now, Size: p.size}, true
+}
+
+// Deterministic emits fixed-size messages at a fixed interval, useful for
+// tests and worst-case latency probes.
+type Deterministic struct {
+	interval float64
+	size     int
+	now      float64
+}
+
+// NewDeterministic creates a source emitting size-byte messages every
+// 1/rate seconds.
+func NewDeterministic(rate float64, size int) *Deterministic {
+	if rate <= 0 || size <= 0 {
+		panic(fmt.Sprintf("traffic: invalid deterministic rate %v / size %d", rate, size))
+	}
+	return &Deterministic{interval: 1 / rate, size: size}
+}
+
+// Next returns the next arrival; never ends.
+func (d *Deterministic) Next() (Arrival, bool) {
+	d.now += d.interval
+	return Arrival{Time: d.now, Size: d.size}, true
+}
+
+// Trace replays a recorded arrival sequence.
+type Trace struct {
+	arrivals []Arrival
+	i        int
+}
+
+// NewTrace wraps a slice of arrivals (which must be time-sorted; NewTrace
+// sorts defensively).
+func NewTrace(arrivals []Arrival) *Trace {
+	a := make([]Arrival, len(arrivals))
+	copy(a, arrivals)
+	sort.Slice(a, func(i, j int) bool { return a[i].Time < a[j].Time })
+	return &Trace{arrivals: a}
+}
+
+// Next returns the next recorded arrival, ok=false at end of trace.
+func (t *Trace) Next() (Arrival, bool) {
+	if t.i >= len(t.arrivals) {
+		return Arrival{}, false
+	}
+	a := t.arrivals[t.i]
+	t.i++
+	return a, true
+}
+
+// Len reports the number of arrivals in the trace.
+func (t *Trace) Len() int { return len(t.arrivals) }
+
+// Reset rewinds the trace to the beginning.
+func (t *Trace) Reset() { t.i = 0 }
+
+// EthernetSizeMix is an empirical packet-size mix shaped like the Bellcore
+// LAN traces: dominated by minimum-size packets and ~552-byte data
+// segments with a bulk-transfer tail at the 1518-byte Ethernet maximum.
+var EthernetSizeMix = []struct {
+	Size   int
+	Weight float64
+}{
+	{64, 0.40},
+	{128, 0.10},
+	{256, 0.05},
+	{552, 0.20},
+	{1072, 0.08},
+	{1518, 0.17},
+}
+
+// SelfSimilarConfig parameterizes the aggregated Pareto ON/OFF source.
+type SelfSimilarConfig struct {
+	// Sources is the number of independent ON/OFF sources aggregated
+	// (Willinger et al. use hundreds; 64 is plenty for 1000 s of traffic).
+	Sources int
+	// AlphaOn/AlphaOff are the Pareto shape parameters of the ON and OFF
+	// period distributions. Values in (1,2) yield long-range dependence;
+	// 1.4 corresponds to a Hurst parameter of about 0.8, matching the
+	// Bellcore estimates.
+	AlphaOn, AlphaOff float64
+	// MeanOn/MeanOff are the mean ON and OFF period durations in seconds.
+	MeanOn, MeanOff float64
+	// Rate is the target aggregate arrival rate in packets/second; the
+	// per-source in-burst emission interval is derived from it.
+	Rate float64
+	// FixedSize forces every packet to this size; 0 draws from
+	// EthernetSizeMix.
+	FixedSize int
+	Seed      int64
+}
+
+// DefaultSelfSimilar returns a configuration shaped like the October 1989
+// Bellcore trace at the given aggregate packet rate.
+func DefaultSelfSimilar(rate float64, seed int64) SelfSimilarConfig {
+	return SelfSimilarConfig{
+		Sources:  64,
+		AlphaOn:  1.4,
+		AlphaOff: 1.2,
+		MeanOn:   0.2,
+		MeanOff:  1.0,
+		Rate:     rate,
+		Seed:     seed,
+	}
+}
+
+// SelfSimilar aggregates heavy-tailed ON/OFF sources.
+type SelfSimilar struct {
+	cfg      SelfSimilarConfig
+	rng      *rand.Rand
+	interval float64 // per-source packet spacing while ON
+	h        srcHeap
+}
+
+type srcState struct {
+	nextPkt float64 // next packet emission time
+	onEnd   float64 // end of the current ON period
+}
+
+type srcHeap []*srcState
+
+func (h srcHeap) Len() int            { return len(h) }
+func (h srcHeap) Less(i, j int) bool  { return h[i].nextPkt < h[j].nextPkt }
+func (h srcHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *srcHeap) Push(x interface{}) { *h = append(*h, x.(*srcState)) }
+func (h *srcHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewSelfSimilar builds the aggregate source.
+func NewSelfSimilar(cfg SelfSimilarConfig) *SelfSimilar {
+	if cfg.Sources <= 0 || cfg.Rate <= 0 {
+		panic(fmt.Sprintf("traffic: invalid self-similar config %+v", cfg))
+	}
+	if cfg.AlphaOn <= 1 || cfg.AlphaOff <= 1 {
+		panic("traffic: pareto shapes must exceed 1 (finite mean)")
+	}
+	s := &SelfSimilar{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	// A source is ON for MeanOn/(MeanOn+MeanOff) of the time; while ON it
+	// emits a packet every `interval`. Solve for the target aggregate rate.
+	duty := cfg.MeanOn / (cfg.MeanOn + cfg.MeanOff)
+	s.interval = float64(cfg.Sources) * duty / cfg.Rate
+	for i := 0; i < cfg.Sources; i++ {
+		st := &srcState{}
+		// Start each source at a random point of its cycle so the
+		// aggregate does not begin synchronized.
+		start := s.rng.Float64() * (cfg.MeanOn + cfg.MeanOff)
+		s.startOn(st, start)
+		s.h = append(s.h, st)
+	}
+	heap.Init(&s.h)
+	return s
+}
+
+// pareto samples a Pareto-distributed value with shape alpha and the scale
+// chosen so the mean is `mean`.
+func (s *SelfSimilar) pareto(alpha, mean float64) float64 {
+	xm := mean * (alpha - 1) / alpha
+	return xm * math.Pow(s.rng.Float64(), -1/alpha)
+}
+
+func (s *SelfSimilar) startOn(st *srcState, now float64) {
+	on := s.pareto(s.cfg.AlphaOn, s.cfg.MeanOn)
+	st.onEnd = now + on
+	st.nextPkt = now + s.interval*s.rng.Float64() // phase jitter
+}
+
+// Next returns the next aggregate arrival; never ends.
+func (s *SelfSimilar) Next() (Arrival, bool) {
+	for {
+		st := s.h[0]
+		if st.nextPkt < st.onEnd {
+			t := st.nextPkt
+			st.nextPkt += s.interval
+			heap.Fix(&s.h, 0)
+			return Arrival{Time: t, Size: s.pickSize()}, true
+		}
+		// ON period over: sleep an OFF period, then start a new ON burst.
+		off := s.pareto(s.cfg.AlphaOff, s.cfg.MeanOff)
+		s.startOn(st, st.onEnd+off)
+		heap.Fix(&s.h, 0)
+	}
+}
+
+func (s *SelfSimilar) pickSize() int {
+	if s.cfg.FixedSize > 0 {
+		return s.cfg.FixedSize
+	}
+	x := s.rng.Float64()
+	for _, b := range EthernetSizeMix {
+		if x < b.Weight {
+			return b.Size
+		}
+		x -= b.Weight
+	}
+	return EthernetSizeMix[len(EthernetSizeMix)-1].Size
+}
+
+// Take drains up to `horizon` seconds (or n arrivals, whichever first;
+// n<=0 means unbounded) from a source into a slice.
+func Take(src Source, horizon float64, n int) []Arrival {
+	var out []Arrival
+	for {
+		a, ok := src.Next()
+		if !ok || a.Time > horizon {
+			return out
+		}
+		out = append(out, a)
+		if n > 0 && len(out) >= n {
+			return out
+		}
+	}
+}
+
+// WriteTrace writes arrivals in the Bellcore trace format: one
+// "<timestamp> <size>" pair per line, timestamp in seconds.
+func WriteTrace(w io.Writer, arrivals []Arrival) error {
+	bw := bufio.NewWriter(w)
+	for _, a := range arrivals {
+		if _, err := fmt.Fprintf(bw, "%.6f %d\n", a.Time, a.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a Bellcore-format trace.
+func ReadTrace(r io.Reader) ([]Arrival, error) {
+	var out []Arrival
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" || text[0] == '#' {
+			continue
+		}
+		var t float64
+		var size int
+		if _, err := fmt.Sscanf(text, "%f %d", &t, &size); err != nil {
+			return nil, fmt.Errorf("traffic: trace line %d %q: %w", line, text, err)
+		}
+		if size <= 0 || t < 0 || math.IsNaN(t) {
+			return nil, fmt.Errorf("traffic: trace line %d has invalid values (t=%v size=%d)", line, t, size)
+		}
+		out = append(out, Arrival{Time: t, Size: size})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Synthesize generates `seconds` of Bellcore-shaped self-similar traffic
+// at the given aggregate rate — the stand-in for "the first 1000 seconds
+// of the October 5, 1989 trace".
+func Synthesize(rate float64, seconds float64, seed int64) []Arrival {
+	src := NewSelfSimilar(DefaultSelfSimilar(rate, seed))
+	return Take(src, seconds, 0)
+}
+
+// ScaleRate compresses or stretches an arrival sequence in time by the
+// given factor (>1 means a proportionally higher arrival rate). Figure 7
+// varies the CPU clock because the Bellcore trace's rate is fixed;
+// scaling the trace is the dual experiment — at matched utilization the
+// two are equivalent up to the clock ratio.
+func ScaleRate(arrivals []Arrival, factor float64) []Arrival {
+	if factor <= 0 {
+		panic(fmt.Sprintf("traffic: non-positive rate factor %v", factor))
+	}
+	out := make([]Arrival, len(arrivals))
+	for i, a := range arrivals {
+		out[i] = Arrival{Time: a.Time / factor, Size: a.Size}
+	}
+	return out
+}
+
+// Window extracts the arrivals with t0 <= Time < t1, re-based to start at
+// zero.
+func Window(arrivals []Arrival, t0, t1 float64) []Arrival {
+	var out []Arrival
+	for _, a := range arrivals {
+		if a.Time >= t0 && a.Time < t1 {
+			out = append(out, Arrival{Time: a.Time - t0, Size: a.Size})
+		}
+	}
+	return out
+}

@@ -1,0 +1,320 @@
+package traffic
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoissonRateConverges(t *testing.T) {
+	src := NewPoisson(5000, 552, 1)
+	arrivals := Take(src, 10, 0)
+	rate := float64(len(arrivals)) / 10
+	if math.Abs(rate-5000) > 250 {
+		t.Errorf("observed rate %v, want ≈5000", rate)
+	}
+	for _, a := range arrivals {
+		if a.Size != 552 {
+			t.Fatalf("size %d, want 552", a.Size)
+		}
+	}
+}
+
+func TestPoissonInterarrivalStats(t *testing.T) {
+	// Exponential interarrivals: mean ≈ stddev (CV ≈ 1).
+	src := NewPoisson(1000, 100, 2)
+	arrivals := Take(src, 20, 0)
+	var prev float64
+	var sum, sumsq float64
+	for _, a := range arrivals {
+		d := a.Time - prev
+		prev = a.Time
+		sum += d
+		sumsq += d * d
+	}
+	n := float64(len(arrivals))
+	mean := sum / n
+	sd := math.Sqrt(sumsq/n - mean*mean)
+	cv := sd / mean
+	if cv < 0.9 || cv > 1.1 {
+		t.Errorf("interarrival CV = %v, want ≈1 (exponential)", cv)
+	}
+}
+
+func TestMonotoneTimesQuick(t *testing.T) {
+	f := func(seed int64, kind uint8) bool {
+		var src Source
+		switch kind % 3 {
+		case 0:
+			src = NewPoisson(2000, 552, seed)
+		case 1:
+			src = NewDeterministic(2000, 552)
+		default:
+			src = NewSelfSimilar(DefaultSelfSimilar(2000, seed))
+		}
+		prev := -1.0
+		for i := 0; i < 2000; i++ {
+			a, ok := src.Next()
+			if !ok || a.Time < prev || a.Size <= 0 {
+				return false
+			}
+			prev = a.Time
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicSpacing(t *testing.T) {
+	src := NewDeterministic(100, 64)
+	a1, _ := src.Next()
+	a2, _ := src.Next()
+	if d := a2.Time - a1.Time; math.Abs(d-0.01) > 1e-12 {
+		t.Errorf("spacing = %v, want 0.01", d)
+	}
+}
+
+func TestTraceReplaySortsAndEnds(t *testing.T) {
+	tr := NewTrace([]Arrival{{Time: 2, Size: 10}, {Time: 1, Size: 20}})
+	a1, ok1 := tr.Next()
+	a2, ok2 := tr.Next()
+	_, ok3 := tr.Next()
+	if !ok1 || !ok2 || ok3 {
+		t.Fatal("trace should yield exactly two arrivals")
+	}
+	if a1.Time != 1 || a2.Time != 2 {
+		t.Errorf("trace not sorted: %v then %v", a1, a2)
+	}
+	tr.Reset()
+	if a, _ := tr.Next(); a.Time != 1 {
+		t.Error("reset did not rewind")
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tr.Len())
+	}
+}
+
+func TestSelfSimilarRateApproximate(t *testing.T) {
+	// The generative model should land within a factor of ~1.5 of the
+	// target rate over a long window (heavy tails converge slowly; that is
+	// the point of the model).
+	src := NewSelfSimilar(DefaultSelfSimilar(3000, 3))
+	arrivals := Take(src, 50, 0)
+	rate := float64(len(arrivals)) / 50
+	if rate < 1500 || rate > 4800 {
+		t.Errorf("observed rate %v, want within ~60%% of 3000", rate)
+	}
+}
+
+func TestSelfSimilarIsBurstierThanPoisson(t *testing.T) {
+	// Index of dispersion of counts (IDC) over 100 ms bins: ≈1 for
+	// Poisson, substantially larger for the self-similar aggregate. This
+	// is the property that makes Figure 7's workload interesting.
+	idc := func(arrivals []Arrival, horizon float64) float64 {
+		const bin = 0.1
+		counts := make([]float64, int(horizon/bin)+1)
+		for _, a := range arrivals {
+			counts[int(a.Time/bin)]++
+		}
+		var mean, varsum float64
+		for _, c := range counts {
+			mean += c
+		}
+		mean /= float64(len(counts))
+		for _, c := range counts {
+			varsum += (c - mean) * (c - mean)
+		}
+		return varsum / float64(len(counts)) / mean
+	}
+	horizon := 60.0
+	pois := idc(Take(NewPoisson(2000, 552, 4), horizon, 0), horizon)
+	self := idc(Take(NewSelfSimilar(DefaultSelfSimilar(2000, 4)), horizon, 0), horizon)
+	if pois > 2 {
+		t.Errorf("poisson IDC = %v, want ≈1", pois)
+	}
+	if self < 3*pois {
+		t.Errorf("self-similar IDC = %v vs poisson %v; want ≫", self, pois)
+	}
+}
+
+func TestSelfSimilarSizesFromMix(t *testing.T) {
+	src := NewSelfSimilar(DefaultSelfSimilar(2000, 5))
+	valid := map[int]bool{}
+	for _, b := range EthernetSizeMix {
+		valid[b.Size] = true
+	}
+	seen := map[int]int{}
+	for i := 0; i < 5000; i++ {
+		a, _ := src.Next()
+		if !valid[a.Size] {
+			t.Fatalf("size %d not in the Ethernet mix", a.Size)
+		}
+		seen[a.Size]++
+	}
+	if len(seen) < 4 {
+		t.Errorf("only %d distinct sizes drawn, want the mix exercised", len(seen))
+	}
+	// Fixed-size override.
+	fixed := DefaultSelfSimilar(2000, 5)
+	fixed.FixedSize = 552
+	src2 := NewSelfSimilar(fixed)
+	for i := 0; i < 100; i++ {
+		if a, _ := src2.Next(); a.Size != 552 {
+			t.Fatal("FixedSize not honored")
+		}
+	}
+}
+
+func TestEthernetSizeMixSumsToOne(t *testing.T) {
+	var sum float64
+	for _, b := range EthernetSizeMix {
+		sum += b.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("size mix weights sum to %v, want 1", sum)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		orig := Take(NewPoisson(1000, 552, seed), 1, 0)
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, orig); err != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil || len(got) != len(orig) {
+			return false
+		}
+		for i := range got {
+			if got[i].Size != orig[i].Size || math.Abs(got[i].Time-orig[i].Time) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"abc def\n",
+		"1.0 -5\n",
+		"-1.0 64\n",
+		"1.0\n",
+	} {
+		if _, err := ReadTrace(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadTrace(%q) should fail", bad)
+		}
+	}
+}
+
+func TestReadTraceSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# Bellcore-format trace\n\n0.5 64\n1.5 1518\n"
+	got, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Size != 64 || got[1].Size != 1518 {
+		t.Errorf("parsed %v", got)
+	}
+}
+
+func TestSynthesizeHorizonAndDeterminism(t *testing.T) {
+	a := Synthesize(1000, 10, 9)
+	b := Synthesize(1000, 10, 9)
+	if len(a) == 0 {
+		t.Fatal("empty synthesis")
+	}
+	if len(a) != len(b) {
+		t.Errorf("synthesis not deterministic: %d vs %d arrivals", len(a), len(b))
+	}
+	for _, x := range a {
+		if x.Time > 10 {
+			t.Fatalf("arrival at %v beyond horizon", x.Time)
+		}
+	}
+}
+
+func TestTakeBounds(t *testing.T) {
+	src := NewDeterministic(1000, 64)
+	// Horizon 0.1005 avoids the float-accumulation boundary at exactly 0.1.
+	if got := len(Take(src, 0.1005, 0)); got != 100 {
+		t.Errorf("horizon take = %d, want 100", got)
+	}
+	src2 := NewDeterministic(1000, 64)
+	if got := len(Take(src2, 10, 5)); got != 5 {
+		t.Errorf("count take = %d, want 5", got)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewPoisson(0, 552, 1) },
+		func() { NewPoisson(100, 0, 1) },
+		func() { NewDeterministic(-1, 64) },
+		func() { NewSelfSimilar(SelfSimilarConfig{}) },
+		func() {
+			cfg := DefaultSelfSimilar(100, 1)
+			cfg.AlphaOn = 0.9
+			NewSelfSimilar(cfg)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid constructor args should panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkPoissonNext(b *testing.B) {
+	src := NewPoisson(10000, 552, 1)
+	for i := 0; i < b.N; i++ {
+		src.Next()
+	}
+}
+
+func BenchmarkSelfSimilarNext(b *testing.B) {
+	src := NewSelfSimilar(DefaultSelfSimilar(10000, 1))
+	for i := 0; i < b.N; i++ {
+		src.Next()
+	}
+}
+
+func TestScaleRate(t *testing.T) {
+	in := []Arrival{{Time: 1, Size: 64}, {Time: 3, Size: 128}}
+	out := ScaleRate(in, 2)
+	if out[0].Time != 0.5 || out[1].Time != 1.5 || out[1].Size != 128 {
+		t.Errorf("scaled = %v", out)
+	}
+	if in[0].Time != 1 {
+		t.Error("input mutated")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive factor should panic")
+		}
+	}()
+	ScaleRate(in, 0)
+}
+
+func TestWindow(t *testing.T) {
+	in := []Arrival{{Time: 1, Size: 1}, {Time: 2, Size: 2}, {Time: 5, Size: 3}}
+	out := Window(in, 2, 5)
+	if len(out) != 1 || out[0].Time != 0 || out[0].Size != 2 {
+		t.Errorf("window = %v", out)
+	}
+	if len(Window(in, 10, 20)) != 0 {
+		t.Error("empty window should be empty")
+	}
+}

@@ -1,0 +1,99 @@
+// Package ldlp is a Go implementation of Locality-Driven Layer Processing
+// (LDLP) from Trevor Blackwell's "Speeding up Protocols for Small
+// Messages" (ACM SIGCOMM 1996), together with everything needed to
+// reproduce the paper's measurements.
+//
+// The paper's observation: for small-message protocols (signalling, DNS,
+// RPC, connection control), the per-message working set of *protocol
+// code* dwarfs both the message and the primary caches of the machine, so
+// the processor spends more time fetching instructions than moving data.
+// Its technique: schedule layer processing like a blocked matrix
+// multiply — run one layer over a batch of messages while its code is
+// cache-resident, instead of running every layer over one message.
+// Batches form adaptively from whatever has arrived, so light load keeps
+// conventional latency while heavy load gains large throughput.
+//
+// The package exposes four surfaces:
+//
+//   - The LDLP engine (Stack, Layer, Discipline): a generic protocol-
+//     stack scheduler usable over any message type.
+//   - A runnable network substrate (Net, Host, TCP/UDP sockets, the
+//     signalling protocol): an in-memory TCP/IP-lite stack whose receive
+//     path runs under either discipline.
+//   - The evaluation machinery (SimConfig, Figure5/6/7, ablations): the
+//     paper's synthetic five-layer benchmark on a simulated machine.
+//   - The measurement machinery (WorkingSetReport, Figure8): the §2
+//     working-set study of the NetBSD TCP receive path and the §5.1
+//     checksum experiment.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package ldlp
+
+import (
+	"ldlp/internal/core"
+)
+
+// Discipline selects how messages flow through a Stack: one message
+// through all layers (Conventional), the same with fused data loops
+// (ILP), or one layer over a batch of messages (LDLP).
+type Discipline = core.Discipline
+
+// The three disciplines of Figure 2.
+const (
+	Conventional = core.Conventional
+	ILP          = core.ILP
+	LDLP         = core.LDLP
+)
+
+// Options configures a Stack (discipline, batch bound, buffer limit).
+type Options = core.Options
+
+// Stats reports engine counters (queue operations, batch sizes, drops).
+type Stats = core.Stats
+
+// Stack is a protocol stack whose layers are scheduled according to a
+// Discipline. Build with NewStack, add layers bottom-up with AddLayer,
+// declare the topology with Link, feed messages with Inject, and (under
+// LDLP) drain with Run.
+type Stack[M any] = core.Stack[M]
+
+// Layer is one protocol layer within a Stack.
+type Layer[M any] = core.Layer[M]
+
+// Handler processes one message at one layer, passing results upward via
+// Emit (emit to nil delivers out of the stack top).
+type Handler[M any] = core.Handler[M]
+
+// Emit passes a message to an upper layer.
+type Emit[M any] = core.Emit[M]
+
+// Sink receives messages leaving the top of the stack.
+type Sink[M any] = core.Sink[M]
+
+// ErrStackFull is returned by Stack.Inject when the buffer bound is hit.
+var ErrStackFull = core.ErrStackFull
+
+// NewStack creates an empty stack with the given options.
+func NewStack[M any](opts Options) *Stack[M] {
+	return core.NewStack[M](opts)
+}
+
+// GraphSpec is a parsed protocol graph (see ParseGraph).
+type GraphSpec = core.GraphSpec
+
+// ParseGraph parses an x-kernel-style protocol graph description:
+//
+//	device > ether > ip
+//	ip > tcp, udp
+//	tcp > socket
+//	udp > socket
+//
+// yielding a validated topology with a unique bottom (injection) layer.
+func ParseGraph(spec string) (*GraphSpec, error) { return core.ParseGraph(spec) }
+
+// BuildStack assembles a Stack from a graph spec and one handler per
+// named layer, returning the layers by name for use inside handlers.
+func BuildStack[M any](opts Options, spec string, handlers map[string]Handler[M]) (*Stack[M], map[string]*Layer[M], error) {
+	return core.BuildStack(opts, spec, handlers)
+}

@@ -1,0 +1,167 @@
+package ldlp_test
+
+// The reproduction suite: one test per published claim, exercised through
+// the public API with reduced (but shape-preserving) sweep sizes. These
+// are the assertions EXPERIMENTS.md's tables rest on; the cmd/ tools run
+// the same code at full methodology.
+
+import (
+	"math"
+	"testing"
+
+	"ldlp"
+)
+
+func quickOpts() ldlp.SweepOptions {
+	o := ldlp.QuickSweep()
+	o.Runs = 3
+	o.Duration = 0.25
+	return o
+}
+
+// Claim (Table 1): the per-packet working set is ≈30.6 KB code + ≈5 KB
+// read-only data, against a 552-byte message and an 8 KB cache.
+func TestClaimWorkingSetDwarfsMessage(t *testing.T) {
+	a := ldlp.WorkingSetReport(552, 32)
+	if got := a.Code.Bytes; math.Abs(float64(got)-30592) > 0.05*30592 {
+		t.Errorf("code working set = %d, paper 30592 (±5%%)", got)
+	}
+	if got := a.ReadOnly.Bytes; math.Abs(float64(got)-5088) > 0.15*5088 {
+		t.Errorf("read-only working set = %d, paper 5088 (±15%%)", got)
+	}
+}
+
+// Claim (§5.4): ≈25% of fetched instruction bytes never execute, and a
+// dense layout recovers about that fraction of cache lines.
+func TestClaimDilutionAndLayout(t *testing.T) {
+	a := ldlp.WorkingSetReport(552, 32)
+	if d := a.Dilution(); d < 0.15 || d > 0.35 {
+		t.Errorf("dilution = %.3f, paper ≈0.25", d)
+	}
+	b := ldlp.LayoutBenefit(552, 32)
+	if b.Reduction < 0.1 {
+		t.Errorf("dense layout recovers only %.1f%%", 100*b.Reduction)
+	}
+}
+
+// Claim (Table 3): doubling the instruction cache line to 64 bytes
+// decreases the line count by ≈41% while growing bytes ≈17%.
+func TestClaimLineSizeSweep(t *testing.T) {
+	sweeps := ldlp.LineSizeSweep(552, []int{64})
+	for _, sw := range sweeps {
+		if sw.Class != "Code" {
+			continue
+		}
+		d := sw.Deltas[0]
+		if math.Abs(d.LinesDelta+0.41) > 0.08 {
+			t.Errorf("64B lines delta = %+.2f, paper -0.41", d.LinesDelta)
+		}
+		if math.Abs(d.BytesDelta-0.17) > 0.08 {
+			t.Errorf("64B bytes delta = %+.2f, paper +0.17", d.BytesDelta)
+		}
+	}
+}
+
+// Claim (Figure 5): conventional instruction misses are flat with load;
+// LDLP's fall by an order of magnitude, flattening at the batch cap.
+func TestClaimFigure5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	tab := ldlp.Figure5(quickOpts())
+	by := map[float64]map[string]float64{}
+	for _, p := range tab.Points {
+		by[p.X] = p.Y
+	}
+	if math.Abs(by[1000]["conv-I"]-by[9000]["conv-I"]) > 30 {
+		t.Errorf("conventional I-misses not flat: %v vs %v", by[1000]["conv-I"], by[9000]["conv-I"])
+	}
+	if !(by[9500]["ldlp-I"] < by[1000]["ldlp-I"]/4) {
+		t.Errorf("LDLP I-misses did not collapse: %v -> %v", by[1000]["ldlp-I"], by[9500]["ldlp-I"])
+	}
+}
+
+// Claim (Figure 6): LDLP lowers latency at almost all loads; the
+// conventional stack saturates far earlier and drops packets.
+func TestClaimFigure6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	tab := ldlp.Figure6(quickOpts())
+	wins, rows := 0, 0
+	var convSaturated bool
+	for _, p := range tab.Points {
+		rows++
+		if p.Y["ldlp"] <= p.Y["conv"]*1.1 {
+			wins++
+		}
+		if p.X >= 6000 && p.Y["conv-drop"] > 0.1 {
+			convSaturated = true
+		}
+	}
+	if wins < rows-1 {
+		t.Errorf("LDLP at-or-below conventional latency on only %d/%d points", wins, rows)
+	}
+	if !convSaturated {
+		t.Error("conventional never saturated at high load")
+	}
+}
+
+// Claim (Figure 8): with a cold cache the simple checksum wins below
+// ≈900 bytes; warm, the elaborate 4.4BSD routine wins.
+func TestClaimFigure8Shape(t *testing.T) {
+	tab := ldlp.Figure8(1000, 50)
+	for _, p := range tab.Points {
+		cold := p.Y["Simple cold"] < p.Y["4.4BSD cold"]
+		if p.X <= 800 && !cold {
+			t.Errorf("at %v bytes cold, simple should win", p.X)
+		}
+		if p.Y["4.4BSD warm"] > p.Y["4.4BSD cold"] {
+			t.Errorf("warm worse than cold at %v bytes", p.X)
+		}
+	}
+}
+
+// Claim (§1 goal): the signalling stack meets 10k setup/teardown pairs/s
+// at ≤100µs processing per message under LDLP only.
+func TestClaimSignallingGoal(t *testing.T) {
+	cfg := ldlp.SignallingSimConfig(ldlp.LDLP)
+	cfg.Duration = 0.4
+	res := ldlp.RunSim(cfg, ldlp.NewPoisson(20000, 120, 2))
+	if res.Dropped > 0 {
+		t.Errorf("LDLP dropped %d at goal load", res.Dropped)
+	}
+	proc := res.BusyFrac * cfg.Duration / float64(res.Processed)
+	if proc > 100e-6 {
+		t.Errorf("processing %.1fµs/msg exceeds the 100µs goal", proc*1e6)
+	}
+
+	ccfg := ldlp.SignallingSimConfig(ldlp.Conventional)
+	ccfg.Duration = 0.4
+	cres := ldlp.RunSim(ccfg, ldlp.NewPoisson(20000, 120, 2))
+	if cres.Dropped == 0 {
+		t.Error("conventional unexpectedly survived the goal load")
+	}
+}
+
+// Claim (§6): with a 64 KB cache LDLP's advantage shrinks but code
+// locality still matters while working sets exceed the cache.
+func TestClaimCacheGrowth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	tab := ldlp.CacheSizeAblation(quickOpts(), 3000, []int{8192, 65536})
+	var small, big map[string]float64
+	for _, p := range tab.Points {
+		if p.X == 8 {
+			small = p.Y
+		} else {
+			big = p.Y
+		}
+	}
+	advSmall := small["conv-latency"] / small["ldlp-latency"]
+	advBig := big["conv-latency"] / big["ldlp-latency"]
+	if !(advBig < advSmall) {
+		t.Errorf("larger caches should shrink the advantage: %.2f -> %.2f", advSmall, advBig)
+	}
+}
