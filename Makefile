@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench report examples clean
+.PHONY: all build vet test test-short test-race fuzz bench report examples clean
 
 all: build vet test
 
@@ -18,6 +18,17 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector pass over everything; the concurrency stress tests
+# (sharded engine, sharded netstack) are written to be meaningful here.
+test-race:
+	$(GO) test -race ./...
+
+# Short fuzzing pass over every FuzzXxx target (graph parser, DNS codec).
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzParseGraph -fuzztime=10s ./internal/core
+	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/dns
+	$(GO) test -run=^$$ -fuzz=FuzzEncodeName -fuzztime=10s ./internal/dns
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

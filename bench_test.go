@@ -6,6 +6,7 @@
 package ldlp_test
 
 import (
+	"fmt"
 	"testing"
 
 	"ldlp"
@@ -212,6 +213,100 @@ func benchNetstackBurst(b *testing.B, d ldlp.Discipline) {
 	n := ldlp.NewNet()
 	a := n.AddHost("a", ldlp.IPAddr{10, 7, 0, 1}, ldlp.DefaultHostOptions(d))
 	hb := n.AddHost("b", ldlp.IPAddr{10, 7, 0, 2}, ldlp.DefaultHostOptions(d))
+	sa, _ := a.UDPSocket(1)
+	sb, _ := hb.UDPSocket(2)
+	payload := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 16; k++ {
+			sa.SendTo(hb.IP(), 2, payload)
+		}
+		n.RunUntilIdle()
+		for {
+			if _, ok := sb.Recv(); !ok {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkShardedLDLP measures the real concurrent sharded engine on a
+// signalling-sized CPU-bound workload (three layers, each checksumming a
+// 120-byte message) across shard counts. Throughput scales with shards
+// on a multi-core machine; on a single core the sub-benchmarks stay
+// comparable (the scheduling overhead, not the scaling, is visible).
+// The deterministic scaling claim lives in BenchmarkShardedModelScaling,
+// which does not depend on the host's core count.
+func BenchmarkShardedLDLP(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := ldlp.NewShardedStack[int](
+				ldlp.Options{Discipline: ldlp.LDLP, Shards: shards, BatchLimit: 14},
+				func(m int) uint64 { return uint64(m % 64) },
+				func(_ int, st *ldlp.Stack[int]) {
+					payload := make([]byte, signal.MessageBytes)
+					var layers [3]*ldlp.Layer[int]
+					for i := 0; i < 3; i++ {
+						i := i
+						layers[i] = st.AddLayer(fmt.Sprintf("L%d", i), func(m int, emit ldlp.Emit[int]) {
+							payload[m%len(payload)] = byte(m)
+							_ = checksum.Simple(payload)
+							if i < 2 {
+								emit(layers[i+1], m)
+							} else {
+								emit(nil, m)
+							}
+						})
+					}
+					st.Link(layers[0], layers[1])
+					st.Link(layers[1], layers[2])
+				})
+			defer s.Close()
+			b.SetBytes(signal.MessageBytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Inject(i); err != nil {
+					b.Fatal(err)
+				}
+				if i%4096 == 4095 {
+					s.Drain()
+				}
+			}
+			s.Drain()
+			b.StopTimer()
+			if d := s.Stats().Delivered; d != int64(b.N) {
+				b.Fatalf("delivered %d of %d", d, b.N)
+			}
+		})
+	}
+}
+
+// BenchmarkShardedModelScaling reports the modeled 4-shard speedup at a
+// load far past single-core LDLP saturation on the paper's machine —
+// the deterministic form of the >1.5x acceptance criterion (each shard
+// brings its own primary caches, so delivered throughput scales until
+// offered load stops being the bottleneck; at this load it never does,
+// giving ~4x).
+func BenchmarkShardedModelScaling(b *testing.B) {
+	cfg := sim.DefaultConfig(core.LDLP)
+	cfg.Duration = 0.05
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		one := sim.RunSharded(cfg, 1, 90000, 552, 1)
+		four := sim.RunSharded(cfg, 4, 90000, 552, 1)
+		speedup = four.Throughput / one.Throughput
+	}
+	b.ReportMetric(speedup, "modeled-4shard-speedup")
+}
+
+// BenchmarkShardedNetstackBurst is BenchmarkNetstackLDLPBurst with the
+// receiving host's stack sharded four ways — the end-to-end surface of
+// the concurrent engine.
+func BenchmarkShardedNetstackBurst(b *testing.B) {
+	n := ldlp.NewNet()
+	a := n.AddHost("a", ldlp.IPAddr{10, 7, 0, 1}, ldlp.DefaultHostOptions(ldlp.LDLP))
+	hb := n.AddHost("b", ldlp.IPAddr{10, 7, 0, 2}, ldlp.ShardedHostOptions(4))
+	defer n.Close()
 	sa, _ := a.UDPSocket(1)
 	sb, _ := hb.UDPSocket(2)
 	payload := make([]byte, 100)

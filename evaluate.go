@@ -73,6 +73,22 @@ func DisciplineAblation(opts SweepOptions, rate float64) *Table {
 	return sim.DisciplineAblation(opts, rate)
 }
 
+// ShardedSimResult aggregates a modeled N-shard run (see RunShardedSim).
+type ShardedSimResult = sim.ShardedResult
+
+// RunShardedSim models an N-shard LDLP host on the paper's machine: N
+// independent single-core simulations, each fed 1/N of a Poisson stream
+// at the given total rate (the flow-hash design's no-shared-state limit).
+func RunShardedSim(cfg SimConfig, shards int, rate float64, msgSize int, seed int64) ShardedSimResult {
+	return sim.RunSharded(cfg, shards, rate, msgSize, seed)
+}
+
+// ShardScaling sweeps the modeled shard count at a fixed total load,
+// reporting delivered throughput and speedup over one shard.
+func ShardScaling(cfg SimConfig, opts SweepOptions, rate float64, shardCounts []int) *Table {
+	return sim.ShardScaling(cfg, opts, rate, shardCounts)
+}
+
 // TrafficSource produces message arrivals.
 type TrafficSource = traffic.Source
 

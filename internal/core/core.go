@@ -128,6 +128,10 @@ type Options struct {
 	// stack; Inject fails beyond it (drop-tail, like the paper's
 	// 500-packet buffer). 0 means unlimited.
 	MaxQueued int
+	// Shards is the worker count for NewShardedStack (0 or 1 = one
+	// shard). A plain Stack ignores it: the single-threaded engine is
+	// the degenerate one-shard case.
+	Shards int
 }
 
 // Stats aggregates engine-level accounting that the cost models consume.

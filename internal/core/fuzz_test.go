@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzParseGraph throws arbitrary specs at the x-kernel-style graph
+// parser, which consumes untrusted configuration text. Invariants on
+// success: a nonempty topological order covering every node exactly
+// once, every edge pointing strictly upward in that order, a unique
+// bottom layer, and a successful BuildStack over the result.
+func FuzzParseGraph(f *testing.F) {
+	for _, seed := range []string{
+		"device > ether > ip\nip > tcp, udp\ntcp > socket\nudp > socket",
+		"a > b",
+		"a > b, c\nb > d\nc > d",
+		"# comment only",
+		"a > a",
+		"a > b\nb > a",
+		"a > b\nc > d",
+		" spaced  >  names \n",
+		"a,b > c",
+		"a > b > c > d > e > f > g > h",
+		"x > y # trailing comment\ny > z",
+		"no-arrow-line",
+		"> leading",
+		"trailing >",
+		"a > b\n\n\na > b",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		if len(spec) > 1<<14 {
+			return // bound parser work per input
+		}
+		g, err := ParseGraph(spec)
+		if err != nil {
+			return
+		}
+		if len(g.Order) == 0 {
+			t.Fatal("accepted spec produced empty order")
+		}
+		pos := make(map[string]int, len(g.Order))
+		for i, name := range g.Order {
+			if name == "" {
+				t.Fatal("empty layer name in Order")
+			}
+			if _, dup := pos[name]; dup {
+				t.Fatalf("duplicate layer %q in Order", name)
+			}
+			pos[name] = i
+		}
+		indeg := make(map[string]int)
+		for _, e := range g.Edges {
+			lo, okLo := pos[e[0]]
+			hi, okHi := pos[e[1]]
+			if !okLo || !okHi {
+				t.Fatalf("edge %v references layer missing from Order", e)
+			}
+			if lo >= hi {
+				t.Fatalf("edge %v does not point upward in Order %v", e, g.Order)
+			}
+			indeg[e[1]]++
+		}
+		bottoms := 0
+		for _, name := range g.Order {
+			if indeg[name] == 0 {
+				bottoms++
+			}
+		}
+		if bottoms != 1 {
+			t.Fatalf("accepted graph has %d bottom layers, want 1 (order %v)", bottoms, g.Order)
+		}
+		// The parsed graph must be buildable, and a message injected at
+		// the bottom must not wedge the engine.
+		handlers := make(map[string]Handler[int], len(g.Order))
+		for _, name := range g.Order {
+			handlers[name] = func(m int, emit Emit[int]) { emit(nil, m) }
+		}
+		s, _, err := BuildStack(Options{Discipline: LDLP}, spec, handlers)
+		if err != nil {
+			t.Fatalf("ParseGraph accepted but BuildStack failed: %v", err)
+		}
+		if err := s.Inject(1); err != nil {
+			t.Fatalf("Inject on built stack: %v", err)
+		}
+		if n := s.Run(); n != 1 {
+			t.Fatalf("delivered %d, want 1", n)
+		}
+	})
+}

@@ -1,0 +1,344 @@
+// Sharded LDLP: the paper's engine runs on one processor — its batching
+// rule keeps *layer code* cache-resident on that one core. A modern
+// machine has many cores, each with its own primary caches, so the
+// natural extension (receive-side scaling in NICs, FlexTOE-style
+// pipeline parallelism) is to partition messages across cores by *flow*
+// and run an independent LDLP schedule per core: every shard keeps the
+// paper's per-layer locality, and flows never migrate, so per-flow
+// ordering is preserved without cross-core synchronisation on the hot
+// path.
+//
+// ShardedStack implements that: N single-threaded Stacks, one per worker
+// goroutine, fed through per-shard bounded input queues by a caller-
+// supplied flow hash, with deliveries merged through one bounded output
+// queue so the caller's Sink runs serialized, exactly as with a plain
+// Stack. Engine Stats are aggregated atomically from per-shard deltas.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// defaultShardQueue bounds a shard's input queue when Options.MaxQueued
+// is 0 (channels cannot be unbounded; this is deep enough that only a
+// pathological burst hits it).
+const defaultShardQueue = 4096
+
+// ShardedStack partitions messages across Shards independent Stacks by a
+// flow hash, runs each under its own worker goroutine, and merges
+// deliveries through a bounded output queue.
+//
+// Concurrency contract:
+//
+//   - Inject is safe from any number of goroutines.
+//   - The Sink runs on a single merger goroutine; it is never called
+//     concurrently with itself. SetSink must be called before the first
+//     Inject.
+//   - Messages of the same flow (equal hash) are processed by one shard
+//     in injection order and delivered in that order; ordering across
+//     flows is unspecified.
+//   - Drain blocks until every accepted message has been fully processed
+//     and its deliveries have left the Sink.
+//   - Close shuts the workers down (processing anything still queued);
+//     Inject after Close panics.
+type ShardedStack[M any] struct {
+	opts Options
+	hash func(M) uint64
+
+	shards []*shard[M]
+	out    chan M
+	sink   Sink[M]
+
+	// pending counts messages accepted by Inject whose processing has
+	// not yet completed; outPending counts deliveries handed to the
+	// output queue but not yet through the Sink. Drain waits for both to
+	// reach zero.
+	pending    atomic.Int64
+	outPending atomic.Int64
+	dropped    atomic.Int64
+
+	// Aggregated engine counters, updated atomically by workers after
+	// each processing round (per-shard deltas).
+	queueOps     atomic.Int64
+	processed    atomic.Int64
+	delivered    atomic.Int64
+	rounds       atomic.Int64
+	largestBatch atomic.Int64
+
+	workerWG sync.WaitGroup
+	mergerWG sync.WaitGroup
+	closed   sync.Once
+}
+
+// shard is one worker's private engine: a single-threaded Stack plus the
+// bounded input queue feeding it.
+type shard[M any] struct {
+	stack *Stack[M]
+	in    chan M
+	// prev is the last published Stats snapshot (worker-local).
+	prev Stats
+}
+
+// NewShardedStack creates a sharded stack with opts.Shards workers (0 or
+// 1 means one shard — still concurrent with the caller, but with no
+// cross-shard parallelism). hash maps a message to its flow; messages
+// with equal hash values are guaranteed per-flow FIFO processing. build
+// is called once per shard to add layers and links to that shard's
+// private Stack, exactly as with NewStack; it must not call SetSink (the
+// sharded stack owns the per-shard sinks).
+//
+// Options.MaxQueued bounds the messages buffered across all shards
+// (drop-tail at Inject, like the paper's 500-packet buffer), divided
+// evenly among the per-shard input queues. Options.BatchLimit applies
+// per shard.
+func NewShardedStack[M any](opts Options, hash func(M) uint64, build func(shard int, s *Stack[M])) *ShardedStack[M] {
+	if hash == nil {
+		panic("core: NewShardedStack requires a flow hash")
+	}
+	if build == nil {
+		panic("core: NewShardedStack requires a shard builder")
+	}
+	n := opts.Shards
+	if n <= 0 {
+		n = 1
+	}
+	perShard := defaultShardQueue
+	if opts.MaxQueued > 0 {
+		perShard = (opts.MaxQueued + n - 1) / n
+	}
+	outBound := perShard
+	s := &ShardedStack[M]{
+		opts:   opts,
+		hash:   hash,
+		shards: make([]*shard[M], n),
+		out:    make(chan M, outBound),
+	}
+	inner := opts
+	inner.Shards = 0
+	inner.MaxQueued = 0 // intake is bounded by the shard input queues
+	for i := 0; i < n; i++ {
+		st := NewStack[M](inner)
+		build(i, st)
+		st.SetSink(func(m M) {
+			s.outPending.Add(1)
+			s.out <- m
+		})
+		sh := &shard[M]{stack: st, in: make(chan M, perShard)}
+		s.shards[i] = sh
+		s.workerWG.Add(1)
+		go s.worker(sh)
+	}
+	s.mergerWG.Add(1)
+	go s.merger()
+	return s
+}
+
+// NumShards reports the shard count.
+func (s *ShardedStack[M]) NumShards() int { return len(s.shards) }
+
+// SetSink installs the receiver for messages leaving any shard's stack
+// top. It runs on the merger goroutine, never concurrently with itself.
+// Must be called before the first Inject.
+func (s *ShardedStack[M]) SetSink(fn Sink[M]) { s.sink = fn }
+
+// Inject routes one arriving message to its flow's shard. It returns
+// ErrStackFull (counted in Stats.Dropped) when that shard's input queue
+// is full — drop-tail, matching the single-threaded engine's MaxQueued
+// behaviour. Safe for concurrent use.
+func (s *ShardedStack[M]) Inject(m M) error {
+	sh := s.shards[int(s.hash(m)%uint64(len(s.shards)))]
+	s.pending.Add(1)
+	select {
+	case sh.in <- m:
+		return nil
+	default:
+		s.pending.Add(-1)
+		s.dropped.Add(1)
+		return ErrStackFull
+	}
+}
+
+// worker is a shard's processing loop: take one message, opportunistically
+// drain whatever else has arrived (the paper's adaptive batching rule at
+// the intake), run the shard's schedule to completion, publish stats.
+func (s *ShardedStack[M]) worker(sh *shard[M]) {
+	defer s.workerWG.Done()
+	for m := range sh.in {
+		batch := 1
+		s.injectLocal(sh, m)
+	fill:
+		for {
+			select {
+			case m2, ok := <-sh.in:
+				if !ok {
+					break fill
+				}
+				s.injectLocal(sh, m2)
+				batch++
+			default:
+				break fill
+			}
+		}
+		sh.stack.Run()
+		s.publish(sh)
+		s.pending.Add(int64(-batch))
+	}
+}
+
+// injectLocal feeds one message into the shard's private stack. The
+// inner stack is unbounded (intake is bounded by the shard queue), so
+// Inject cannot fail; under call-through disciplines it processes the
+// message synchronously.
+func (s *ShardedStack[M]) injectLocal(sh *shard[M], m M) {
+	if err := sh.stack.Inject(m); err != nil {
+		// Unreachable (inner MaxQueued is 0), but do not lose accounting
+		// if that invariant ever changes.
+		s.dropped.Add(1)
+	}
+}
+
+// publish adds the shard's Stats delta since the last publish to the
+// atomic aggregates.
+func (s *ShardedStack[M]) publish(sh *shard[M]) {
+	cur := sh.stack.Stats()
+	s.queueOps.Add(cur.QueueOps - sh.prev.QueueOps)
+	s.processed.Add(cur.Processed - sh.prev.Processed)
+	s.delivered.Add(cur.Delivered - sh.prev.Delivered)
+	s.rounds.Add(cur.Rounds - sh.prev.Rounds)
+	if lb := int64(cur.LargestBatch); lb > s.largestBatch.Load() {
+		for {
+			old := s.largestBatch.Load()
+			if lb <= old || s.largestBatch.CompareAndSwap(old, lb) {
+				break
+			}
+		}
+	}
+	sh.prev = cur
+}
+
+// merger serializes deliveries from all shards into the caller's Sink.
+func (s *ShardedStack[M]) merger() {
+	defer s.mergerWG.Done()
+	for m := range s.out {
+		if s.sink != nil {
+			s.sink(m)
+		}
+		s.outPending.Add(-1)
+	}
+}
+
+// Stats returns the aggregated engine counters. Exact once Drain has
+// returned; a point-in-time snapshot while workers are busy.
+func (s *ShardedStack[M]) Stats() Stats {
+	return Stats{
+		QueueOps:     s.queueOps.Load(),
+		Processed:    s.processed.Load(),
+		Delivered:    s.delivered.Load(),
+		Dropped:      s.dropped.Load(),
+		Rounds:       s.rounds.Load(),
+		LargestBatch: int(s.largestBatch.Load()),
+	}
+}
+
+// ShardStats returns one shard's engine counters. Only meaningful when
+// the stack is quiescent (after Drain or Close).
+func (s *ShardedStack[M]) ShardStats(i int) Stats { return s.shards[i].stack.Stats() }
+
+// Pending reports messages accepted but not yet fully processed (queued,
+// in flight inside a shard, or awaiting the Sink).
+func (s *ShardedStack[M]) Pending() int {
+	return int(s.pending.Load() + s.outPending.Load())
+}
+
+// Drain blocks until every message accepted so far has been processed
+// and all resulting deliveries have passed through the Sink. It is the
+// sharded analogue of Run: Inject a burst, then Drain.
+func (s *ShardedStack[M]) Drain() {
+	for spin := 0; ; spin++ {
+		if s.pending.Load() == 0 && s.outPending.Load() == 0 {
+			return
+		}
+		if spin < 128 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+// Close processes everything still queued, stops the workers and the
+// merger, and waits for them to exit. Idempotent. Inject after Close
+// panics.
+func (s *ShardedStack[M]) Close() {
+	s.closed.Do(func() {
+		for _, sh := range s.shards {
+			close(sh.in)
+		}
+		s.workerWG.Wait()
+		close(s.out)
+		s.mergerWG.Wait()
+	})
+}
+
+// FNV-1a, for callers that hash flow keys byte-wise (netstack hashes the
+// 4-tuple with this).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// HashBytes accumulates bytes into an FNV-1a hash. Seed with HashSeed.
+func HashBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return h
+}
+
+// HashSeed is the FNV-1a offset basis.
+func HashSeed() uint64 { return fnvOffset64 }
+
+// BuildShardedStack assembles a ShardedStack from a protocol-graph spec
+// (see ParseGraph): every shard gets an identical topology whose handlers
+// come from handlers(shard), so per-shard handler state stays private.
+// The returned layer maps (one per shard) let handlers emit by name.
+func BuildShardedStack[M any](opts Options, spec string, hash func(M) uint64, handlers func(shard int) map[string]Handler[M]) (*ShardedStack[M], []map[string]*Layer[M], error) {
+	g, err := ParseGraph(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := opts.Shards
+	if n <= 0 {
+		n = 1
+	}
+	byShard := make([]map[string]*Layer[M], n)
+	var buildErr error
+	s := NewShardedStack(opts, hash, func(i int, st *Stack[M]) {
+		hs := handlers(i)
+		for _, name := range g.Order {
+			if hs[name] == nil {
+				buildErr = fmt.Errorf("core: shard %d: no handler for layer %q", i, name)
+				// Install a placeholder so the stack stays structurally
+				// valid; the constructor's error return discards it.
+				hs[name] = func(M, Emit[M]) {}
+			}
+		}
+		byName := make(map[string]*Layer[M], len(g.Order))
+		for _, name := range g.Order {
+			byName[name] = st.AddLayer(name, hs[name])
+		}
+		for _, e := range g.Edges {
+			st.Link(byName[e[0]], byName[e[1]])
+		}
+		byShard[i] = byName
+	})
+	if buildErr != nil {
+		s.Close()
+		return nil, nil, buildErr
+	}
+	return s, byShard, nil
+}

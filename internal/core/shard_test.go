@@ -1,0 +1,339 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// shardMsg is the unit used by the sharded-engine tests: flow selects the
+// shard, seq orders messages within the flow.
+type shardMsg struct {
+	flow int
+	seq  int
+}
+
+func shardHash(m shardMsg) uint64 { return uint64(m.flow) }
+
+// buildShardChain adds an n-layer pass-through chain to one shard's
+// stack (every message traverses all layers, then leaves the top).
+func buildShardChain(n int) func(int, *Stack[shardMsg]) {
+	return func(_ int, s *Stack[shardMsg]) {
+		layers := make([]*Layer[shardMsg], n)
+		for i := 0; i < n; i++ {
+			i := i
+			layers[i] = s.AddLayer(fmt.Sprintf("L%d", i+1), func(m shardMsg, emit Emit[shardMsg]) {
+				if i+1 < n {
+					emit(s.Layers()[i+1], m)
+				} else {
+					emit(nil, m)
+				}
+			})
+		}
+		for i := 0; i+1 < n; i++ {
+			s.Link(layers[i], layers[i+1])
+		}
+	}
+}
+
+func TestShardedDeliversAllPreservingFlowOrder(t *testing.T) {
+	const flows, perFlow = 8, 200
+	s := NewShardedStack(Options{Discipline: LDLP, Shards: 4, BatchLimit: 14},
+		shardHash, buildShardChain(3))
+	defer s.Close()
+
+	got := make(map[int][]int)
+	s.SetSink(func(m shardMsg) { got[m.flow] = append(got[m.flow], m.seq) })
+
+	for seq := 0; seq < perFlow; seq++ {
+		for f := 0; f < flows; f++ {
+			if err := s.Inject(shardMsg{flow: f, seq: seq}); err != nil {
+				t.Fatalf("Inject(%d,%d): %v", f, seq, err)
+			}
+		}
+	}
+	s.Drain()
+
+	for f := 0; f < flows; f++ {
+		if len(got[f]) != perFlow {
+			t.Fatalf("flow %d delivered %d messages, want %d", f, len(got[f]), perFlow)
+		}
+		for i, seq := range got[f] {
+			if seq != i {
+				t.Fatalf("flow %d reordered: position %d has seq %d", f, i, seq)
+			}
+		}
+	}
+
+	st := s.Stats()
+	if st.Delivered != flows*perFlow {
+		t.Errorf("Stats.Delivered = %d, want %d", st.Delivered, flows*perFlow)
+	}
+	if st.Processed != 3*flows*perFlow {
+		t.Errorf("Stats.Processed = %d, want %d", st.Processed, 3*flows*perFlow)
+	}
+	if st.Dropped != 0 {
+		t.Errorf("Stats.Dropped = %d, want 0", st.Dropped)
+	}
+	// Per-shard stats must sum to the aggregate (valid after Drain).
+	var sum int64
+	for i := 0; i < s.NumShards(); i++ {
+		sum += s.ShardStats(i).Delivered
+	}
+	if sum != st.Delivered {
+		t.Errorf("shard Delivered sum = %d, aggregate = %d", sum, st.Delivered)
+	}
+}
+
+func TestShardedDropTailCountsMatchInjectErrors(t *testing.T) {
+	// One flow, tiny buffer, a burst far beyond it: every ErrStackFull
+	// must be mirrored in Stats.Dropped, and accepted = delivered.
+	s := NewShardedStack(Options{Discipline: LDLP, Shards: 2, MaxQueued: 8},
+		shardHash, buildShardChain(2))
+	defer s.Close()
+	var delivered atomic.Int64
+	s.SetSink(func(shardMsg) { delivered.Add(1) })
+
+	const burst = 5000
+	errs := 0
+	for i := 0; i < burst; i++ {
+		if err := s.Inject(shardMsg{flow: 1, seq: i}); err != nil {
+			if err != ErrStackFull {
+				t.Fatalf("Inject error = %v, want ErrStackFull", err)
+			}
+			errs++
+		}
+	}
+	s.Drain()
+	st := s.Stats()
+	if int(st.Dropped) != errs {
+		t.Errorf("Stats.Dropped = %d, Inject errors = %d", st.Dropped, errs)
+	}
+	if int(st.Delivered) != burst-errs {
+		t.Errorf("Delivered = %d, accepted = %d", st.Delivered, burst-errs)
+	}
+	if errs == 0 {
+		t.Error("expected some drops with MaxQueued=8 and a 5000-message burst")
+	}
+}
+
+func TestShardedSingleShardMatchesPlainStack(t *testing.T) {
+	// Shards<=1 must behave exactly like the single-threaded engine on
+	// one flow: same deliveries, same processed count.
+	plain, _ := buildChain(4, Options{Discipline: LDLP, BatchLimit: 5})
+	var plainOut []int
+	plain.SetSink(func(m int) { plainOut = append(plainOut, m) })
+	for i := 0; i < 50; i++ {
+		plain.Inject(i)
+	}
+	plain.Run()
+
+	sh := NewShardedStack(Options{Discipline: LDLP, BatchLimit: 5},
+		shardHash, buildShardChain(4))
+	defer sh.Close()
+	var shOut []int
+	sh.SetSink(func(m shardMsg) { shOut = append(shOut, m.seq) })
+	for i := 0; i < 50; i++ {
+		sh.Inject(shardMsg{flow: 7, seq: i})
+	}
+	sh.Drain()
+
+	if fmt.Sprint(plainOut) != fmt.Sprint(shOut) {
+		t.Errorf("single-shard deliveries %v != plain stack %v", shOut, plainOut)
+	}
+	if p, q := plain.Stats().Processed, sh.Stats().Processed; p != q {
+		t.Errorf("Processed: plain %d, sharded %d", p, q)
+	}
+}
+
+func TestShardedConventionalDiscipline(t *testing.T) {
+	// The sharded engine also runs call-through disciplines per shard
+	// (used by the equivalence suite).
+	s := NewShardedStack(Options{Discipline: Conventional, Shards: 3},
+		shardHash, buildShardChain(2))
+	defer s.Close()
+	var n atomic.Int64
+	s.SetSink(func(shardMsg) { n.Add(1) })
+	for i := 0; i < 30; i++ {
+		s.Inject(shardMsg{flow: i % 5, seq: i / 5})
+	}
+	s.Drain()
+	if n.Load() != 30 {
+		t.Errorf("delivered %d, want 30", n.Load())
+	}
+}
+
+func TestShardedCloseProcessesQueuedInput(t *testing.T) {
+	s := NewShardedStack(Options{Discipline: LDLP, Shards: 2},
+		shardHash, buildShardChain(2))
+	var n atomic.Int64
+	s.SetSink(func(shardMsg) { n.Add(1) })
+	for i := 0; i < 100; i++ {
+		s.Inject(shardMsg{flow: i, seq: 0})
+	}
+	s.Close()
+	s.Close() // idempotent
+	if n.Load() != 100 {
+		t.Errorf("delivered %d before Close returned, want 100", n.Load())
+	}
+}
+
+// TestShardedConcurrentInjectStress is the race-detector workout: many
+// goroutines inject disjoint flows while the merger drains, with Stats
+// and Pending polled concurrently. Run with `make test-race`.
+func TestShardedConcurrentInjectStress(t *testing.T) {
+	const (
+		injectors = 8
+		perInj    = 2000
+	)
+	s := NewShardedStack(Options{Discipline: LDLP, Shards: 4, BatchLimit: 14},
+		shardHash, buildShardChain(5))
+	defer s.Close()
+
+	type key struct{ flow, seq int }
+	seen := make(map[key]bool)
+	lastSeq := make(map[int]int)
+	ordered := true
+	s.SetSink(func(m shardMsg) {
+		seen[key{m.flow, m.seq}] = true
+		if last, ok := lastSeq[m.flow]; ok && m.seq <= last {
+			ordered = false
+		}
+		lastSeq[m.flow] = m.seq
+	})
+
+	var wg sync.WaitGroup
+	var accepted atomic.Int64
+	for g := 0; g < injectors; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perInj; i++ {
+				// Disjoint flows per injector keep per-flow order checkable.
+				if s.Inject(shardMsg{flow: g*4 + i%4, seq: i}) == nil {
+					accepted.Add(1)
+				}
+			}
+		}()
+	}
+	// Concurrent observers.
+	stop := make(chan struct{})
+	var obs sync.WaitGroup
+	obs.Add(1)
+	go func() {
+		defer obs.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = s.Stats()
+				_ = s.Pending()
+			}
+		}
+	}()
+	wg.Wait()
+	s.Drain()
+	close(stop)
+	obs.Wait()
+
+	if got := int64(len(seen)); got != accepted.Load() {
+		t.Errorf("unique deliveries %d != accepted %d", got, accepted.Load())
+	}
+	if !ordered {
+		t.Error("per-flow delivery order violated")
+	}
+	if d := s.Stats().Delivered; d != accepted.Load() {
+		t.Errorf("Stats.Delivered = %d, accepted = %d", d, accepted.Load())
+	}
+}
+
+func TestBuildShardedStackFromGraph(t *testing.T) {
+	spec := `
+		device > ether > ip
+		ip > tcp, udp
+		tcp > app
+		udp > app
+	`
+	var mu sync.Mutex
+	perShardDelivered := make(map[int]int)
+	var maps []map[string]*Layer[shardMsg]
+	s, byShard, err := BuildShardedStack[shardMsg](Options{Discipline: LDLP, Shards: 2}, spec,
+		shardHash, func(shard int) map[string]Handler[shardMsg] {
+			up := func(name string, final bool) Handler[shardMsg] {
+				return func(m shardMsg, emit Emit[shardMsg]) {
+					if final {
+						mu.Lock()
+						perShardDelivered[shard]++
+						mu.Unlock()
+						emit(nil, m)
+						return
+					}
+					emit(maps[shard][name], m)
+				}
+			}
+			return map[string]Handler[shardMsg]{
+				"device": up("ether", false),
+				"ether":  up("ip", false),
+				"ip": func(m shardMsg, emit Emit[shardMsg]) {
+					if m.flow%2 == 0 {
+						emit(maps[shard]["tcp"], m)
+					} else {
+						emit(maps[shard]["udp"], m)
+					}
+				},
+				"tcp": up("app", false),
+				"udp": up("app", false),
+				"app": up("", true),
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maps = byShard
+	defer s.Close()
+	for i := 0; i < 40; i++ {
+		s.Inject(shardMsg{flow: i % 4, seq: i / 4})
+	}
+	s.Drain()
+	if d := s.Stats().Delivered; d != 40 {
+		t.Fatalf("Delivered = %d, want 40", d)
+	}
+	mu.Lock()
+	total := perShardDelivered[0] + perShardDelivered[1]
+	mu.Unlock()
+	if total != 40 {
+		t.Errorf("per-shard handler deliveries = %d, want 40", total)
+	}
+	if len(byShard) != 2 || byShard[0]["device"] == nil || byShard[1]["app"] == nil {
+		t.Error("BuildShardedStack layer maps incomplete")
+	}
+}
+
+func TestBuildShardedStackRejectsBadSpecs(t *testing.T) {
+	_, _, err := BuildShardedStack[shardMsg](Options{Shards: 2}, "a > b > a", shardHash,
+		func(int) map[string]Handler[shardMsg] { return nil })
+	if err == nil {
+		t.Error("cycle accepted")
+	}
+	_, _, err = BuildShardedStack[shardMsg](Options{Shards: 2}, "a > b", shardHash,
+		func(int) map[string]Handler[shardMsg] {
+			return map[string]Handler[shardMsg]{"a": func(m shardMsg, e Emit[shardMsg]) {}}
+		})
+	if err == nil {
+		t.Error("missing handler accepted")
+	}
+}
+
+func TestHashBytes(t *testing.T) {
+	a := HashBytes(HashSeed(), []byte("flow-a"))
+	b := HashBytes(HashSeed(), []byte("flow-b"))
+	if a == b {
+		t.Error("distinct keys hashed equal")
+	}
+	if a != HashBytes(HashSeed(), []byte("flow-a")) {
+		t.Error("hash not deterministic")
+	}
+}

@@ -1,0 +1,129 @@
+package dns
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeeds are well-formed messages covering the codec's feature set
+// (questions, A answers, flags, compression on decode).
+func fuzzSeeds() [][]byte {
+	var seeds [][]byte
+	q := &Message{ID: 0x1234, Flags: FlagRD, Questions: []Question{
+		{Name: "www.example.com", Type: TypeA, Class: ClassIN},
+	}}
+	if b, err := q.Encode(); err == nil {
+		seeds = append(seeds, b)
+	}
+	r := &Message{ID: 0x1234, Flags: FlagQR | FlagAA | FlagRA,
+		Questions: []Question{{Name: "www.example.com", Type: TypeA, Class: ClassIN}},
+		Answers: []RR{
+			{Name: "www.example.com", Type: TypeA, Class: ClassIN, TTL: 300, A: [4]byte{10, 0, 0, 1}},
+			{Name: "www.example.com", Type: TypeA, Class: ClassIN, TTL: 300, A: [4]byte{10, 0, 0, 2}},
+		}}
+	if b, err := r.Encode(); err == nil {
+		seeds = append(seeds, b)
+	}
+	nx := &Message{ID: 9, Flags: FlagQR | RCodeNXDomain,
+		Questions: []Question{{Name: "nope.invalid", Type: TypeA, Class: ClassIN}}}
+	if b, err := nx.Encode(); err == nil {
+		seeds = append(seeds, b)
+	}
+	// Hand-built message using a compression pointer for the answer name.
+	comp := []byte{
+		0xbe, 0xef, 0x84, 0x00, 0, 1, 0, 1, 0, 0, 0, 0,
+		1, 'a', 2, 'i', 'o', 0, 0, 1, 0, 1, // question a.io A IN
+		0xc0, 12, 0, 1, 0, 1, 0, 0, 0, 60, 0, 4, 1, 2, 3, 4, // ptr to offset 12
+	}
+	seeds = append(seeds, comp)
+	// Adversarial shapes: truncation, pointer-to-self, reserved label bits.
+	seeds = append(seeds,
+		[]byte{},
+		[]byte{0, 1, 0, 0, 0, 1},
+		append(bytes.Repeat([]byte{0}, 12), 0xc0, 12, 0, 1, 0, 1),
+		append(bytes.Repeat([]byte{0}, 12), 0x80, 1, 0, 1, 0, 1),
+	)
+	return seeds
+}
+
+// FuzzDecode exercises the DNS wire-format parser on untrusted bytes —
+// exactly what a resolver's receive path sees. Invariants: no panic, no
+// unbounded work, and encode∘decode is idempotent at the byte level:
+// once a parsed message re-encodes successfully, decoding and re-encoding
+// that output must reproduce it exactly (the first Encode normalizes
+// away compression; after that the form is a fixed point).
+func FuzzDecode(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			return // resolvers cap datagram size; bound fuzz work the same way
+		}
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Decoded counts must match what the header promised.
+		if len(m.Questions) > 32 || len(m.Answers) > 128 {
+			t.Fatalf("implausible counts survived: qd=%d an=%d", len(m.Questions), len(m.Answers))
+		}
+		norm, err := m.Encode()
+		if err != nil {
+			// Legal: decoded names can exceed encode limits (e.g. >255
+			// bytes via compression) or contain dots inside labels.
+			return
+		}
+		m2, err := Decode(norm)
+		if err != nil {
+			t.Fatalf("re-decode of encoded message failed: %v\nencoded: %x", err, norm)
+		}
+		again, err := m2.Encode()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(norm, again) {
+			t.Fatalf("encode not idempotent:\nfirst:  %x\nsecond: %x", norm, again)
+		}
+		if m2.ID != m.ID || m2.Flags != m.Flags {
+			t.Fatalf("header drifted across round-trip: %+v vs %+v", m, m2)
+		}
+	})
+}
+
+// FuzzEncodeName checks the name encoder against arbitrary strings: it
+// must either reject the name or produce wire form that decodeName can
+// read back.
+func FuzzEncodeName(f *testing.F) {
+	for _, s := range []string{"", ".", "a.io", "www.example.com",
+		"trailing.dot.", "very-long-label-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa.x",
+		"a..b", "-", "xn--bcher-kva.example"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		if len(name) > 1024 {
+			return
+		}
+		b, err := encodeName(nil, name)
+		if err != nil {
+			return
+		}
+		if len(b) > 256 {
+			t.Fatalf("encoded name %d bytes, limit is 255+terminator", len(b))
+		}
+		got, next, err := decodeName(b, 0)
+		if err != nil {
+			t.Fatalf("decodeName rejected encoder output for %q: %v (wire %x)", name, err, b)
+		}
+		if next != len(b) {
+			t.Fatalf("decodeName consumed %d of %d bytes", next, len(b))
+		}
+		want := name
+		for len(want) > 0 && want[len(want)-1] == '.' {
+			want = want[:len(want)-1]
+		}
+		if got != want {
+			t.Fatalf("name round-trip: encoded %q, decoded %q", name, got)
+		}
+	})
+}

@@ -70,8 +70,8 @@ func (h *Host) fragmentOutput(m *mbuf.Mbuf, proto byte, dst layers.IPAddr, mtu i
 		eth := layers.Ethernet{Dst: MACFor(dst), Src: h.mac, EtherType: layers.EtherTypeIPv4}
 		fm, hdr = fm.Prepend(layers.EthernetLen)
 		eth.Encode(hdr)
-		h.Counters.FramesOut++
-		h.Counters.FragmentsSent++
+		inc(&h.Counters.FramesOut)
+		inc(&h.Counters.FragmentsSent)
 		h.transmit(frame{dst: eth.Dst, data: append([]byte(nil), fm.Contiguous()...)})
 		fm.FreeChain()
 	}
@@ -97,7 +97,7 @@ func (h *Host) reassemble(p *Packet) []byte {
 	off := p.IP.FragOff
 	end := off + len(fragPayload)
 	if end > maxFragPayload {
-		h.Counters.BadIP++
+		inc(&h.Counters.BadIP)
 		delete(h.frags, key)
 		return nil
 	}
@@ -125,7 +125,7 @@ func (h *Host) reassemble(p *Packet) []byte {
 		}
 	}
 	delete(h.frags, key)
-	h.Counters.Reassembled++
+	inc(&h.Counters.Reassembled)
 	return st.data[:st.totalLen]
 }
 
@@ -134,7 +134,7 @@ func (h *Host) fragTick() {
 	for key, st := range h.frags {
 		if h.net.now >= st.deadline {
 			delete(h.frags, key)
-			h.Counters.ReassemblyTimeouts++
+			inc(&h.Counters.ReassemblyTimeouts)
 		}
 	}
 }

@@ -55,16 +55,19 @@ func (h *Host) sendICMP(dst layers.IPAddr, typ byte, id, seq uint16, payload []b
 }
 
 // icmpInput is the receive-path ICMP layer: validates the checksum,
-// answers echo requests, records echo replies.
-func (h *Host) icmpInput(p *Packet, emit core.Emit[*Packet]) {
+// answers echo requests, records echo replies. The checksum runs
+// lock-free; reply transmission and the reply list are serialized by
+// the host lock (a no-op on the single-threaded path).
+func (rx *rxPath) icmpInput(p *Packet, emit core.Emit[*Packet]) {
+	h := rx.h
 	buf := p.M.Contiguous()
 	if len(buf) < icmpHeaderLen {
-		h.Counters.BadICMP++
+		inc(&h.Counters.BadICMP)
 		p.M.FreeChain()
 		return
 	}
 	if checksum.Simple(buf) != 0 {
-		h.Counters.BadICMP++
+		inc(&h.Counters.BadICMP)
 		p.M.FreeChain()
 		return
 	}
@@ -72,17 +75,19 @@ func (h *Host) icmpInput(p *Packet, emit core.Emit[*Packet]) {
 	id := binary.BigEndian.Uint16(buf[4:6])
 	seq := binary.BigEndian.Uint16(buf[6:8])
 	payload := append([]byte(nil), buf[icmpHeaderLen:]...)
+	h.lockRx()
+	defer h.unlockRx()
 	switch typ {
 	case icmpEchoRequest:
-		h.Counters.EchoRequests++
+		inc(&h.Counters.EchoRequests)
 		h.sendICMP(p.IP.Src, icmpEchoReply, id, seq, payload)
 	case icmpEchoReply:
-		h.Counters.EchoReplies++
+		inc(&h.Counters.EchoReplies)
 		h.pingReplies = append(h.pingReplies, PingReply{From: p.IP.Src, ID: id, Seq: seq, Payload: payload})
 	default:
-		h.Counters.BadICMP++
+		inc(&h.Counters.BadICMP)
 		p.M.FreeChain()
 		return
 	}
-	emit(h.sock, p)
+	emit(rx.sock, p)
 }

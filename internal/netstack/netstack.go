@@ -10,13 +10,25 @@
 // conventional or the LDLP discipline, so the examples can exercise the
 // paper's scheduling idea over a real protocol stack.
 //
-// The whole network is single-threaded and explicitly pumped: hosts
-// exchange frames through a Net, and time advances only via Tick. That
-// keeps every test deterministic.
+// The network is explicitly pumped: hosts exchange frames through a Net,
+// and time advances only via Tick. With Options.RxShards <= 1 everything
+// is single-threaded and every test is deterministic. With RxShards > 1
+// a host's receive path runs on the sharded LDLP engine: frames are
+// partitioned across worker cores by their TCP/UDP 4-tuple (fragments by
+// IP ID), so each connection's segments are processed by one shard in
+// arrival order — per-connection TCP ordering is preserved — while
+// distinct flows proceed in parallel, each shard keeping the paper's
+// per-layer code locality. Stateless header processing (Ethernet and IP
+// decode, transport checksums) runs lock-free in parallel; shared
+// transport state (PCBs, sockets, reassembly, the transmit queue) is
+// serialized by a per-host mutex. Public socket calls must not overlap a
+// running pump (drive the Net from one goroutine, as the examples do).
 package netstack
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"ldlp/internal/core"
 	"ldlp/internal/layers"
@@ -34,6 +46,8 @@ type Packet struct {
 }
 
 // Counters is the per-host accounting the tests and examples inspect.
+// Fields are updated with atomic adds (shard workers may race on them);
+// read them while the network is quiescent.
 type Counters struct {
 	FramesIn, FramesOut int64
 	BadEther            int64 // wrong MAC or unknown ethertype
@@ -60,6 +74,10 @@ type Counters struct {
 	WindowProbes        int64 // zero-window persist probes sent
 }
 
+// inc bumps a counter; atomic because sharded receive paths update
+// counters from several worker goroutines.
+func inc(c *int64) { atomic.AddInt64(c, 1) }
+
 // Options configures a host.
 type Options struct {
 	// Discipline selects the receive-path schedule (conventional
@@ -75,12 +93,26 @@ type Options struct {
 	// MTU is the link MTU; IP datagrams beyond it are fragmented.
 	// 0 means 1500.
 	MTU int
+	// RxShards > 1 runs the receive path on the sharded LDLP engine:
+	// that many worker goroutines, frames partitioned by 4-tuple flow
+	// hash. Requires Discipline == LDLP (the conventional call-through
+	// schedule has no queues to shard). 0 or 1 keeps the deterministic
+	// single-threaded path.
+	RxShards int
 }
 
 // DefaultOptions mirror the paper's LDLP setup bounded by a 500-packet
 // buffer.
 func DefaultOptions(d core.Discipline) Options {
 	return Options{Discipline: d, BatchLimit: 14, InputLimit: 500, MTU: 1500}
+}
+
+// ShardedOptions is DefaultOptions(LDLP) spread across shards worker
+// cores.
+func ShardedOptions(shards int) Options {
+	o := DefaultOptions(core.LDLP)
+	o.RxShards = shards
+	return o
 }
 
 // mtu returns the effective MTU.
@@ -133,6 +165,14 @@ func (n *Net) AddHost(name string, ip layers.IPAddr, opts Options) *Host {
 	n.hosts[h.mac] = h
 	n.byIP[ip] = h
 	return h
+}
+
+// Close stops every host's shard workers (no-op for single-threaded
+// hosts). Call when done with a network that uses RxShards.
+func (n *Net) Close() {
+	for _, h := range n.hosts {
+		h.Close()
+	}
 }
 
 // send queues a frame for delivery.
@@ -199,14 +239,18 @@ type Host struct {
 	ip   layers.IPAddr
 	opts Options
 
-	stack  *core.Stack[*Packet]
-	device *core.Layer[*Packet]
-	ether  *core.Layer[*Packet]
-	ipin   *core.Layer[*Packet]
-	tcpin  *core.Layer[*Packet]
-	udpin  *core.Layer[*Packet]
-	icmpin *core.Layer[*Packet]
-	sock   *core.Layer[*Packet]
+	// Exactly one of the two receive engines is set: stack (with rx
+	// holding its layers) when RxShards <= 1, shards when RxShards > 1.
+	stack   *core.Stack[*Packet]
+	rx      *rxPath
+	shards  *core.ShardedStack[*Packet]
+	sharded bool
+
+	// mu serializes transport and host state (PCBs, sockets, reassembly,
+	// transmit queue, ICMP replies) among shard workers. Unused — never
+	// locked — on the single-threaded path, so the conventional
+	// call-through schedule cannot self-deadlock.
+	mu sync.Mutex
 
 	Counters Counters
 
@@ -231,8 +275,43 @@ type Host struct {
 	udpSocks map[uint16]*UDPSock
 }
 
-// newHost wires up the receive path: device -> ether -> ip -> {tcp,udp}
-// -> socket.
+// rxPath is one receive pipeline's layers: device -> ether -> ip ->
+// {tcp,udp,icmp} -> socket. The single-threaded engine has one; the
+// sharded engine builds one per shard (layer handlers must emit into
+// their own shard's queues).
+type rxPath struct {
+	h      *Host
+	device *core.Layer[*Packet]
+	ether  *core.Layer[*Packet]
+	ipin   *core.Layer[*Packet]
+	tcpin  *core.Layer[*Packet]
+	udpin  *core.Layer[*Packet]
+	icmpin *core.Layer[*Packet]
+	sock   *core.Layer[*Packet]
+}
+
+// buildRxPath wires the receive-path layers into stack s.
+func (h *Host) buildRxPath(s *core.Stack[*Packet]) *rxPath {
+	rx := &rxPath{h: h}
+	rx.device = s.AddLayer("device", rx.deviceInput)
+	rx.ether = s.AddLayer("ether", rx.etherInput)
+	rx.ipin = s.AddLayer("ip", rx.ipInput)
+	rx.tcpin = s.AddLayer("tcp", rx.tcpInput)
+	rx.udpin = s.AddLayer("udp", rx.udpInput)
+	rx.icmpin = s.AddLayer("icmp", rx.icmpInput)
+	rx.sock = s.AddLayer("socket", rx.sockInput)
+	s.Link(rx.device, rx.ether)
+	s.Link(rx.ether, rx.ipin)
+	s.Link(rx.ipin, rx.tcpin)
+	s.Link(rx.ipin, rx.udpin)
+	s.Link(rx.ipin, rx.icmpin)
+	s.Link(rx.tcpin, rx.sock)
+	s.Link(rx.udpin, rx.sock)
+	s.Link(rx.icmpin, rx.sock)
+	return rx
+}
+
+// newHost wires up the receive path.
 func newHost(n *Net, name string, ip layers.IPAddr, opts Options) *Host {
 	h := &Host{
 		net: n, name: name, ip: ip, mac: MACFor(ip), opts: opts,
@@ -240,26 +319,66 @@ func newHost(n *Net, name string, ip layers.IPAddr, opts Options) *Host {
 		listeners: make(map[uint16]*TCPListener),
 		udpSocks:  make(map[uint16]*UDPSock),
 	}
-	h.stack = core.NewStack[*Packet](core.Options{
+	engineOpts := core.Options{
 		Discipline: opts.Discipline,
 		BatchLimit: opts.BatchLimit,
 		MaxQueued:  opts.InputLimit,
-	})
-	h.device = h.stack.AddLayer("device", h.deviceInput)
-	h.ether = h.stack.AddLayer("ether", h.etherInput)
-	h.ipin = h.stack.AddLayer("ip", h.ipInput)
-	h.tcpin = h.stack.AddLayer("tcp", h.tcpInput)
-	h.udpin = h.stack.AddLayer("udp", h.udpInput)
-	h.icmpin = h.stack.AddLayer("icmp", h.icmpInput)
-	h.sock = h.stack.AddLayer("socket", h.sockInput)
-	h.stack.Link(h.device, h.ether)
-	h.stack.Link(h.ether, h.ipin)
-	h.stack.Link(h.ipin, h.tcpin)
-	h.stack.Link(h.ipin, h.udpin)
-	h.stack.Link(h.ipin, h.icmpin)
-	h.stack.Link(h.tcpin, h.sock)
-	h.stack.Link(h.udpin, h.sock)
-	h.stack.Link(h.icmpin, h.sock)
+		Shards:     opts.RxShards,
+	}
+	if opts.RxShards > 1 {
+		if opts.Discipline != core.LDLP {
+			panic("netstack: RxShards > 1 requires the LDLP discipline")
+		}
+		h.sharded = true
+		h.shards = core.NewShardedStack(engineOpts,
+			func(p *Packet) uint64 { return rxFlowHash(p.M.Bytes()) },
+			func(_ int, st *core.Stack[*Packet]) { h.buildRxPath(st) })
+		return h
+	}
+	h.stack = core.NewStack[*Packet](engineOpts)
+	h.rx = h.buildRxPath(h.stack)
+	return h
+}
+
+// lockRx serializes shard workers around shared transport state. On the
+// single-threaded path it is a no-op (call-through disciplines would
+// self-deadlock on a real lock: a locked TCP handler synchronously
+// invokes the locked socket handler).
+func (h *Host) lockRx() {
+	if h.sharded {
+		h.mu.Lock()
+	}
+}
+
+func (h *Host) unlockRx() {
+	if h.sharded {
+		h.mu.Unlock()
+	}
+}
+
+// rxFlowHash maps a raw frame to its flow: IP src/dst + protocol, plus
+// the TCP/UDP port pair for unfragmented transport segments (so one
+// connection always lands on one shard, preserving segment order) or
+// the IP ID for fragments (so one datagram reassembles on one shard).
+// Malformed frames hash over their bytes; every path through a layer
+// rejects them identically regardless of shard.
+func rxFlowHash(data []byte) uint64 {
+	h := core.HashSeed()
+	if len(data) < layers.EthernetLen+layers.IPv4MinLen {
+		return core.HashBytes(h, data)
+	}
+	ip := data[layers.EthernetLen:]
+	ihl := int(ip[0]&0x0f) * 4
+	proto := ip[9]
+	h = core.HashBytes(h, ip[12:20]) // src + dst address
+	h = core.HashBytes(h, []byte{proto})
+	ff := uint16(ip[6])<<8 | uint16(ip[7])
+	if ff&0x3fff != 0 { // MF bit or nonzero fragment offset
+		return core.HashBytes(h, ip[4:6]) // IP ID
+	}
+	if (proto == layers.ProtoTCP || proto == layers.ProtoUDP) && len(ip) >= ihl+4 && ihl >= layers.IPv4MinLen {
+		return core.HashBytes(h, ip[ihl:ihl+4]) // src + dst port
+	}
 	return h
 }
 
@@ -269,8 +388,31 @@ func (h *Host) Name() string { return h.name }
 // IP returns the host's address.
 func (h *Host) IP() layers.IPAddr { return h.ip }
 
-// StackStats exposes the LDLP engine counters (batch sizes, queue ops).
-func (h *Host) StackStats() core.Stats { return h.stack.Stats() }
+// StackStats exposes the LDLP engine counters (batch sizes, queue ops),
+// aggregated across shards for a sharded host.
+func (h *Host) StackStats() core.Stats {
+	if h.sharded {
+		return h.shards.Stats()
+	}
+	return h.stack.Stats()
+}
+
+// RxShards reports the receive path's shard count (1 when single-
+// threaded).
+func (h *Host) RxShards() int {
+	if h.sharded {
+		return h.shards.NumShards()
+	}
+	return 1
+}
+
+// Close stops the shard workers. No-op for a single-threaded host;
+// required to release goroutines for a sharded one.
+func (h *Host) Close() {
+	if h.sharded {
+		h.shards.Close()
+	}
+}
 
 // Now returns the network's simulated time, for protocol timers built on
 // top of the stack.
@@ -278,22 +420,44 @@ func (h *Host) Now() float64 { return h.net.now }
 
 // deliver receives a frame from the wire into the protocol stack.
 func (h *Host) deliver(data []byte) {
-	h.Counters.FramesIn++
+	inc(&h.Counters.FramesIn)
 	pkt := &Packet{M: mbuf.FromBytes(data)}
+	if h.sharded {
+		if err := h.shards.Inject(pkt); err != nil {
+			// A shard's input ring filled before its worker ran (the
+			// in-memory wire delivers much faster than any NIC). The pump
+			// backpressures — wait for the shards to drain, then retry —
+			// rather than dropping, matching the single-threaded path
+			// where processing keeps up with delivery by construction.
+			h.shards.Drain()
+			if err := h.shards.Inject(pkt); err != nil {
+				pkt.M.FreeChain()
+			}
+		}
+		return
+	}
 	if err := h.stack.Inject(pkt); err != nil {
 		pkt.M.FreeChain()
 	}
 }
 
-// process drains the LDLP queues (no-op under conventional, where Inject
-// already ran the stack) and flushes the transmit queue.
+// process drains the receive engine (no-op under conventional, where
+// Inject already ran the stack; a blocking Drain for the sharded engine)
+// and flushes the transmit queue.
 func (h *Host) process() int {
+	if h.sharded {
+		before := h.shards.Stats().Processed
+		h.shards.Drain()
+		n := int(h.shards.Stats().Processed - before)
+		return n + h.flushTx()
+	}
 	n := int(h.stack.Run())
 	return n + h.flushTx()
 }
 
 // transmit hands a frame to the wire — immediately under conventional
-// processing, queued for a batched flush under LDLP.
+// processing, queued for a batched flush under LDLP. Callers on the
+// sharded path hold h.mu.
 func (h *Host) transmit(f frame) {
 	if h.opts.Discipline == core.LDLP {
 		h.txq = append(h.txq, f)
@@ -302,7 +466,8 @@ func (h *Host) transmit(f frame) {
 	h.net.send(f)
 }
 
-// flushTx drains the transmit queue in one batch.
+// flushTx drains the transmit queue in one batch. Runs on the pump
+// goroutine with the shard workers quiescent (after Drain).
 func (h *Host) flushTx() int {
 	n := len(h.txq)
 	if n == 0 {
@@ -311,7 +476,7 @@ func (h *Host) flushTx() int {
 	if n > h.Counters.TxMaxBatch {
 		h.Counters.TxMaxBatch = n
 	}
-	h.Counters.TxBatches++
+	inc(&h.Counters.TxBatches)
 	for _, f := range h.txq {
 		h.net.send(f)
 	}
@@ -319,63 +484,67 @@ func (h *Host) flushTx() int {
 	return n
 }
 
-// deviceInput models the driver layer: frame length sanity.
-func (h *Host) deviceInput(p *Packet, emit core.Emit[*Packet]) {
+// deviceInput models the driver layer: frame length sanity. Lock-free:
+// touches only the packet and counters.
+func (rx *rxPath) deviceInput(p *Packet, emit core.Emit[*Packet]) {
 	if p.M.PktLen() < layers.EthernetLen {
-		h.Counters.BadEther++
+		inc(&rx.h.Counters.BadEther)
 		p.M.FreeChain()
 		return
 	}
-	emit(h.ether, p)
+	emit(rx.ether, p)
 }
 
 // etherInput decodes and strips the Ethernet header and demuxes on
-// ethertype.
-func (h *Host) etherInput(p *Packet, emit core.Emit[*Packet]) {
+// ethertype. Lock-free.
+func (rx *rxPath) etherInput(p *Packet, emit core.Emit[*Packet]) {
+	h := rx.h
 	buf := p.M.Bytes()
 	n, err := p.Eth.Decode(buf)
 	if err != nil {
-		h.Counters.BadEther++
+		inc(&h.Counters.BadEther)
 		p.M.FreeChain()
 		return
 	}
 	if p.Eth.Dst != h.mac && p.Eth.Dst != (layers.MACAddr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}) {
-		h.Counters.BadEther++
+		inc(&h.Counters.BadEther)
 		p.M.FreeChain()
 		return
 	}
 	p.M.Adj(n)
 	if p.Eth.EtherType != layers.EtherTypeIPv4 {
-		h.Counters.BadEther++
+		inc(&h.Counters.BadEther)
 		p.M.FreeChain()
 		return
 	}
-	emit(h.ipin, p)
+	emit(rx.ipin, p)
 }
 
 // ipInput validates the IP header, trims padding, strips the header and
-// demuxes on protocol.
-func (h *Host) ipInput(p *Packet, emit core.Emit[*Packet]) {
+// demuxes on protocol. Header validation runs lock-free; the fragment
+// slow path takes the host lock for the shared reassembly state.
+func (rx *rxPath) ipInput(p *Packet, emit core.Emit[*Packet]) {
+	h := rx.h
 	var err error
 	p.M, err = p.M.Pullup(min(p.M.PktLen(), layers.IPv4MinLen))
 	if err != nil {
-		h.Counters.BadIP++
+		inc(&h.Counters.BadIP)
 		p.M.FreeChain()
 		return
 	}
 	n, err := p.IP.Decode(p.M.Bytes())
 	if err != nil {
-		h.Counters.BadIP++
+		inc(&h.Counters.BadIP)
 		p.M.FreeChain()
 		return
 	}
 	if p.IP.Dst != h.ip {
-		h.Counters.BadIP++
+		inc(&h.Counters.BadIP)
 		p.M.FreeChain()
 		return
 	}
 	if p.IP.TotalLen > p.M.PktLen() {
-		h.Counters.BadIP++
+		inc(&h.Counters.BadIP)
 		p.M.FreeChain()
 		return
 	}
@@ -386,8 +555,10 @@ func (h *Host) ipInput(p *Packet, emit core.Emit[*Packet]) {
 		// The slow path the paper's traced fast path never sees: hold the
 		// fragment until the datagram completes, then continue the demux
 		// with the reassembled payload.
-		h.Counters.Fragments++
+		inc(&h.Counters.Fragments)
+		h.lockRx()
 		whole := h.reassemble(p)
+		h.unlockRx()
 		p.M.FreeChain()
 		if whole == nil {
 			return
@@ -398,13 +569,13 @@ func (h *Host) ipInput(p *Packet, emit core.Emit[*Packet]) {
 	}
 	switch p.IP.Protocol {
 	case layers.ProtoTCP:
-		emit(h.tcpin, p)
+		emit(rx.tcpin, p)
 	case layers.ProtoUDP:
-		emit(h.udpin, p)
+		emit(rx.udpin, p)
 	case layers.ProtoICMP:
-		emit(h.icmpin, p)
+		emit(rx.icmpin, p)
 	default:
-		h.Counters.BadIP++
+		inc(&h.Counters.BadIP)
 		p.M.FreeChain()
 	}
 }
@@ -412,13 +583,14 @@ func (h *Host) ipInput(p *Packet, emit core.Emit[*Packet]) {
 // sockInput is the top of the receive path: the transport layers have
 // already appended payload to the owning socket; this layer models the
 // wakeup.
-func (h *Host) sockInput(p *Packet, emit core.Emit[*Packet]) {
+func (rx *rxPath) sockInput(p *Packet, emit core.Emit[*Packet]) {
 	p.M.FreeChain()
 	emit(nil, p)
 }
 
 // ipOutput wraps a transport segment in IP + Ethernet and transmits,
-// fragmenting datagrams that exceed the link MTU.
+// fragmenting datagrams that exceed the link MTU. Callers on the sharded
+// receive path hold h.mu (ipID, txq).
 func (h *Host) ipOutput(m *mbuf.Mbuf, proto byte, dst layers.IPAddr) {
 	mtu := h.opts.mtu()
 	if layers.IPv4MinLen+m.PktLen() > mtu {
@@ -439,13 +611,13 @@ func (h *Host) ipOutput(m *mbuf.Mbuf, proto byte, dst layers.IPAddr) {
 	eth := layers.Ethernet{Dst: MACFor(dst), Src: h.mac, EtherType: layers.EtherTypeIPv4}
 	m, hdr = m.Prepend(layers.EthernetLen)
 	eth.Encode(hdr)
-	h.Counters.FramesOut++
+	inc(&h.Counters.FramesOut)
 	h.transmit(frame{dst: eth.Dst, data: append([]byte(nil), m.Contiguous()...)})
 	m.FreeChain()
 }
 
 // tick fires host timers (TCP retransmit / delayed ACK, reassembly
-// expiry).
+// expiry). Runs on the pump goroutine with shard workers quiescent.
 func (h *Host) tick() {
 	h.tcpTick()
 	h.fragTick()

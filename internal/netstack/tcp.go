@@ -3,6 +3,7 @@ package netstack
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"ldlp/internal/core"
 	"ldlp/internal/layers"
@@ -116,7 +117,11 @@ var (
 	ErrClosed = errors.New("netstack: socket closed")
 )
 
-var issCounter uint32 = 1000
+// issCounter feeds initial send sequence numbers; atomic because two
+// sharded hosts' workers can perform passive opens concurrently.
+var issCounter atomic.Uint32
+
+func nextISS() uint32 { return 1000 + issCounter.Add(64000) }
 
 // ListenTCP opens a passive socket on port.
 func (h *Host) ListenTCP(port uint16) (*TCPListener, error) {
@@ -149,12 +154,11 @@ var ephemeral uint16 = 32768
 // is pumped (check Established or poll Accept on the peer).
 func (h *Host) DialTCP(dst layers.IPAddr, port uint16) *TCPSock {
 	ephemeral++
-	issCounter += 64000
 	pcb := &tcpPCB{
 		host:  h,
 		tuple: fourTuple{raddr: dst, rport: port, lport: ephemeral},
 		state: stSynSent,
-		iss:   issCounter,
+		iss:   nextISS(),
 	}
 	pcb.sndUna, pcb.sndNxt = pcb.iss, pcb.iss
 	pcb.sndWnd = tcpWindow
@@ -231,10 +235,10 @@ func (pcb *tcpPCB) teardown() {
 // trace mentions ("the single-entry PCB cache hits").
 func (h *Host) lookupPCB(t fourTuple) *tcpPCB {
 	if c := h.pcbCache; c != nil && c.tuple == t {
-		h.Counters.PCBCacheHits++
+		inc(&h.Counters.PCBCacheHits)
 		return c
 	}
-	h.Counters.PCBCacheMisses++
+	inc(&h.Counters.PCBCacheMisses)
 	pcb := h.pcbs[t]
 	if pcb != nil {
 		h.pcbCache = pcb
@@ -242,18 +246,24 @@ func (h *Host) lookupPCB(t fourTuple) *tcpPCB {
 	return pcb
 }
 
-// tcpInput is the receive-path TCP layer.
-func (h *Host) tcpInput(p *Packet, emit core.Emit[*Packet]) {
+// tcpInput is the receive-path TCP layer. The checksum-heavy decode runs
+// lock-free; connection state is mutated under the host lock (a no-op on
+// the single-threaded path).
+func (rx *rxPath) tcpInput(p *Packet, emit core.Emit[*Packet]) {
+	h := rx.h
 	seg := p.M.Contiguous()
 	n, err := p.TCP.Decode(seg, p.IP.Src, p.IP.Dst)
 	if err != nil {
-		h.Counters.BadTCP++
+		inc(&h.Counters.BadTCP)
 		p.M.FreeChain()
 		return
 	}
 	payload := seg[n:]
 	th := &p.TCP
 	tuple := fourTuple{raddr: p.IP.Src, rport: th.SrcPort, lport: th.DstPort}
+
+	h.lockRx()
+	defer h.unlockRx()
 	pcb := h.lookupPCB(tuple)
 
 	if pcb == nil {
@@ -265,10 +275,9 @@ func (h *Host) tcpInput(p *Packet, emit core.Emit[*Packet]) {
 					p.M.FreeChain()
 					return
 				}
-				issCounter += 64000
 				pcb = &tcpPCB{
 					host: h, tuple: tuple, state: stSynRcvd,
-					iss: issCounter, irs: th.Seq,
+					iss: nextISS(), irs: th.Seq,
 					rcvNxt: th.Seq + 1, sndWnd: int(th.Window),
 				}
 				pcb.sndUna, pcb.sndNxt = pcb.iss, pcb.iss
@@ -277,10 +286,10 @@ func (h *Host) tcpInput(p *Packet, emit core.Emit[*Packet]) {
 				l.backlog = append(l.backlog, pcb.sock)
 				pcb.sendSegment(layers.TCPSyn|layers.TCPAck, nil, true)
 			} else {
-				h.Counters.NoSocket++
+				inc(&h.Counters.NoSocket)
 			}
 		} else {
-			h.Counters.NoSocket++
+			inc(&h.Counters.NoSocket)
 		}
 		p.M.FreeChain()
 		return
@@ -292,24 +301,26 @@ func (h *Host) tcpInput(p *Packet, emit core.Emit[*Packet]) {
 		th.Flags&^(layers.TCPAck|layers.TCPPsh) == 0 &&
 		th.Flags&layers.TCPAck != 0 &&
 		th.Seq == pcb.rcvNxt {
-		h.Counters.TCPFastPath++
+		inc(&h.Counters.TCPFastPath)
 		pcb.processAck(th)
 		if len(payload) > 0 {
 			pcb.acceptData(payload)
-			h.Counters.DataSegsIn++
-			emit(h.sock, p)
+			inc(&h.Counters.DataSegsIn)
+			emit(rx.sock, p)
 			return
 		}
 		p.M.FreeChain()
 		return
 	}
 
-	h.Counters.TCPSlowPath++
-	h.tcpSlowPath(pcb, th, payload, p, emit)
+	inc(&h.Counters.TCPSlowPath)
+	rx.tcpSlowPath(pcb, th, payload, p, emit)
 }
 
-// tcpSlowPath handles everything header prediction does not.
-func (h *Host) tcpSlowPath(pcb *tcpPCB, th *layers.TCP, payload []byte, p *Packet, emit core.Emit[*Packet]) {
+// tcpSlowPath handles everything header prediction does not. Called with
+// the host lock held (when sharded).
+func (rx *rxPath) tcpSlowPath(pcb *tcpPCB, th *layers.TCP, payload []byte, p *Packet, emit core.Emit[*Packet]) {
+	h := rx.h
 	if th.Flags&layers.TCPRst != 0 {
 		pcb.teardown()
 		p.M.FreeChain()
@@ -360,7 +371,7 @@ func (h *Host) tcpSlowPath(pcb *tcpPCB, th *layers.TCP, payload []byte, p *Packe
 		switch pcb.state {
 		case stEstablished, stFinWait1, stFinWait2:
 			pcb.acceptData(payload)
-			h.Counters.DataSegsIn++
+			inc(&h.Counters.DataSegsIn)
 			delivered = true
 		}
 	}
@@ -389,7 +400,7 @@ func (h *Host) tcpSlowPath(pcb *tcpPCB, th *layers.TCP, payload []byte, p *Packe
 	}
 
 	if delivered {
-		emit(h.sock, p)
+		emit(rx.sock, p)
 	} else {
 		p.M.FreeChain()
 	}
@@ -463,7 +474,7 @@ func (pcb *tcpPCB) trySend() {
 // sendAck emits a bare ACK and clears the delayed-ACK counter.
 func (pcb *tcpPCB) sendAck() {
 	pcb.delAckPending = 0
-	pcb.host.Counters.AcksSent++
+	inc(&pcb.host.Counters.AcksSent)
 	pcb.sendSegment(layers.TCPAck, nil, false)
 }
 
@@ -513,7 +524,7 @@ func (h *Host) tcpTick() {
 			continue
 		}
 		if pcb.delAckPending > 0 {
-			h.Counters.DelayedAcks++
+			inc(&h.Counters.DelayedAcks)
 			pcb.sendAck()
 		}
 		// Zero-window persist: data queued, nothing in flight, no window.
@@ -521,7 +532,7 @@ func (h *Host) tcpTick() {
 			pcb.sndWnd <= 0 && pcb.state == stEstablished &&
 			h.net.now-pcb.lastProbe >= tcpPersist {
 			pcb.lastProbe = h.net.now
-			h.Counters.WindowProbes++
+			inc(&h.Counters.WindowProbes)
 			// Probe with one byte of real data, tracked like any send.
 			chunk := pcb.sndBuf[:1:1]
 			pcb.sndBuf = pcb.sndBuf[1:]
@@ -532,7 +543,7 @@ func (h *Host) tcpTick() {
 		}
 		u := &pcb.unacked[0]
 		if h.net.now-u.sentAt >= u.backoff {
-			h.Counters.Retransmits++
+			inc(&h.Counters.Retransmits)
 			u.sentAt = h.net.now
 			if u.backoff < tcpMaxBackoff {
 				u.backoff *= 2

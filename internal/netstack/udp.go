@@ -61,18 +61,23 @@ func (s *UDPSock) Recv() (Datagram, bool) {
 // Pending reports queued datagrams.
 func (s *UDPSock) Pending() int { return len(s.queue) }
 
-// udpInput is the receive-path UDP layer.
-func (h *Host) udpInput(p *Packet, emit core.Emit[*Packet]) {
+// udpInput is the receive-path UDP layer. The checksum runs lock-free;
+// the socket queue is mutated under the host lock (a no-op on the
+// single-threaded path).
+func (rx *rxPath) udpInput(p *Packet, emit core.Emit[*Packet]) {
+	h := rx.h
 	buf := p.M.Contiguous()
 	n, err := p.UDP.Decode(buf, p.IP.Src, p.IP.Dst)
 	if err != nil {
-		h.Counters.BadUDP++
+		inc(&h.Counters.BadUDP)
 		p.M.FreeChain()
 		return
 	}
+	h.lockRx()
+	defer h.unlockRx()
 	sock, ok := h.udpSocks[p.UDP.DstPort]
 	if !ok {
-		h.Counters.NoSocket++
+		inc(&h.Counters.NoSocket)
 		p.M.FreeChain()
 		return
 	}
@@ -83,5 +88,5 @@ func (h *Host) udpInput(p *Packet, emit core.Emit[*Packet]) {
 	}
 	payload := append([]byte(nil), buf[n:p.UDP.Length]...)
 	sock.queue = append(sock.queue, Datagram{Src: p.IP.Src, SrcPort: p.UDP.SrcPort, Data: payload})
-	emit(h.sock, p)
+	emit(rx.sock, p)
 }

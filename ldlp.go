@@ -97,3 +97,33 @@ func ParseGraph(spec string) (*GraphSpec, error) { return core.ParseGraph(spec) 
 func BuildStack[M any](opts Options, spec string, handlers map[string]Handler[M]) (*Stack[M], map[string]*Layer[M], error) {
 	return core.BuildStack(opts, spec, handlers)
 }
+
+// ShardedStack is the concurrent LDLP engine: Options.Shards worker
+// goroutines, each running the single-threaded schedule over a private
+// Stack, with injected messages partitioned by a caller-supplied flow
+// hash (messages of one flow never migrate, so per-flow order is
+// preserved without cross-shard synchronization). See DESIGN.md
+// "Sharded engine" for the flow-hash contract and ordering guarantees.
+type ShardedStack[M any] = core.ShardedStack[M]
+
+// NewShardedStack builds a sharded engine. hash maps a message to its
+// flow (equal hashes share a shard); build wires each shard's private
+// Stack (called once per shard). Call Close when done to stop the
+// workers.
+func NewShardedStack[M any](opts Options, hash func(M) uint64, build func(shard int, s *Stack[M])) *ShardedStack[M] {
+	return core.NewShardedStack(opts, hash, build)
+}
+
+// BuildShardedStack assembles a sharded engine from a graph spec, with
+// one handler map per shard (handlers must emit into their own shard's
+// layers, returned per shard).
+func BuildShardedStack[M any](opts Options, spec string, hash func(M) uint64, handlers func(shard int) map[string]Handler[M]) (*ShardedStack[M], []map[string]*Layer[M], error) {
+	return core.BuildShardedStack(opts, spec, hash, handlers)
+}
+
+// HashBytes folds b into a running FNV-1a flow hash seeded by HashSeed —
+// a convenience for building flow hashes over header fields.
+func HashBytes(h uint64, b []byte) uint64 { return core.HashBytes(h, b) }
+
+// HashSeed is the initial value for HashBytes chains.
+func HashSeed() uint64 { return core.HashSeed() }

@@ -48,6 +48,13 @@ func NewNet() *Net { return netstack.NewNet() }
 // parameters).
 func DefaultHostOptions(d Discipline) HostOptions { return netstack.DefaultOptions(d) }
 
+// ShardedHostOptions returns an LDLP host configuration whose receive
+// path runs on the sharded engine: shards worker goroutines, frames
+// partitioned by TCP/UDP 4-tuple (fragments by IP ID) so per-connection
+// ordering is preserved. Call Net.Close (or Host.Close) to stop the
+// workers when done.
+func ShardedHostOptions(shards int) HostOptions { return netstack.ShardedOptions(shards) }
+
 // --- signalling ---
 
 // SignalAgent is a Q.93B-flavoured signalling endpoint.
