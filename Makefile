@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race fuzz bench report examples clean
+.PHONY: all build vet test test-short test-race fuzz bench bench-full report examples clean
 
 all: build vet test
 
@@ -24,13 +24,25 @@ test-short:
 test-race:
 	$(GO) test -race ./...
 
-# Short fuzzing pass over every FuzzXxx target (graph parser, DNS codec).
+# Short fuzzing pass over every FuzzXxx target (graph parser, DNS codec,
+# mbuf chain ops).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParseGraph -fuzztime=10s ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/dns
 	$(GO) test -run=^$$ -fuzz=FuzzEncodeName -fuzztime=10s ./internal/dns
+	$(GO) test -run=^$$ -fuzz=FuzzChainOps -fuzztime=10s ./internal/mbuf
 
+# CI smoke: one iteration of the allocation-sensitive hot-path benchmarks
+# (enough for -benchmem to report allocs/op), summarized to BENCH_2.json.
+# allocs/op for BenchmarkHotPathInject must stay 0 — that is the PR's
+# steady-state guarantee, and a regression shows up here first.
 bench:
+	$(GO) test -run=NONE -bench='BenchmarkHotPathInject|BenchmarkPoolAllocFree|BenchmarkPrependHeader|BenchmarkAllocFreeCluster' \
+		-benchmem -benchtime=1x ./internal/netstack ./internal/mbuf \
+		| $(GO) run ./cmd/benchjson -out BENCH_2.json
+
+# The full benchmark sweep (slow; numbers, not smoke).
+bench-full:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every table/figure/ablation into results/ (add PAPER=1 for

@@ -1,0 +1,120 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON summary, for CI to archive and diff across
+// commits. Input lines flow through to stdout unchanged so the tool can
+// sit in the middle of a pipeline without hiding the run.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson -out BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line. Metrics beyond the standard three
+// (ns/op, B/op, allocs/op) land in Extra keyed by their unit.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp *float64           `json:"bytes_per_op,omitempty"`
+	AllocsOp   *float64           `json:"allocs_per_op,omitempty"`
+	Extra      map[string]float64 `json:"extra,omitempty"`
+}
+
+// Summary is the emitted document.
+type Summary struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON summary to this file (default stdout only)")
+	flag.Parse()
+
+	var sum Summary
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			sum.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			sum.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			sum.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		}
+		if r, ok := parseBenchLine(line); ok {
+			sum.Benchmarks = append(sum.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("benchjson: read stdin: %v", err)
+	}
+
+	doc, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		log.Fatalf("benchjson: marshal: %v", err)
+	}
+	doc = append(doc, '\n')
+	if *out == "" {
+		os.Stdout.Write(doc)
+		return
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(sum.Benchmarks), *out)
+}
+
+// parseBenchLine parses one testing.B output line:
+//
+//	BenchmarkName-8   10000   359.2 ns/op   0 B/op   0 allocs/op
+func parseBenchLine(line string) (Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Result{}, false
+	}
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: f[0], Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			b := v
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			r.AllocsOp = &a
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[unit] = v
+		}
+	}
+	return r, true
+}

@@ -6,13 +6,16 @@
 //
 // Usage:
 //
-//	sigbench [-duration 1] [-seeds 5] [-shards 4]
+//	sigbench [-duration 1] [-seeds 5] [-shards 4] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
+	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"ldlp/internal/checksum"
@@ -29,10 +32,36 @@ func main() {
 		seeds    = flag.Int("seeds", 5, "placement seeds averaged per point")
 		hops     = flag.Int("hops", 15, "switches on the cross-country path (§1 says 10-20)")
 		shards   = flag.Int("shards", 4, "worker count for the sharded-engine section")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *shards < 1 {
 		*shards = 1
+	}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			log.Fatalf("sigbench: -cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("sigbench: start CPU profile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				log.Fatalf("sigbench: -memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("sigbench: write heap profile: %v", err)
+			}
+		}()
 	}
 
 	goalMsgs := float64(signal.GoalPairsPerSec * signal.MessagesPerPair)

@@ -1,0 +1,99 @@
+package checksum
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refAccumulator is the obviously-correct reference: one byte at a time,
+// high-order byte first within each 16-bit word, folding at the end.
+// Accumulator.Add's 8-bytes-per-iteration loop must match it bit-exactly
+// over any sequence of odd- and even-length chunks.
+type refAccumulator struct {
+	sum uint64
+	odd bool
+}
+
+func (r *refAccumulator) add(b []byte) {
+	for _, c := range b {
+		if r.odd {
+			r.sum += uint64(c)
+		} else {
+			r.sum += uint64(c) << 8
+		}
+		r.odd = !r.odd
+	}
+}
+
+func (r *refAccumulator) sum16() uint16 {
+	s := r.sum
+	for s > 0xffff {
+		s = (s >> 16) + (s & 0xffff)
+	}
+	return ^uint16(s)
+}
+
+// TestAccumulatorMatchesByteReference feeds identical random chunk
+// sequences — lengths biased toward the annoying cases (empty, 1, 7, 8,
+// 9 bytes, so word boundaries land everywhere) — to the word-at-a-time
+// Accumulator and the byte-at-a-time reference.
+func TestAccumulatorMatchesByteReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	lens := []int{0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 63, 64, 65, 552, 1500}
+	for trial := 0; trial < 500; trial++ {
+		var acc Accumulator
+		var ref refAccumulator
+		chunks := 1 + rng.Intn(8)
+		for c := 0; c < chunks; c++ {
+			n := lens[rng.Intn(len(lens))]
+			if rng.Intn(4) == 0 {
+				n = rng.Intn(2048)
+			}
+			b := make([]byte, n)
+			rng.Read(b)
+			acc.Add(b)
+			ref.add(b)
+		}
+		if got, want := acc.Sum16(), ref.sum16(); got != want {
+			t.Fatalf("trial %d: word-at-a-time %#04x != byte-at-a-time %#04x", trial, got, want)
+		}
+	}
+}
+
+// TestAccumulatorMatchesSimpleOnSplits checks the other equivalence the
+// stack relies on: accumulating a buffer in arbitrary pieces equals
+// Simple over the whole buffer (chunk boundaries are invisible).
+func TestAccumulatorMatchesSimpleOnSplits(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		whole := make([]byte, 1+rng.Intn(4096))
+		rng.Read(whole)
+		var acc Accumulator
+		for rest := whole; len(rest) > 0; {
+			n := 1 + rng.Intn(len(rest))
+			acc.Add(rest[:n])
+			rest = rest[n:]
+		}
+		if got, want := acc.Sum16(), Simple(whole); got != want {
+			t.Fatalf("trial %d (len %d): split %#04x != whole %#04x", trial, len(whole), got, want)
+		}
+	}
+}
+
+// TestAccumulatorManyChunksNoOverflow exercises the partial-fold guard:
+// far more data than would fit the running sum unfolded.
+func TestAccumulatorManyChunksNoOverflow(t *testing.T) {
+	b := make([]byte, 65535)
+	for i := range b {
+		b[i] = 0xff
+	}
+	var acc Accumulator
+	var ref refAccumulator
+	for i := 0; i < 10_000; i++ {
+		acc.Add(b)
+		ref.add(b)
+	}
+	if got, want := acc.Sum16(), ref.sum16(); got != want {
+		t.Fatalf("after 10k max-weight chunks: %#04x != %#04x", got, want)
+	}
+}

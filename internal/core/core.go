@@ -103,6 +103,13 @@ type Layer[M any] struct {
 	queue   fifo[M]
 	uppers  []*Layer[M]
 
+	// emitQueued and emitCall are this layer's Emit callbacks, built once
+	// at AddLayer. Constructing them per handler invocation (a closure
+	// capturing the layer) would heap-allocate on every message — the
+	// kind of per-message overhead the paper's whole argument is against.
+	emitQueued Emit[M]
+	emitCall   Emit[M]
+
 	// Processed counts handler invocations at this layer.
 	Processed int64
 	// MaxQueue tracks the deepest the input queue has been.
@@ -187,6 +194,22 @@ func (s *Stack[M]) AddLayer(name string, h Handler[M]) *Layer[M] {
 		panic("core: nil handler for layer " + name)
 	}
 	l := &Layer[M]{name: name, handler: h, index: len(s.layers)}
+	l.emitQueued = func(to *Layer[M], next M) {
+		if to == nil {
+			s.deliver(next)
+			return
+		}
+		s.checkLinked(l, to)
+		s.enqueue(to, next)
+	}
+	l.emitCall = func(to *Layer[M], next M) {
+		if to == nil {
+			s.deliver(next)
+			return
+		}
+		s.checkLinked(l, to)
+		s.callThrough(to, next)
+	}
 	s.layers = append(s.layers, l)
 	if s.bottom == nil {
 		s.bottom = l
@@ -249,14 +272,7 @@ func (s *Stack[M]) Inject(m M) error {
 // callThrough runs a message depth-first through the layers, the
 // conventional schedule.
 func (s *Stack[M]) callThrough(l *Layer[M], m M) {
-	s.process(l, m, func(to *Layer[M], next M) {
-		if to == nil {
-			s.deliver(next)
-			return
-		}
-		s.checkLinked(l, to)
-		s.callThrough(to, next)
-	})
+	s.process(l, m, l.emitCall)
 }
 
 func (s *Stack[M]) process(l *Layer[M], m M, emit Emit[M]) {
@@ -341,13 +357,6 @@ func (s *Stack[M]) runLayer(l *Layer[M]) {
 			break
 		}
 		s.queued--
-		s.process(l, m, func(to *Layer[M], next M) {
-			if to == nil {
-				s.deliver(next)
-				return
-			}
-			s.checkLinked(l, to)
-			s.enqueue(to, next)
-		})
+		s.process(l, m, l.emitQueued)
 	}
 }

@@ -254,6 +254,17 @@ func (s *ShardedStack[M]) Pending() int {
 	return int(s.pending.Load() + s.outPending.Load())
 }
 
+// QueueDepths reports each shard's current input-queue depth (messages
+// accepted by Inject that its worker has not yet taken). A point-in-time
+// snapshot for monitoring — depths move while workers run.
+func (s *ShardedStack[M]) QueueDepths() []int {
+	out := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = len(sh.in)
+	}
+	return out
+}
+
 // Drain blocks until every message accepted so far has been processed
 // and all resulting deliveries have passed through the Sink. It is the
 // sharded analogue of Run: Inject a burst, then Drain.

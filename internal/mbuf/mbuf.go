@@ -8,14 +8,29 @@
 // off their buffers to the higher layers" — which mbufs provide, since an
 // mbuf chain owns its storage and moves between layer queues by pointer.
 //
-// Buffers are pooled. The pool is safe for concurrent use; individual
-// mbuf chains are not (a chain belongs to one layer at a time — exactly
-// the hand-off discipline LDLP wants).
+// Buffers are pooled. A Pool is split into cache-line-padded shards so
+// that concurrent allocators (one shard per receive-path worker, one per
+// host transmit path) never serialize on a global lock: the fast path is
+// a TryLock'd per-shard freelist that never blocks — on the rare
+// contention miss, or when a shard's freelist over/underflows, the
+// allocation falls through to a pool-wide sync.Pool, which is per-P and
+// scales with cores. Counters are per-shard atomics aggregated on read.
+//
+// Every mbuf remembers its owning shard: Free returns it there no matter
+// which goroutine frees it, so a chain handed across the stack (or across
+// hosts, LDLP's §3.2 ownership transfer) drains back to the pool that
+// allocated it and each shard's freelist stays hot.
+//
+// The pool is safe for concurrent use; individual mbuf chains are not (a
+// chain belongs to one layer at a time — exactly the hand-off discipline
+// LDLP wants).
 package mbuf
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 const (
@@ -24,6 +39,10 @@ const (
 	// MCLBytes is the size of a cluster mbuf's storage (one page half,
 	// like 4.4BSD's 2 KB clusters).
 	MCLBytes = 2048
+	// shardFreeCap bounds a shard's private freelist; beyond it, freed
+	// buffers overflow into the pool-wide sync.Pool (and may be reclaimed
+	// by the GC, bounding idle memory).
+	shardFreeCap = 512
 )
 
 // Stats counts pool activity, for leak detection.
@@ -34,29 +53,117 @@ type Stats struct {
 	Clusters int64
 }
 
-var (
-	poolMu    sync.Mutex
-	smallPool []*Mbuf
-	clustPool []*Mbuf
-	stats     Stats
-)
+// PoolShard is one allocation domain of a Pool. Handles are cheap to
+// share; a shard is safe for concurrent use, but callers get the
+// contention-free fast path by giving each worker its own shard.
+type PoolShard struct {
+	pool *Pool
+	// mu guards the freelists. It is only ever TryLock'd on the alloc/free
+	// fast path (never blocks); Reset takes it for real.
+	mu    sync.Mutex
+	small []*Mbuf
+	clust []*Mbuf
 
-// PoolStats returns a snapshot of allocation counters.
-func PoolStats() Stats {
-	poolMu.Lock()
-	defer poolMu.Unlock()
-	return stats
+	// InUse is derived as allocs-frees rather than kept as a third
+	// counter: one fewer atomic on every Get and Free.
+	allocs   atomic.Int64
+	frees    atomic.Int64
+	clusters atomic.Int64
+
+	// Keep shards off each other's cache lines: the counters above are
+	// the write-hot fields.
+	_ [64]byte
 }
 
-// ResetPool discards pooled buffers and zeroes the counters (test
-// hygiene).
-func ResetPool() {
-	poolMu.Lock()
-	defer poolMu.Unlock()
-	smallPool = nil
-	clustPool = nil
-	stats = Stats{}
+// overflowPools is the pool-wide sync.Pool tier, swapped wholesale on
+// Reset (sync.Pool itself cannot be drained).
+type overflowPools struct {
+	small sync.Pool
+	clust sync.Pool
 }
+
+// Pool is a sharded mbuf allocator.
+type Pool struct {
+	shards   []*PoolShard
+	overflow atomic.Pointer[overflowPools]
+}
+
+// NewPool creates a pool with the given number of shards (minimum 1).
+func NewPool(shards int) *Pool {
+	if shards < 1 {
+		shards = 1
+	}
+	p := &Pool{shards: make([]*PoolShard, shards)}
+	for i := range p.shards {
+		p.shards[i] = &PoolShard{pool: p}
+	}
+	p.overflow.Store(&overflowPools{})
+	return p
+}
+
+// NumShards reports the shard count.
+func (p *Pool) NumShards() int { return len(p.shards) }
+
+// Shard returns shard i (mod the shard count, so callers can index by
+// worker number without clamping).
+func (p *Pool) Shard(i int) *PoolShard {
+	if i < 0 {
+		i = -i
+	}
+	return p.shards[i%len(p.shards)]
+}
+
+// Stats returns the pool's aggregated allocation counters.
+func (p *Pool) Stats() Stats {
+	var s Stats
+	for _, ps := range p.shards {
+		s.Allocs += ps.allocs.Load()
+		s.Frees += ps.frees.Load()
+		s.Clusters += ps.clusters.Load()
+	}
+	s.InUse = s.Allocs - s.Frees
+	return s
+}
+
+// Reset discards pooled buffers and zeroes the counters (test hygiene).
+// Not safe to run concurrently with allocation.
+func (p *Pool) Reset() {
+	for _, ps := range p.shards {
+		ps.mu.Lock()
+		ps.small = nil
+		ps.clust = nil
+		ps.mu.Unlock()
+		ps.allocs.Store(0)
+		ps.frees.Store(0)
+		ps.clusters.Store(0)
+	}
+	p.overflow.Store(&overflowPools{})
+}
+
+// defaultPool backs the package-level Get/GetCluster/FromBytes. At least
+// 8 shards even on small machines, so per-worker shard handles stay
+// distinct in tests that model more cores than the host has.
+var defaultPool = func() *Pool {
+	n := runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	return NewPool(n)
+}()
+
+// DefaultPool returns the pool behind the package-level helpers.
+func DefaultPool() *Pool { return defaultPool }
+
+// DefaultShard returns shard i of the default pool (mod its shard
+// count) — the handle callers thread through per-worker state.
+func DefaultShard(i int) *PoolShard { return defaultPool.Shard(i) }
+
+// PoolStats returns a snapshot of the default pool's counters.
+func PoolStats() Stats { return defaultPool.Stats() }
+
+// ResetPool discards the default pool's buffers and zeroes the counters
+// (test hygiene).
+func ResetPool() { defaultPool.Reset() }
 
 // Mbuf is one buffer in a chain. The head of a chain represents a packet;
 // PktLen is maintained on the head only.
@@ -65,39 +172,52 @@ type Mbuf struct {
 	off     int
 	length  int
 	next    *Mbuf
+	owner   *PoolShard
 	cluster bool
 	freed   bool
 }
 
-// Get allocates a small mbuf with its data region positioned mid-buffer
-// so both prepends and appends have room.
-func Get() *Mbuf {
-	return get(false)
-}
+// Get allocates a small mbuf from the default pool with its data region
+// positioned mid-buffer so both prepends and appends have room.
+func Get() *Mbuf { return defaultPool.shards[0].get(false) }
 
-// GetCluster allocates a cluster mbuf.
-func GetCluster() *Mbuf {
-	return get(true)
-}
+// GetCluster allocates a cluster mbuf from the default pool.
+func GetCluster() *Mbuf { return defaultPool.shards[0].get(true) }
 
-func get(cluster bool) *Mbuf {
-	poolMu.Lock()
+// Get allocates a small mbuf from this shard.
+func (ps *PoolShard) Get() *Mbuf { return ps.get(false) }
+
+// GetCluster allocates a cluster mbuf from this shard.
+func (ps *PoolShard) GetCluster() *Mbuf { return ps.get(true) }
+
+func (ps *PoolShard) get(cluster bool) *Mbuf {
 	var m *Mbuf
-	if cluster {
-		if n := len(clustPool); n > 0 {
-			m, clustPool = clustPool[n-1], clustPool[:n-1]
+	// Fast path: this shard's freelist, if the lock is free right now.
+	if ps.mu.TryLock() {
+		if cluster {
+			if n := len(ps.clust); n > 0 {
+				m, ps.clust = ps.clust[n-1], ps.clust[:n-1]
+			}
+		} else {
+			if n := len(ps.small); n > 0 {
+				m, ps.small = ps.small[n-1], ps.small[:n-1]
+			}
 		}
-	} else {
-		if n := len(smallPool); n > 0 {
-			m, smallPool = smallPool[n-1], smallPool[:n-1]
+		ps.mu.Unlock()
+	}
+	if m == nil {
+		// Overflow tier (per-P, scalable), then the heap.
+		ov := ps.pool.overflow.Load()
+		if cluster {
+			m, _ = ov.clust.Get().(*Mbuf)
+		} else {
+			m, _ = ov.small.Get().(*Mbuf)
 		}
 	}
-	stats.Allocs++
-	stats.InUse++
+	ps.allocs.Add(1)
 	if cluster {
-		stats.Clusters++
+		ps.clusters.Add(1)
 	}
-	poolMu.Unlock()
 	if m == nil {
 		size := MSize
 		if cluster {
@@ -105,6 +225,7 @@ func get(cluster bool) *Mbuf {
 		}
 		m = &Mbuf{buf: make([]byte, size), cluster: cluster}
 	}
+	m.owner = ps
 	// Leave ~25% headroom for prepends.
 	m.off = len(m.buf) / 4
 	m.length = 0
@@ -113,8 +234,17 @@ func get(cluster bool) *Mbuf {
 	return m
 }
 
-// Free releases this single mbuf to the pool and returns the next mbuf in
-// the chain. Double frees panic: they are ownership bugs.
+// alikeFor sizes a fresh mbuf for n more bytes, allocating from the same
+// shard that owns m so chains stay shard-local.
+func (m *Mbuf) alikeFor(n int) *Mbuf {
+	if n > MSize/2 {
+		return m.owner.get(true)
+	}
+	return m.owner.get(false)
+}
+
+// Free releases this single mbuf to its owning shard and returns the next
+// mbuf in the chain. Double frees panic: they are ownership bugs.
 func (m *Mbuf) Free() *Mbuf {
 	if m.freed {
 		panic("mbuf: double free")
@@ -122,16 +252,34 @@ func (m *Mbuf) Free() *Mbuf {
 	next := m.next
 	m.freed = true
 	m.next = nil
-	poolMu.Lock()
+	ps := m.owner
+	ps.frees.Add(1)
 	if m.cluster {
-		clustPool = append(clustPool, m)
-		stats.Clusters--
-	} else {
-		smallPool = append(smallPool, m)
+		ps.clusters.Add(-1)
 	}
-	stats.Frees++
-	stats.InUse--
-	poolMu.Unlock()
+	pushed := false
+	if ps.mu.TryLock() {
+		if m.cluster {
+			if len(ps.clust) < shardFreeCap {
+				ps.clust = append(ps.clust, m)
+				pushed = true
+			}
+		} else {
+			if len(ps.small) < shardFreeCap {
+				ps.small = append(ps.small, m)
+				pushed = true
+			}
+		}
+		ps.mu.Unlock()
+	}
+	if !pushed {
+		ov := ps.pool.overflow.Load()
+		if m.cluster {
+			ov.clust.Put(m)
+		} else {
+			ov.small.Put(m)
+		}
+	}
 	return next
 }
 
@@ -177,7 +325,7 @@ func (m *Mbuf) Append(data []byte) *Mbuf {
 	for len(data) > 0 {
 		room := last.trailing()
 		if room == 0 {
-			nm := alikeFor(len(data))
+			nm := m.alikeFor(len(data))
 			nm.off = 0
 			last.next = nm
 			last = nm
@@ -194,13 +342,6 @@ func (m *Mbuf) Append(data []byte) *Mbuf {
 	return m
 }
 
-func alikeFor(n int) *Mbuf {
-	if n > MSize/2 {
-		return GetCluster()
-	}
-	return Get()
-}
-
 // Prepend makes room for n bytes in front of the chain's data and returns
 // the new head (a fresh mbuf if the current head lacks headroom). The new
 // bytes are zeroed and returned for the caller to fill — the no-copy
@@ -215,7 +356,7 @@ func (m *Mbuf) Prepend(n int) (*Mbuf, []byte) {
 		}
 		return m, hdr
 	}
-	nm := alikeFor(n)
+	nm := m.alikeFor(n)
 	if n > len(nm.buf) {
 		nm.Free()
 		panic(fmt.Sprintf("mbuf: prepend of %d exceeds cluster size", n))
@@ -277,7 +418,7 @@ func (m *Mbuf) Pullup(n int) (*Mbuf, error) {
 	if n > MCLBytes {
 		return m, fmt.Errorf("mbuf: pullup %d exceeds cluster size", n)
 	}
-	head := alikeFor(n)
+	head := m.alikeFor(n)
 	head.off = 0
 	// Gather n bytes from the chain into the new head.
 	rest := m
@@ -321,7 +462,7 @@ func (m *Mbuf) Split(n int) *Mbuf {
 	}
 	// Partial mbuf: copy the tail part into a fresh mbuf.
 	tailLen := cur.length - n
-	nm := alikeFor(tailLen)
+	nm := m.alikeFor(tailLen)
 	nm.off = 0
 	copy(nm.buf, cur.Bytes()[n:])
 	nm.length = tailLen
@@ -371,10 +512,15 @@ func (m *Mbuf) Chunks() [][]byte {
 	return out
 }
 
-// FromBytes builds a chain holding a copy of data, using clusters for
-// bulk.
-func FromBytes(data []byte) *Mbuf {
-	m := alikeFor(len(data))
+// FromBytes builds a chain from this shard holding a copy of data, using
+// clusters for bulk.
+func (ps *PoolShard) FromBytes(data []byte) *Mbuf {
+	var m *Mbuf
+	if len(data) > MSize/2 {
+		m = ps.get(true)
+	} else {
+		m = ps.get(false)
+	}
 	m.off = len(m.buf) / 4
 	if len(data) <= m.trailing() {
 		copy(m.buf[m.off:], data)
@@ -384,6 +530,9 @@ func FromBytes(data []byte) *Mbuf {
 	m.length = 0
 	return m.Append(data)
 }
+
+// FromBytes builds a chain from the default pool holding a copy of data.
+func FromBytes(data []byte) *Mbuf { return defaultPool.shards[0].FromBytes(data) }
 
 // NumBufs counts the mbufs in the chain.
 func (m *Mbuf) NumBufs() int {

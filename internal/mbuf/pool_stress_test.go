@@ -1,0 +1,168 @@
+package mbuf
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestPoolConcurrentStress hammers one pool from many goroutines — each
+// with its own shard handle, as the netstack arranges — doing the full
+// life cycle the receive path does: allocate, build a chain, split it,
+// hand one half to another goroutine (cross-shard free, like a frame
+// crossing the wire), free the rest locally. Run under -race this checks
+// the TryLock fast path, the sync.Pool overflow tier, and the atomic
+// counters; afterwards the pool must balance exactly.
+func TestPoolConcurrentStress(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 2000
+	)
+	pool := NewPool(4) // fewer shards than workers: handles alias
+	// handoff carries chains between goroutines so frees routinely hit a
+	// shard the freeing goroutine never allocated from.
+	handoff := make(chan *Mbuf, workers*4)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ps := pool.Shard(w)
+			payload := make([]byte, 300) // spans a small mbuf into a second
+			for i := range payload {
+				payload[i] = byte(w)
+			}
+			for i := 0; i < rounds; i++ {
+				m := ps.FromBytes(payload)
+				m, hdr := m.Prepend(14)
+				hdr[0] = byte(i)
+				tail := m.Split(100)
+				select {
+				case handoff <- tail:
+				default:
+					tail.FreeChain()
+				}
+				m.FreeChain()
+				select {
+				case other := <-handoff:
+					other.FreeChain()
+				default:
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(handoff)
+	for m := range handoff {
+		m.FreeChain()
+	}
+	st := pool.Stats()
+	if st.InUse != 0 {
+		t.Fatalf("pool unbalanced after stress: %+v", st)
+	}
+	if st.Allocs != st.Frees {
+		t.Fatalf("allocs %d != frees %d", st.Allocs, st.Frees)
+	}
+	if st.Clusters != 0 {
+		t.Fatalf("cluster count nonzero after stress: %+v", st)
+	}
+}
+
+// TestCrossShardFreeReturnsToOwner checks the §3.2 hand-off property the
+// netstack relies on: an mbuf freed by a different goroutine (different
+// shard handle) returns to the shard that allocated it, so per-shard
+// accounting stays balanced shard by shard, not just pool-wide.
+func TestCrossShardFreeReturnsToOwner(t *testing.T) {
+	pool := NewPool(2)
+	a, b := pool.Shard(0), pool.Shard(1)
+	m := a.Get()
+	if m.owner != a {
+		t.Fatal("owner not the allocating shard")
+	}
+	// Free from "b's side": ownership, not the caller, decides the shard.
+	m.Free()
+	if got := a.allocs.Load() - a.frees.Load(); got != 0 {
+		t.Fatalf("shard 0 unbalanced: %d in use", got)
+	}
+	if got := b.allocs.Load() + b.frees.Load(); got != 0 {
+		t.Fatalf("shard 1 saw traffic it never had: allocs+frees=%d", got)
+	}
+	// The freed buffer must be on a's freelist, not b's.
+	if len(a.small) != 1 || len(b.small) != 0 {
+		t.Fatalf("freelist lengths a=%d b=%d, want 1,0", len(a.small), len(b.small))
+	}
+}
+
+// FuzzChainOps drives a chain through a byte-coded sequence of the
+// operations the stack performs — append, prepend, trim, pull-up, split —
+// mirroring every step against a plain []byte model, and checks the chain
+// content matches the model and the pool balances when everything is
+// freed. Seeds cover each opcode; the fuzzer explores interleavings.
+func FuzzChainOps(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 4, 2, 3, 3, 8, 4, 5})
+	f.Add([]byte{0, 200, 0, 200, 4, 100, 2, 50, 1, 14})
+	f.Add([]byte{1, 20, 2, 200, 0, 33, 3, 1, 3, 0})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		pool := NewPool(2)
+		ps := pool.Shard(0)
+		m := ps.FromBytes([]byte{0xaa})
+		model := []byte{0xaa}
+		var extras []*Mbuf
+		for i := 0; i+1 < len(program); i += 2 {
+			op, arg := program[i]%5, int(program[i+1])
+			switch op {
+			case 0: // append arg bytes
+				data := make([]byte, arg)
+				for j := range data {
+					data[j] = byte(i + j)
+				}
+				m = m.Append(data)
+				model = append(model, data...)
+			case 1: // prepend arg bytes (bounded to a cluster)
+				n := arg % MCLBytes
+				var hdr []byte
+				m, hdr = m.Prepend(n)
+				for j := range hdr {
+					hdr[j] = byte(j)
+				}
+				model = append(append(make([]byte, 0, n+len(model)), hdr...), model...)
+			case 2: // trim: front if arg even, back if odd
+				n := arg % (len(model) + 1)
+				if arg%2 == 0 {
+					m.Adj(n)
+					model = model[n:]
+				} else {
+					m.Adj(-n)
+					model = model[:len(model)-n]
+				}
+			case 3: // pull-up
+				n := arg % (len(model) + 1)
+				var err error
+				m, err = m.Pullup(n)
+				if err != nil {
+					t.Fatalf("pullup %d of %d failed: %v", n, len(model), err)
+				}
+			case 4: // split; keep the tail around, free it at the end
+				n := arg % (len(model) + 1)
+				tail := m.Split(n)
+				if tail != nil {
+					extras = append(extras, tail)
+					model = model[:n]
+				}
+			}
+			if m.PktLen() != len(model) {
+				t.Fatalf("op %d: PktLen %d != model %d", op, m.PktLen(), len(model))
+			}
+		}
+		if !bytes.Equal(m.Contiguous(), model) {
+			t.Fatalf("content diverged from model:\n chain %x\n model %x", m.Contiguous(), model)
+		}
+		m.FreeChain()
+		for _, e := range extras {
+			e.FreeChain()
+		}
+		if st := pool.Stats(); st.InUse != 0 {
+			t.Fatalf("pool unbalanced after program: %+v", st)
+		}
+	})
+}

@@ -1,0 +1,78 @@
+// Monitoring hooks: the pool and queue-depth counters a perf
+// investigation wants next to a CPU or heap profile, exposed both as
+// plain accessors and through the standard expvar registry (so any
+// binary that serves net/http gets them on /debug/vars for free).
+package netstack
+
+import (
+	"expvar"
+	"sync"
+
+	"ldlp/internal/mbuf"
+)
+
+// QueueDepths reports the receive engine's current input-queue depths:
+// one entry per shard for a sharded host, a single entry (messages
+// enqueued inside the engine) for a single-threaded one. A point-in-time
+// snapshot for monitoring.
+func (h *Host) QueueDepths() []int {
+	if h.sharded {
+		return h.shards.QueueDepths()
+	}
+	return []int{h.stack.Pending()}
+}
+
+// PoolStats returns the mbuf pool counters every host draws from (the
+// package default pool): a balanced InUse of zero means no chain was
+// leaked anywhere in the process.
+func PoolStats() mbuf.Stats {
+	return mbuf.PoolStats()
+}
+
+// expvarHosts maps a published name to the current *Host behind it, so
+// tests (and long-lived servers that rebuild their Net) can re-publish a
+// name: the expvar registry only ever holds one Func per name, and that
+// Func reads the live host from here.
+var (
+	expvarMu    sync.Mutex
+	expvarHosts = map[string]*Host{}
+	expvarPool  sync.Once
+)
+
+// PublishExpvars registers this host's counters with the expvar registry
+// as "netstack.<name>" (queue depths, frame and drop counters) and — once
+// per process — the shared mbuf pool as "netstack.mbufpool". Calling it
+// again with the same host name rebinds the name to the new host rather
+// than panicking, so pumped-and-discarded Nets can keep publishing.
+func (h *Host) PublishExpvars() {
+	expvarPool.Do(func() {
+		expvar.Publish("netstack.mbufpool", expvar.Func(func() any {
+			s := mbuf.PoolStats()
+			return map[string]int64{
+				"allocs": s.Allocs, "frees": s.Frees,
+				"inUse": s.InUse, "clusters": s.Clusters,
+			}
+		}))
+	})
+	name := "netstack." + h.name
+	expvarMu.Lock()
+	_, registered := expvarHosts[name]
+	expvarHosts[name] = h
+	expvarMu.Unlock()
+	if registered {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		expvarMu.Lock()
+		cur := expvarHosts[name]
+		expvarMu.Unlock()
+		return map[string]any{
+			"queueDepths": cur.QueueDepths(),
+			"framesIn":    cur.Counters.FramesIn,
+			"framesOut":   cur.Counters.FramesOut,
+			"tcpFastPath": cur.Counters.TCPFastPath,
+			"tcpSlowPath": cur.Counters.TCPSlowPath,
+			"stackStats":  cur.StackStats(),
+		}
+	}))
+}

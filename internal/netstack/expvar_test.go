@@ -1,0 +1,80 @@
+package netstack
+
+import (
+	"encoding/json"
+	"expvar"
+	"testing"
+
+	"ldlp/internal/core"
+)
+
+func TestQueueDepthsShape(t *testing.T) {
+	_, a, _ := twoHosts(t, core.Conventional)
+	if d := a.QueueDepths(); len(d) != 1 || d[0] != 0 {
+		t.Errorf("single-threaded depths = %v, want [0]", d)
+	}
+	n := NewNet()
+	sh := n.AddHost("s", layers4(), ShardedOptions(3))
+	defer n.Close()
+	if d := sh.QueueDepths(); len(d) != 3 {
+		t.Errorf("sharded depths = %v, want 3 entries", d)
+	}
+}
+
+// layers4 is a throwaway address distinct from ipA/ipB.
+func layers4() [4]byte { return [4]byte{10, 0, 9, 9} }
+
+func TestExpvarPublishAndRebind(t *testing.T) {
+	n, a, b := twoHosts(t, core.LDLP)
+	a.PublishExpvars()
+	b.PublishExpvars()
+	sa, _ := a.UDPSocket(1)
+	if _, err := b.UDPSocket(2); err != nil {
+		t.Fatal(err)
+	}
+	sa.SendTo(ipB, 2, []byte("hi"))
+	n.RunUntilIdle()
+
+	var hostVars struct {
+		QueueDepths []int `json:"queueDepths"`
+		FramesOut   int64 `json:"framesOut"`
+	}
+	v := expvar.Get("netstack.a")
+	if v == nil {
+		t.Fatal("netstack.a not published")
+	}
+	if err := json.Unmarshal([]byte(v.String()), &hostVars); err != nil {
+		t.Fatalf("netstack.a not JSON: %v", err)
+	}
+	if hostVars.FramesOut != 1 || len(hostVars.QueueDepths) != 1 {
+		t.Errorf("netstack.a = %+v, want framesOut 1 and one queue", hostVars)
+	}
+
+	var poolVars struct {
+		Allocs int64 `json:"allocs"`
+		InUse  int64 `json:"inUse"`
+	}
+	pv := expvar.Get("netstack.mbufpool")
+	if pv == nil {
+		t.Fatal("netstack.mbufpool not published")
+	}
+	if err := json.Unmarshal([]byte(pv.String()), &poolVars); err != nil {
+		t.Fatalf("netstack.mbufpool not JSON: %v", err)
+	}
+	if poolVars.Allocs == 0 || poolVars.InUse != 0 {
+		t.Errorf("pool vars = %+v, want traffic seen and nothing in use", poolVars)
+	}
+
+	// A second net reusing the name must rebind, not panic, and the
+	// published Func must read the new host.
+	n2, a2, _ := twoHosts(t, core.LDLP)
+	a2.PublishExpvars()
+	_ = n2
+	if err := json.Unmarshal([]byte(expvar.Get("netstack.a").String()), &hostVars); err != nil {
+		t.Fatal(err)
+	}
+	if hostVars.FramesOut != 0 {
+		t.Errorf("rebound netstack.a framesOut = %d, want the fresh host's 0", hostVars.FramesOut)
+	}
+	checkNoLeaks(t)
+}

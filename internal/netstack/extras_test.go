@@ -245,7 +245,7 @@ func sendRawTCP(n *Net, a, b *Host, seg []byte) {
 	}
 	ip.Encode(buf[layers.EthernetLen:])
 	copy(buf[layers.EthernetLen+layers.IPv4MinLen:], seg)
-	n.send(frame{dst: b.mac, data: buf})
+	n.send(frame{dst: b.mac, m: mbuf.FromBytes(buf)})
 }
 
 func TestHostNameAccessors(t *testing.T) {

@@ -18,12 +18,16 @@ type fragKey struct {
 	proto byte
 }
 
-// fragHole tracks received byte ranges of one datagram.
+// fragState tracks received byte ranges of one datagram. data and have
+// grow geometrically (capacity doubling) and are reused across all
+// fragments of the datagram, so reassembly costs O(log n) allocations
+// per datagram instead of one exact-size reallocation per fragment.
 type fragState struct {
-	data     []byte
-	have     []bool
-	totalLen int // payload length once the last fragment arrives; -1 until
-	deadline float64
+	data      []byte
+	have      []bool
+	haveBytes int // count of distinct bytes received, for O(1) completion
+	totalLen  int // payload length once the last fragment arrives; -1 until
+	deadline  float64
 }
 
 const (
@@ -54,7 +58,7 @@ func (h *Host) fragmentOutput(m *mbuf.Mbuf, proto byte, dst layers.IPAddr, mtu i
 			end = len(payload)
 			mf = 0
 		}
-		frag := mbuf.FromBytes(payload[off:end])
+		frag := h.txPool.FromBytes(payload[off:end])
 		ip := layers.IPv4{
 			TotalLen: layers.IPv4MinLen + (end - off),
 			ID:       id,
@@ -72,8 +76,7 @@ func (h *Host) fragmentOutput(m *mbuf.Mbuf, proto byte, dst layers.IPAddr, mtu i
 		eth.Encode(hdr)
 		inc(&h.Counters.FramesOut)
 		inc(&h.Counters.FragmentsSent)
-		h.transmit(frame{dst: eth.Dst, data: append([]byte(nil), fm.Contiguous()...)})
-		fm.FreeChain()
+		h.transmit(frame{dst: eth.Dst, m: fm})
 	}
 }
 
@@ -86,11 +89,7 @@ func (h *Host) reassemble(p *Packet) []byte {
 	key := fragKey{src: p.IP.Src, id: p.IP.ID, proto: p.IP.Protocol}
 	st := h.frags[key]
 	if st == nil {
-		st = &fragState{
-			data:     make([]byte, 0),
-			totalLen: -1,
-			deadline: h.net.now + fragTimeout,
-		}
+		st = &fragState{totalLen: -1, deadline: h.net.now + fragTimeout}
 		h.frags[key] = st
 	}
 	fragPayload := p.M.Contiguous()
@@ -102,21 +101,44 @@ func (h *Host) reassemble(p *Packet) []byte {
 		return nil
 	}
 	if end > len(st.data) {
-		grown := make([]byte, end)
-		copy(grown, st.data)
-		st.data = grown
-		grownHave := make([]bool, end)
-		copy(grownHave, st.have)
-		st.have = grownHave
+		if end <= cap(st.data) {
+			// Reuse slack from an earlier doubling — no allocation, and
+			// make-grown regions are already zeroed.
+			st.data = st.data[:end]
+			st.have = st.have[:end]
+		} else {
+			// Double capacity so a k-fragment datagram reallocates
+			// O(log k) times, not k.
+			newCap := 2 * cap(st.data)
+			if newCap < end {
+				newCap = end
+			}
+			if newCap > maxFragPayload {
+				newCap = maxFragPayload
+			}
+			grown := make([]byte, end, newCap)
+			copy(grown, st.data)
+			st.data = grown
+			grownHave := make([]bool, end, newCap)
+			copy(grownHave, st.have)
+			st.have = grownHave
+		}
 	}
 	copy(st.data[off:end], fragPayload)
 	for i := off; i < end; i++ {
-		st.have[i] = true
+		if !st.have[i] {
+			st.have[i] = true
+			st.haveBytes++
+		}
 	}
 	if !p.IP.MoreFragments() {
 		st.totalLen = end
 	}
-	if st.totalLen < 0 || len(st.data) < st.totalLen {
+	// Fast reject while incomplete: the byte count cannot reach totalLen
+	// before every in-range byte arrived (overlaps count once). Then one
+	// confirming scan — a malformed fragment past the announced end could
+	// inflate the count — which runs only when completion is plausible.
+	if st.totalLen < 0 || len(st.data) < st.totalLen || st.haveBytes < st.totalLen {
 		return nil
 	}
 	for i := 0; i < st.totalLen; i++ {

@@ -6,7 +6,6 @@ import (
 	"ldlp/internal/checksum"
 	"ldlp/internal/core"
 	"ldlp/internal/layers"
-	"ldlp/internal/mbuf"
 )
 
 // ICMP echo: the smallest of small-message protocols (§1 name-checks
@@ -41,7 +40,7 @@ func (h *Host) PingReplies() []PingReply {
 }
 
 func (h *Host) sendICMP(dst layers.IPAddr, typ byte, id, seq uint16, payload []byte) {
-	m := mbuf.FromBytes(payload)
+	m := h.txPool.FromBytes(payload)
 	mm, hdr := m.Prepend(icmpHeaderLen)
 	hdr[0] = typ
 	hdr[1] = 0 // code
@@ -63,12 +62,12 @@ func (rx *rxPath) icmpInput(p *Packet, emit core.Emit[*Packet]) {
 	buf := p.M.Contiguous()
 	if len(buf) < icmpHeaderLen {
 		inc(&h.Counters.BadICMP)
-		p.M.FreeChain()
+		rx.drop(p)
 		return
 	}
 	if checksum.Simple(buf) != 0 {
 		inc(&h.Counters.BadICMP)
-		p.M.FreeChain()
+		rx.drop(p)
 		return
 	}
 	typ := buf[0]
@@ -86,7 +85,7 @@ func (rx *rxPath) icmpInput(p *Packet, emit core.Emit[*Packet]) {
 		h.pingReplies = append(h.pingReplies, PingReply{From: p.IP.Src, ID: id, Seq: seq, Payload: payload})
 	default:
 		inc(&h.Counters.BadICMP)
-		p.M.FreeChain()
+		rx.drop(p)
 		return
 	}
 	emit(rx.sock, p)

@@ -123,10 +123,15 @@ func (o Options) mtu() int {
 	return o.MTU
 }
 
-// frame is a wire frame in flight between hosts.
+// frame is a wire frame in flight between hosts. It carries the sender's
+// mbuf chain by reference — transmitting hands the chain's ownership to
+// the wire and then to the receiving host's stack (§3.2's buffer hand-off
+// discipline, extended across the link), so the TX path never copies
+// frame bytes. Whoever drops a frame (no such host, loss injection,
+// stack full) must free the chain.
 type frame struct {
-	dst  layers.MACAddr
-	data []byte
+	dst layers.MACAddr
+	m   *mbuf.Mbuf
 }
 
 // Net is a broadcast segment connecting hosts, with an explicit clock.
@@ -211,12 +216,14 @@ func (n *Net) RunUntilIdle() int {
 		n.wire = n.wire[1:]
 		dst, ok := n.hosts[f.dst]
 		if !ok {
-			continue // frame to nowhere
-		}
-		if n.Loss != nil && n.Loss(dst.ip, f.data) {
+			f.m.FreeChain() // frame to nowhere
 			continue
 		}
-		dst.deliver(f.data)
+		if n.Loss != nil && n.Loss(dst.ip, f.m.Contiguous()) {
+			f.m.FreeChain()
+			continue
+		}
+		dst.deliver(f.m)
 		delivered++
 	}
 }
@@ -252,6 +259,16 @@ type Host struct {
 	// call-through schedule cannot self-deadlock.
 	mu sync.Mutex
 
+	// txPool is the mbuf shard every transmit-side allocation (segment
+	// build, fragmentation) draws from; TX callers are serialized (by h.mu
+	// when sharded), so the shard's freelist fast path never contends.
+	// Each receive shard carries its own handle in its rxPath.
+	txPool *mbuf.PoolShard
+
+	// pktPool recycles Packet wrappers so the steady-state receive path
+	// performs no heap allocation per frame.
+	pktPool sync.Pool
+
 	Counters Counters
 
 	ipID uint16
@@ -280,7 +297,12 @@ type Host struct {
 // sharded engine builds one per shard (layer handlers must emit into
 // their own shard's queues).
 type rxPath struct {
-	h      *Host
+	h *Host
+	// pool is this receive pipeline's private mbuf shard: every
+	// allocation the pipeline makes on its own behalf (pull-ups,
+	// reassembled datagrams) comes from here, so shard workers never
+	// meet on an allocator lock.
+	pool   *mbuf.PoolShard
 	device *core.Layer[*Packet]
 	ether  *core.Layer[*Packet]
 	ipin   *core.Layer[*Packet]
@@ -311,6 +333,10 @@ func (h *Host) buildRxPath(s *core.Stack[*Packet]) *rxPath {
 	return rx
 }
 
+// hostSeq spreads hosts across the default mbuf pool's shards so two
+// hosts' transmit paths do not share an allocator shard.
+var hostSeq atomic.Int64
+
 // newHost wires up the receive path.
 func newHost(n *Net, name string, ip layers.IPAddr, opts Options) *Host {
 	h := &Host{
@@ -319,6 +345,8 @@ func newHost(n *Net, name string, ip layers.IPAddr, opts Options) *Host {
 		listeners: make(map[uint16]*TCPListener),
 		udpSocks:  make(map[uint16]*UDPSock),
 	}
+	poolBase := int(hostSeq.Add(int64(maxInt(1, opts.RxShards) + 1)))
+	h.txPool = mbuf.DefaultShard(poolBase)
 	engineOpts := core.Options{
 		Discipline: opts.Discipline,
 		BatchLimit: opts.BatchLimit,
@@ -332,12 +360,41 @@ func newHost(n *Net, name string, ip layers.IPAddr, opts Options) *Host {
 		h.sharded = true
 		h.shards = core.NewShardedStack(engineOpts,
 			func(p *Packet) uint64 { return rxFlowHash(p.M.Bytes()) },
-			func(_ int, st *core.Stack[*Packet]) { h.buildRxPath(st) })
+			func(i int, st *core.Stack[*Packet]) {
+				rx := h.buildRxPath(st)
+				rx.pool = mbuf.DefaultShard(poolBase + 1 + i)
+			})
+		h.shards.SetSink(h.putPacket)
 		return h
 	}
 	h.stack = core.NewStack[*Packet](engineOpts)
 	h.rx = h.buildRxPath(h.stack)
+	h.rx.pool = h.txPool
+	h.stack.SetSink(h.putPacket)
 	return h
+}
+
+// getPacket takes a recycled Packet wrapper (or makes the pool's first).
+func (h *Host) getPacket() *Packet {
+	if p, ok := h.pktPool.Get().(*Packet); ok {
+		return p
+	}
+	return &Packet{}
+}
+
+// putPacket recycles a Packet whose mbuf chain has already been freed or
+// handed off. It doubles as the stack sink: a packet reaching the top of
+// the receive path is done. Safe from the merger goroutine (sync.Pool).
+func (h *Host) putPacket(p *Packet) {
+	*p = Packet{}
+	h.pktPool.Put(p)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // lockRx serializes shard workers around shared transport state. On the
@@ -418,10 +475,14 @@ func (h *Host) Close() {
 // top of the stack.
 func (h *Host) Now() float64 { return h.net.now }
 
-// deliver receives a frame from the wire into the protocol stack.
-func (h *Host) deliver(data []byte) {
+// deliver receives a frame from the wire into the protocol stack, taking
+// ownership of the mbuf chain. No copy: the sender's chain flows up this
+// host's receive path and is freed (back to its owner's pool shard) when
+// the path is done with it.
+func (h *Host) deliver(m *mbuf.Mbuf) {
 	inc(&h.Counters.FramesIn)
-	pkt := &Packet{M: mbuf.FromBytes(data)}
+	pkt := h.getPacket()
+	pkt.M = m
 	if h.sharded {
 		if err := h.shards.Inject(pkt); err != nil {
 			// A shard's input ring filled before its worker ran (the
@@ -432,12 +493,14 @@ func (h *Host) deliver(data []byte) {
 			h.shards.Drain()
 			if err := h.shards.Inject(pkt); err != nil {
 				pkt.M.FreeChain()
+				h.putPacket(pkt)
 			}
 		}
 		return
 	}
 	if err := h.stack.Inject(pkt); err != nil {
 		pkt.M.FreeChain()
+		h.putPacket(pkt)
 	}
 }
 
@@ -484,12 +547,19 @@ func (h *Host) flushTx() int {
 	return n
 }
 
+// drop ends a packet's life mid-path: the chain returns to its owner's
+// pool shard and the wrapper is recycled.
+func (rx *rxPath) drop(p *Packet) {
+	p.M.FreeChain()
+	rx.h.putPacket(p)
+}
+
 // deviceInput models the driver layer: frame length sanity. Lock-free:
 // touches only the packet and counters.
 func (rx *rxPath) deviceInput(p *Packet, emit core.Emit[*Packet]) {
 	if p.M.PktLen() < layers.EthernetLen {
 		inc(&rx.h.Counters.BadEther)
-		p.M.FreeChain()
+		rx.drop(p)
 		return
 	}
 	emit(rx.ether, p)
@@ -503,18 +573,18 @@ func (rx *rxPath) etherInput(p *Packet, emit core.Emit[*Packet]) {
 	n, err := p.Eth.Decode(buf)
 	if err != nil {
 		inc(&h.Counters.BadEther)
-		p.M.FreeChain()
+		rx.drop(p)
 		return
 	}
 	if p.Eth.Dst != h.mac && p.Eth.Dst != (layers.MACAddr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}) {
 		inc(&h.Counters.BadEther)
-		p.M.FreeChain()
+		rx.drop(p)
 		return
 	}
 	p.M.Adj(n)
 	if p.Eth.EtherType != layers.EtherTypeIPv4 {
 		inc(&h.Counters.BadEther)
-		p.M.FreeChain()
+		rx.drop(p)
 		return
 	}
 	emit(rx.ipin, p)
@@ -529,23 +599,23 @@ func (rx *rxPath) ipInput(p *Packet, emit core.Emit[*Packet]) {
 	p.M, err = p.M.Pullup(min(p.M.PktLen(), layers.IPv4MinLen))
 	if err != nil {
 		inc(&h.Counters.BadIP)
-		p.M.FreeChain()
+		rx.drop(p)
 		return
 	}
 	n, err := p.IP.Decode(p.M.Bytes())
 	if err != nil {
 		inc(&h.Counters.BadIP)
-		p.M.FreeChain()
+		rx.drop(p)
 		return
 	}
 	if p.IP.Dst != h.ip {
 		inc(&h.Counters.BadIP)
-		p.M.FreeChain()
+		rx.drop(p)
 		return
 	}
 	if p.IP.TotalLen > p.M.PktLen() {
 		inc(&h.Counters.BadIP)
-		p.M.FreeChain()
+		rx.drop(p)
 		return
 	}
 	// Trim link-layer padding beyond TotalLen, then strip the header.
@@ -561,9 +631,10 @@ func (rx *rxPath) ipInput(p *Packet, emit core.Emit[*Packet]) {
 		h.unlockRx()
 		p.M.FreeChain()
 		if whole == nil {
+			rx.h.putPacket(p)
 			return
 		}
-		p.M = mbuf.FromBytes(whole)
+		p.M = rx.pool.FromBytes(whole)
 		p.IP.TotalLen = layers.IPv4MinLen + len(whole)
 		p.IP.Flags, p.IP.FragOff = 0, 0
 	}
@@ -576,15 +647,17 @@ func (rx *rxPath) ipInput(p *Packet, emit core.Emit[*Packet]) {
 		emit(rx.icmpin, p)
 	default:
 		inc(&h.Counters.BadIP)
-		p.M.FreeChain()
+		rx.drop(p)
 	}
 }
 
 // sockInput is the top of the receive path: the transport layers have
 // already appended payload to the owning socket; this layer models the
-// wakeup.
+// wakeup. The chain is freed here; the wrapper leaves the stack top and
+// is recycled by the sink.
 func (rx *rxPath) sockInput(p *Packet, emit core.Emit[*Packet]) {
 	p.M.FreeChain()
+	p.M = nil
 	emit(nil, p)
 }
 
@@ -612,8 +685,9 @@ func (h *Host) ipOutput(m *mbuf.Mbuf, proto byte, dst layers.IPAddr) {
 	m, hdr = m.Prepend(layers.EthernetLen)
 	eth.Encode(hdr)
 	inc(&h.Counters.FramesOut)
-	h.transmit(frame{dst: eth.Dst, data: append([]byte(nil), m.Contiguous()...)})
-	m.FreeChain()
+	// Hand the chain itself to the wire — no copy. Ownership transfers to
+	// the receiving host's stack, which frees it when done.
+	h.transmit(frame{dst: eth.Dst, m: m})
 }
 
 // tick fires host timers (TCP retransmit / delayed ACK, reassembly

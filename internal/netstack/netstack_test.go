@@ -356,12 +356,12 @@ func TestBadFramesCounted(t *testing.T) {
 	n, _, b := twoHosts(t, core.Conventional)
 
 	// Runt frame.
-	n.send(frame{dst: b.mac, data: []byte{1, 2, 3}})
+	n.send(frame{dst: b.mac, m: mbuf.FromBytes([]byte{1, 2, 3})})
 	// Wrong ethertype.
 	badType := make([]byte, 60)
 	eth := layers.Ethernet{Dst: b.mac, Src: MACFor(ipA), EtherType: layers.EtherTypeARP}
 	eth.Encode(badType)
-	n.send(frame{dst: b.mac, data: badType})
+	n.send(frame{dst: b.mac, m: mbuf.FromBytes(badType)})
 	// Corrupt IP checksum.
 	good := make([]byte, layers.EthernetLen+layers.IPv4MinLen)
 	eth.EtherType = layers.EtherTypeIPv4
@@ -369,7 +369,7 @@ func TestBadFramesCounted(t *testing.T) {
 	iph := layers.IPv4{TotalLen: 20, TTL: 64, Protocol: layers.ProtoUDP, Src: ipA, Dst: ipB}
 	iph.Encode(good[layers.EthernetLen:])
 	good[layers.EthernetLen+8] ^= 0xff
-	n.send(frame{dst: b.mac, data: good})
+	n.send(frame{dst: b.mac, m: mbuf.FromBytes(good)})
 	n.RunUntilIdle()
 
 	if b.Counters.BadEther != 2 {
@@ -388,7 +388,7 @@ func TestFragmentsCountedNotCrashed(t *testing.T) {
 	eth.Encode(buf)
 	iph := layers.IPv4{TotalLen: 28, TTL: 64, Protocol: layers.ProtoUDP, Flags: 0x1, Src: ipA, Dst: ipB}
 	iph.Encode(buf[layers.EthernetLen:])
-	n.send(frame{dst: b.mac, data: buf})
+	n.send(frame{dst: b.mac, m: mbuf.FromBytes(buf)})
 	n.RunUntilIdle()
 	if b.Counters.Fragments != 1 {
 		t.Errorf("Fragments = %d, want 1", b.Counters.Fragments)
@@ -435,7 +435,7 @@ func TestInputLimitDropTail(t *testing.T) {
 	// burst by sending again with processing suppressed via direct
 	// deliveries.
 	for i := 0; i < 30; i++ {
-		b.deliver(make([]byte, 60)) // garbage frames, queued then rejected
+		b.deliver(mbuf.FromBytes(make([]byte, 60))) // garbage frames, queued then rejected
 	}
 	if dropped := b.StackStats().Dropped; dropped < 20 {
 		t.Errorf("stack dropped %d of 30 over-limit frames, want >= 20", dropped)

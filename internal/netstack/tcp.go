@@ -7,7 +7,6 @@ import (
 
 	"ldlp/internal/core"
 	"ldlp/internal/layers"
-	"ldlp/internal/mbuf"
 )
 
 // TCP-lite: enough of TCP for the examples and benchmarks to move real
@@ -255,7 +254,7 @@ func (rx *rxPath) tcpInput(p *Packet, emit core.Emit[*Packet]) {
 	n, err := p.TCP.Decode(seg, p.IP.Src, p.IP.Dst)
 	if err != nil {
 		inc(&h.Counters.BadTCP)
-		p.M.FreeChain()
+		rx.drop(p)
 		return
 	}
 	payload := seg[n:]
@@ -272,7 +271,7 @@ func (rx *rxPath) tcpInput(p *Packet, emit core.Emit[*Packet]) {
 			if l, ok := h.listeners[th.DstPort]; ok {
 				if len(l.backlog) >= tcpBacklog {
 					l.Dropped++
-					p.M.FreeChain()
+					rx.drop(p)
 					return
 				}
 				pcb = &tcpPCB{
@@ -291,7 +290,7 @@ func (rx *rxPath) tcpInput(p *Packet, emit core.Emit[*Packet]) {
 		} else {
 			inc(&h.Counters.NoSocket)
 		}
-		p.M.FreeChain()
+		rx.drop(p)
 		return
 	}
 
@@ -309,7 +308,7 @@ func (rx *rxPath) tcpInput(p *Packet, emit core.Emit[*Packet]) {
 			emit(rx.sock, p)
 			return
 		}
-		p.M.FreeChain()
+		rx.drop(p)
 		return
 	}
 
@@ -323,7 +322,7 @@ func (rx *rxPath) tcpSlowPath(pcb *tcpPCB, th *layers.TCP, payload []byte, p *Pa
 	h := rx.h
 	if th.Flags&layers.TCPRst != 0 {
 		pcb.teardown()
-		p.M.FreeChain()
+		rx.drop(p)
 		return
 	}
 
@@ -341,7 +340,7 @@ func (rx *rxPath) tcpSlowPath(pcb *tcpPCB, th *layers.TCP, payload []byte, p *Pa
 			pcb.sendAck()
 			pcb.trySend()
 		}
-		p.M.FreeChain()
+		rx.drop(p)
 		return
 	case stSynRcvd:
 		if th.Flags&layers.TCPAck != 0 && th.Ack == pcb.iss+1 {
@@ -362,7 +361,7 @@ func (rx *rxPath) tcpSlowPath(pcb *tcpPCB, th *layers.TCP, payload []byte, p *Pa
 		// Out of order (or duplicate): this lite stack does not reassemble;
 		// re-ACK what we expect so the peer retransmits.
 		pcb.sendAck()
-		p.M.FreeChain()
+		rx.drop(p)
 		return
 	}
 
@@ -402,7 +401,7 @@ func (rx *rxPath) tcpSlowPath(pcb *tcpPCB, th *layers.TCP, payload []byte, p *Pa
 	if delivered {
 		emit(rx.sock, p)
 	} else {
-		p.M.FreeChain()
+		rx.drop(p)
 	}
 }
 
@@ -493,7 +492,7 @@ func (pcb *tcpPCB) sendSegment(flags byte, payload []byte, track bool) {
 	}
 	th.Flags = flags
 
-	m := mbuf.FromBytes(payload)
+	m := h.txPool.FromBytes(payload)
 	mm, hdr := m.Prepend(layers.TCPMinLen)
 	th.Encode(hdr, payload, h.ip, pcb.tuple.raddr)
 
@@ -579,7 +578,7 @@ func (pcb *tcpPCB) retransmit(u *unackedSeg, flags byte) {
 	if pcb.state != stSynSent {
 		th.Ack = pcb.rcvNxt
 	}
-	m := mbuf.FromBytes(u.data)
+	m := h.txPool.FromBytes(u.data)
 	mm, hdr := m.Prepend(layers.TCPMinLen)
 	th.Encode(hdr, u.data, h.ip, pcb.tuple.raddr)
 	h.ipOutput(mm, layers.ProtoTCP, pcb.tuple.raddr)

@@ -5,7 +5,6 @@ import (
 
 	"ldlp/internal/core"
 	"ldlp/internal/layers"
-	"ldlp/internal/mbuf"
 )
 
 // Datagram is one received UDP message.
@@ -41,7 +40,7 @@ func (s *UDPSock) Close() { delete(s.host.udpSocks, s.port) }
 // SendTo transmits one datagram.
 func (s *UDPSock) SendTo(dst layers.IPAddr, port uint16, payload []byte) {
 	uh := layers.UDP{SrcPort: s.port, DstPort: port}
-	m := mbuf.FromBytes(payload)
+	m := s.host.txPool.FromBytes(payload)
 	mm, hdr := m.Prepend(layers.UDPLen)
 	uh.Encode(hdr, payload, s.host.ip, dst)
 	s.host.ipOutput(mm, layers.ProtoUDP, dst)
@@ -70,7 +69,7 @@ func (rx *rxPath) udpInput(p *Packet, emit core.Emit[*Packet]) {
 	n, err := p.UDP.Decode(buf, p.IP.Src, p.IP.Dst)
 	if err != nil {
 		inc(&h.Counters.BadUDP)
-		p.M.FreeChain()
+		rx.drop(p)
 		return
 	}
 	h.lockRx()
@@ -78,12 +77,12 @@ func (rx *rxPath) udpInput(p *Packet, emit core.Emit[*Packet]) {
 	sock, ok := h.udpSocks[p.UDP.DstPort]
 	if !ok {
 		inc(&h.Counters.NoSocket)
-		p.M.FreeChain()
+		rx.drop(p)
 		return
 	}
 	if len(sock.queue) >= sock.QueueLimit {
 		sock.Dropped++
-		p.M.FreeChain()
+		rx.drop(p)
 		return
 	}
 	payload := append([]byte(nil), buf[n:p.UDP.Length]...)
