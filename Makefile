@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race fuzz bench bench-full report examples clean
+.PHONY: all build vet test test-short test-race chaos chaos-smoke fuzz bench bench-full report examples clean
 
 all: build vet test
 
@@ -23,6 +23,19 @@ test-short:
 # (sharded engine, sharded netstack) are written to be meaningful here.
 test-race:
 	$(GO) test -race ./...
+
+# Chaos soak: the full impairment-preset x discipline x shard matrix
+# under the race detector, plus the standalone driver across both
+# disciplines (it exits non-zero on any invariant violation).
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/netstack ./internal/sscop
+	$(GO) run ./cmd/chaos -shards 4
+	$(GO) run ./cmd/chaos -discipline conventional
+
+# CI-sized smoke: -short trims the soak matrix to three presets.
+chaos-smoke:
+	$(GO) test -race -short -count=1 -run 'TestChaos' ./internal/netstack ./internal/sscop
+	$(GO) run ./cmd/chaos -mix all -shards 4
 
 # Short fuzzing pass over every FuzzXxx target (graph parser, DNS codec,
 # mbuf chain ops).

@@ -1,0 +1,240 @@
+// Command chaos drives the in-memory netstack under deterministic link
+// impairment and verifies the end-to-end invariants the chaos test
+// suite asserts: the TCP stream arrives byte-identical, delivered
+// datagrams are byte-identical to sent ones, every injected fault is
+// visible in an impairment or drop counter, and no mbuf leaks. It exits
+// non-zero on any violation, so it doubles as a CI smoke.
+//
+// Usage:
+//
+//	chaos [-mix all|bernoulli|bursty|...|every] [-discipline ldlp|conventional]
+//	      [-shards N] [-seed N] [-rounds N] [-sweep] [-v]
+//
+// -mix every (the default) runs each preset in sequence. -sweep also
+// reruns the Figure-6-style latency comparison under swept link loss.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"ldlp/internal/core"
+	"ldlp/internal/faults"
+	"ldlp/internal/layers"
+	"ldlp/internal/mbuf"
+	"ldlp/internal/netstack"
+	"ldlp/internal/sim"
+)
+
+var (
+	ipA = layers.IPAddr{10, 9, 0, 1}
+	ipB = layers.IPAddr{10, 9, 0, 2}
+)
+
+func main() {
+	var (
+		mix     = flag.String("mix", "every", "impairment preset, or 'every'")
+		disc    = flag.String("discipline", "ldlp", "receive discipline: ldlp or conventional")
+		shards  = flag.Int("shards", 1, "receive shards on the server host (LDLP only)")
+		seed    = flag.Int64("seed", 0xC0FFEE, "impairment seed (runs replay exactly per seed)")
+		rounds  = flag.Int("rounds", 40, "traffic rounds per scenario")
+		sweep   = flag.Bool("sweep", false, "also rerun the latency figure under swept link loss")
+		verbose = flag.Bool("v", false, "print per-impairment and per-host counters")
+	)
+	flag.Parse()
+
+	var d core.Discipline
+	switch *disc {
+	case "ldlp":
+		d = core.LDLP
+	case "conventional":
+		d = core.Conventional
+	default:
+		fmt.Fprintf(os.Stderr, "chaos: unknown discipline %q\n", *disc)
+		os.Exit(2)
+	}
+
+	presets := faults.Presets()
+	names := []string{*mix}
+	if *mix == "every" {
+		names = faults.PresetNames()
+	} else if _, ok := presets[*mix]; !ok {
+		fmt.Fprintf(os.Stderr, "chaos: unknown mix %q (have %v)\n", *mix, faults.PresetNames())
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, name := range names {
+		errs := runScenario(presets[name], d, *shards, *seed, *rounds, *verbose, name)
+		if len(errs) == 0 {
+			fmt.Printf("ok   %-12s %s shards=%d\n", name, *disc, *shards)
+			continue
+		}
+		failed = true
+		fmt.Printf("FAIL %-12s %s shards=%d\n", name, *disc, *shards)
+		for _, err := range errs {
+			fmt.Printf("     %v\n", err)
+		}
+	}
+
+	if *sweep {
+		opts := sim.QuickSweep()
+		fmt.Println()
+		fmt.Println(sim.FigureLoss(opts, 3000, nil))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runScenario drives TCP, small-UDP and fragmented-UDP traffic between
+// two impaired hosts and returns every invariant violation found.
+func runScenario(cfg faults.Config, d core.Discipline, shards int, seed int64, rounds int, verbose bool, name string) []error {
+	var errs []error
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+
+	mbuf.ResetPool()
+	n := netstack.NewNet()
+	mkOpts := func(sh int) netstack.Options {
+		o := netstack.DefaultOptions(d)
+		o.MTU = 600
+		o.RxShards = sh
+		return o
+	}
+	a := n.AddHost("client", ipA, mkOpts(1))
+	b := n.AddHost("server", ipB, mkOpts(shards))
+	defer n.Close()
+	injs := n.ImpairAll(cfg, seed)
+
+	l, err := b.ListenTCP(80)
+	if err != nil {
+		return []error{err}
+	}
+	cli := a.DialTCP(ipB, 80)
+	var srv *netstack.TCPSock
+	for i := 0; i < 400 && srv == nil; i++ {
+		n.Tick(0.05)
+		srv = l.Accept()
+	}
+	if srv == nil {
+		return []error{fmt.Errorf("TCP handshake never completed (client %s, err %v)", cli.State(), cli.Err())}
+	}
+
+	utx, _ := a.UDPSocket(1000)
+	urx, _ := b.UDPSocket(2000)
+	bigTx, _ := a.UDPSocket(3000)
+	bigRx, _ := b.UDPSocket(3100)
+	const bigSize = 2500
+
+	sentSmall := make(map[string]bool)
+	sentBig := make(map[byte]bool)
+	var gotSmall []string
+	var gotBig [][]byte
+	var want, got bytes.Buffer
+	rbuf := make([]byte, 8192)
+	drain := func() {
+		for nr := srv.Recv(rbuf); nr > 0; nr = srv.Recv(rbuf) {
+			got.Write(rbuf[:nr])
+		}
+		for {
+			dg, ok := urx.Recv()
+			if !ok {
+				break
+			}
+			gotSmall = append(gotSmall, string(dg.Data))
+		}
+		for {
+			dg, ok := bigRx.Recv()
+			if !ok {
+				break
+			}
+			gotBig = append(gotBig, dg.Data)
+		}
+	}
+
+	for r := 0; r < rounds; r++ {
+		chunk := make([]byte, 300)
+		for i := range chunk {
+			chunk[i] = byte(r*31 + i)
+		}
+		want.Write(chunk)
+		if err := cli.Send(chunk); err != nil {
+			fail("round %d: TCP send: %v", r, err)
+			return errs
+		}
+		msg := fmt.Sprintf("dgram-%04d", r)
+		sentSmall[msg] = true
+		utx.SendTo(ipB, 2000, []byte(msg))
+		if r%8 == 0 {
+			v := byte(0x40 + r/8)
+			sentBig[v] = true
+			bigTx.SendTo(ipB, 3100, bytes.Repeat([]byte{v}, bigSize))
+		}
+		n.Tick(0.05)
+		drain()
+	}
+	for i := 0; i < 600 && got.Len() < want.Len(); i++ {
+		if cli.Err() != nil || srv.Err() != nil {
+			fail("TCP connection died: cli=%v srv=%v", cli.Err(), srv.Err())
+			return errs
+		}
+		n.Tick(0.25)
+		drain()
+	}
+	n.Tick(31) // expire stale partial datagrams, flush delayed frames
+	for i := 0; i < 4; i++ {
+		n.Tick(0.5)
+	}
+	drain()
+
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		fail("TCP stream mismatch: got %d bytes, want %d", got.Len(), want.Len())
+	}
+	for _, m := range gotSmall {
+		if !sentSmall[m] {
+			fail("datagram %q arrived but was never sent intact", m)
+		}
+	}
+	for _, dg := range gotBig {
+		if len(dg) != bigSize || !sentBig[dg[0]] {
+			fail("reassembled datagram wrong (%d bytes)", len(dg))
+			continue
+		}
+		for i, x := range dg {
+			if x != dg[0] {
+				fail("reassembled datagram corrupt at byte %d", i)
+				break
+			}
+		}
+	}
+	if h := n.HeldFrames(); h != 0 {
+		fail("%d frames still held by delay impairment", h)
+	}
+	hosts := map[layers.IPAddr]*netstack.Host{ipA: a, ipB: b}
+	for ip, inj := range injs {
+		s := inj.Stats()
+		if s.Dropped != s.LossDrops+s.BurstDrops+s.PartitionDrops {
+			fail("%v: drop attribution broken: %+v", ip, s)
+		}
+		if in := hosts[ip].Counters.FramesIn; in != s.Frames-s.Dropped+s.Duplicated {
+			fail("%v: FramesIn=%d, want %d-%d+%d", ip, in, s.Frames, s.Dropped, s.Duplicated)
+		}
+		if verbose {
+			fmt.Printf("  %-12s %v: %+v\n", name, ip, s)
+		}
+	}
+	if verbose {
+		for _, h := range []*netstack.Host{a, b} {
+			c := h.Counters
+			fmt.Printf("  %-12s %s: in=%d out=%d badEther=%d badIP=%d badTCP=%d badUDP=%d rexmt=%d timeouts=%d reasmTO=%d\n",
+				name, h.Name(), c.FramesIn, c.FramesOut, c.BadEther, c.BadIP, c.BadTCP, c.BadUDP,
+				c.Retransmits, c.TimeoutDrops, c.ReassemblyTimeouts)
+		}
+	}
+	if s := mbuf.PoolStats(); s.InUse != 0 {
+		fail("mbuf leak: %+v", s)
+	}
+	return errs
+}

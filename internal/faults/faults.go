@@ -1,0 +1,319 @@
+// Package faults is a deterministic, seeded link-impairment model: the
+// chaos layer the paper's §3.3 batching argument needs to be tested
+// against. The on-line batching rule ("process all currently available
+// messages"), the 500-packet buffer and every recovery path above the
+// link — TCP RTO/persist/TIME-WAIT, IP reassembly, SSCOP selective
+// retransmission — only show their real behaviour under loss, delay,
+// duplication, reordering, corruption and partitions; this package
+// produces those impairments reproducibly.
+//
+// An Injector is a pure decision engine: given the frame sequence it is
+// shown (and the simulated clock), it answers "what happens to this
+// frame" — the carrier (netstack.Net per destination, sim's faulted
+// traffic source) applies the verdict. Decisions come from a private
+// seeded PRNG, so the same seed and the same frame sequence yield the
+// same impairment pattern under any discipline or shard count; that is
+// what lets the chaos suite assert observational equivalence across
+// schedules while the link misbehaves identically.
+//
+// Every impairment keeps its own counter, so a test can reconcile the
+// books exactly: frames offered = delivered + dropped, with each drop
+// attributed to Bernoulli loss, a Gilbert–Elliott bad state, or a
+// partition window, and each surviving mutation (duplicate, delay,
+// reorder, bit flip) visible in Stats.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Window is a half-open interval of simulated time [From, To) during
+// which the link is partitioned: every frame is dropped.
+type Window struct {
+	From, To float64
+}
+
+// contains reports whether t falls inside the window.
+func (w Window) contains(t float64) bool { return t >= w.From && t < w.To }
+
+// GilbertElliott parameterizes the classic two-state bursty-loss model:
+// the link flips between a Good and a Bad state with the given
+// per-frame transition probabilities, and drops frames with a
+// state-dependent probability. PBadGood small and LossBad large yields
+// the clustered losses that distinguish burst recovery (one RTO, many
+// segments) from independent Bernoulli drops.
+type GilbertElliott struct {
+	// PGoodBad / PBadGood are the per-frame transition probabilities.
+	PGoodBad, PBadGood float64
+	// LossGood / LossBad are the drop probabilities within each state.
+	LossGood, LossBad float64
+}
+
+// Config composes the impairments applied to one link direction. The
+// zero value impairs nothing; each field enables one impairment
+// independently, and all enabled impairments are consulted per frame
+// (drop models first — a dropped frame is not also delayed or
+// corrupted).
+type Config struct {
+	// Loss is the Bernoulli per-frame drop probability.
+	Loss float64
+	// GE, when non-nil, adds Gilbert–Elliott bursty loss on top of Loss.
+	GE *GilbertElliott
+	// Partitions are absolute simulated-time windows during which every
+	// frame is dropped (a link outage; pair two directions for a full
+	// partition).
+	Partitions []Window
+	// DupProb is the probability a delivered frame is duplicated once.
+	DupProb float64
+	// ReorderProb is the probability a delivered frame is held back so
+	// that up to ReorderSpan later frames overtake it.
+	ReorderProb float64
+	// ReorderSpan is how many frames may overtake a reordered one
+	// (default 3 when ReorderProb > 0).
+	ReorderSpan int
+	// Delay adds fixed latency (simulated seconds) to every frame;
+	// Jitter adds a further uniform [0, Jitter) per frame. Jittered
+	// frames flushed by the clock may arrive out of order, which is the
+	// point.
+	Delay, Jitter float64
+	// CorruptProb is the probability of flipping exactly one bit of the
+	// frame. One bit, deliberately: a single flip is always detected by
+	// the Internet checksum, so corruption must surface as a counted
+	// drop (BadIP/BadTCP/BadUDP), never as corrupt application data.
+	CorruptProb float64
+}
+
+// Validate reports configuration errors (probabilities outside [0,1],
+// negative delays, inverted windows).
+func (c Config) Validate() error {
+	probs := map[string]float64{
+		"Loss": c.Loss, "DupProb": c.DupProb,
+		"ReorderProb": c.ReorderProb, "CorruptProb": c.CorruptProb,
+	}
+	if c.GE != nil {
+		probs["GE.PGoodBad"] = c.GE.PGoodBad
+		probs["GE.PBadGood"] = c.GE.PBadGood
+		probs["GE.LossGood"] = c.GE.LossGood
+		probs["GE.LossBad"] = c.GE.LossBad
+	}
+	for name, p := range probs {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("faults: %s = %v outside [0,1]", name, p)
+		}
+	}
+	if c.Delay < 0 || c.Jitter < 0 {
+		return fmt.Errorf("faults: negative delay %v/jitter %v", c.Delay, c.Jitter)
+	}
+	if c.ReorderSpan < 0 {
+		return fmt.Errorf("faults: negative reorder span %d", c.ReorderSpan)
+	}
+	for _, w := range c.Partitions {
+		if w.To < w.From {
+			return fmt.Errorf("faults: inverted partition window [%v,%v)", w.From, w.To)
+		}
+	}
+	return nil
+}
+
+// Enabled reports whether the config impairs anything at all.
+func (c Config) Enabled() bool {
+	return c.Loss > 0 || c.GE != nil || len(c.Partitions) > 0 ||
+		c.DupProb > 0 || c.ReorderProb > 0 || c.Delay > 0 || c.Jitter > 0 ||
+		c.CorruptProb > 0
+}
+
+// String summarizes the enabled impairments compactly ("loss=0.1
+// ge dup=0.05 delay=2ms±1ms corrupt=0.3 partitions=2").
+func (c Config) String() string {
+	var parts []string
+	if c.Loss > 0 {
+		parts = append(parts, fmt.Sprintf("loss=%g", c.Loss))
+	}
+	if c.GE != nil {
+		parts = append(parts, fmt.Sprintf("ge=%g/%g", c.GE.PGoodBad, c.GE.LossBad))
+	}
+	if c.DupProb > 0 {
+		parts = append(parts, fmt.Sprintf("dup=%g", c.DupProb))
+	}
+	if c.ReorderProb > 0 {
+		parts = append(parts, fmt.Sprintf("reorder=%g", c.ReorderProb))
+	}
+	if c.Delay > 0 || c.Jitter > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%gs±%gs", c.Delay, c.Jitter))
+	}
+	if c.CorruptProb > 0 {
+		parts = append(parts, fmt.Sprintf("corrupt=%g", c.CorruptProb))
+	}
+	if len(c.Partitions) > 0 {
+		parts = append(parts, fmt.Sprintf("partitions=%d", len(c.Partitions)))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Action is the verdict for one frame. Exactly one of Drop or delivery
+// applies; on delivery the mutation fields compose (a frame can be
+// duplicated and delayed and corrupted).
+type Action struct {
+	// Drop discards the frame (the owner must free its buffers).
+	Drop bool
+	// Duplicate delivers one extra pristine copy of the frame.
+	Duplicate bool
+	// ReorderSpan > 0 holds the frame back so up to that many later
+	// frames overtake it.
+	ReorderSpan int
+	// Delay holds the frame for this many simulated seconds before
+	// delivery.
+	Delay float64
+	// CorruptBit, when >= 0, is the index of the single bit to flip in
+	// the frame (already reduced modulo the frame's bit length).
+	CorruptBit int
+}
+
+// Stats are the per-impairment counters. They are written only by the
+// goroutine driving the injector (the network pump or a sim run); read
+// them while the carrier is quiescent.
+type Stats struct {
+	// Frames counts original frames offered; Dropped those discarded.
+	// Delivered originals = Frames - Dropped; the carrier sees
+	// Frames - Dropped + Duplicated arrivals in total.
+	Frames, Dropped int64
+	// Drop attribution: Dropped == LossDrops + BurstDrops + PartitionDrops.
+	LossDrops, BurstDrops, PartitionDrops int64
+	// Mutations applied to delivered frames.
+	Duplicated, Reordered, Delayed, Corrupted int64
+}
+
+// Injector makes seeded impairment decisions for one link direction.
+// Not safe for concurrent use: one goroutine (the network pump, one sim
+// run) owns it, which is also what keeps its decisions deterministic.
+type Injector struct {
+	cfg   Config
+	rng   *rand.Rand
+	bad   bool // Gilbert–Elliott state
+	stats Stats
+}
+
+// New builds an injector for cfg with its own PRNG seeded by seed.
+// Panics on an invalid config (impairment configs are static test/tool
+// inputs; failing loudly beats silently sanitizing them).
+func New(cfg Config, seed int64) *Injector {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.ReorderProb > 0 && cfg.ReorderSpan == 0 {
+		cfg.ReorderSpan = 3
+	}
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Stats returns a snapshot of the per-impairment counters.
+func (inj *Injector) Stats() Stats { return inj.stats }
+
+// Frame decides the fate of one frame of `bits` bits (bytes*8) observed
+// at simulated time now. The caller applies the returned Action.
+func (inj *Injector) Frame(now float64, bits int) Action {
+	inj.stats.Frames++
+	cfg := &inj.cfg
+
+	// Drop models first: a dropped frame undergoes no other impairment.
+	for _, w := range cfg.Partitions {
+		if w.contains(now) {
+			inj.stats.Dropped++
+			inj.stats.PartitionDrops++
+			return Action{Drop: true, CorruptBit: -1}
+		}
+	}
+	if cfg.Loss > 0 && inj.rng.Float64() < cfg.Loss {
+		inj.stats.Dropped++
+		inj.stats.LossDrops++
+		return Action{Drop: true, CorruptBit: -1}
+	}
+	if ge := cfg.GE; ge != nil {
+		// Advance the two-state chain once per frame, then draw against
+		// the current state's loss rate.
+		if inj.bad {
+			if inj.rng.Float64() < ge.PBadGood {
+				inj.bad = false
+			}
+		} else if inj.rng.Float64() < ge.PGoodBad {
+			inj.bad = true
+		}
+		p := ge.LossGood
+		if inj.bad {
+			p = ge.LossBad
+		}
+		if p > 0 && inj.rng.Float64() < p {
+			inj.stats.Dropped++
+			inj.stats.BurstDrops++
+			return Action{Drop: true, CorruptBit: -1}
+		}
+	}
+
+	var act Action
+	if cfg.DupProb > 0 && inj.rng.Float64() < cfg.DupProb {
+		act.Duplicate = true
+		inj.stats.Duplicated++
+	}
+	if cfg.ReorderProb > 0 && inj.rng.Float64() < cfg.ReorderProb {
+		act.ReorderSpan = 1 + inj.rng.Intn(cfg.ReorderSpan)
+		inj.stats.Reordered++
+	}
+	if cfg.Delay > 0 || cfg.Jitter > 0 {
+		act.Delay = cfg.Delay
+		if cfg.Jitter > 0 {
+			act.Delay += inj.rng.Float64() * cfg.Jitter
+		}
+		inj.stats.Delayed++
+	}
+	act.CorruptBit = -1
+	if cfg.CorruptProb > 0 && bits > 0 && inj.rng.Float64() < cfg.CorruptProb {
+		act.CorruptBit = inj.rng.Intn(bits)
+		inj.stats.Corrupted++
+	}
+	return act
+}
+
+// Presets returns the named impairment mixes the chaos suite and the
+// cmd/chaos driver sweep: each exercises one recovery mechanism, and
+// "all" composes everything.
+func Presets() map[string]Config {
+	return map[string]Config{
+		"clean":     {},
+		"bernoulli": {Loss: 0.10},
+		"bursty": {GE: &GilbertElliott{
+			PGoodBad: 0.05, PBadGood: 0.25, LossGood: 0.01, LossBad: 0.8,
+		}},
+		"duplication": {DupProb: 0.15},
+		"reorder":     {ReorderProb: 0.25, ReorderSpan: 4},
+		"delay":       {Delay: 0.005, Jitter: 0.02},
+		"corrupt":     {CorruptProb: 0.20},
+		"partition":   {Partitions: []Window{{From: 0.5, To: 1.5}}},
+		"all": {
+			Loss: 0.03,
+			GE: &GilbertElliott{
+				PGoodBad: 0.02, PBadGood: 0.3, LossGood: 0, LossBad: 0.6,
+			},
+			DupProb:     0.05,
+			ReorderProb: 0.10,
+			ReorderSpan: 3,
+			Delay:       0.002,
+			Jitter:      0.01,
+			CorruptProb: 0.05,
+			Partitions:  []Window{{From: 0.8, To: 1.3}},
+		},
+	}
+}
+
+// PresetNames returns the preset keys in the order the soak suite runs
+// them (deterministic, simple before composed).
+func PresetNames() []string {
+	return []string{
+		"clean", "bernoulli", "bursty", "duplication", "reorder",
+		"delay", "corrupt", "partition", "all",
+	}
+}

@@ -1,0 +1,191 @@
+package faults
+
+import (
+	"fmt"
+	"testing"
+)
+
+// drive runs n frames through a fresh injector and returns the actions.
+func drive(cfg Config, seed int64, n int, dt float64) ([]Action, Stats) {
+	inj := New(cfg, seed)
+	acts := make([]Action, n)
+	for i := range acts {
+		acts[i] = inj.Frame(float64(i)*dt, 1000*8)
+	}
+	return acts, inj.Stats()
+}
+
+func TestDeterministicUnderSameSeed(t *testing.T) {
+	cfg := Presets()["all"]
+	a1, s1 := drive(cfg, 42, 5000, 0.001)
+	a2, s2 := drive(cfg, 42, 5000, 0.001)
+	if fmt.Sprint(a1) != fmt.Sprint(a2) {
+		t.Fatal("same seed produced different impairment sequences")
+	}
+	if s1 != s2 {
+		t.Fatalf("same seed produced different stats: %+v vs %+v", s1, s2)
+	}
+	a3, _ := drive(cfg, 43, 5000, 0.001)
+	if fmt.Sprint(a1) == fmt.Sprint(a3) {
+		t.Fatal("different seeds produced identical impairment sequences (suspicious)")
+	}
+}
+
+func TestBernoulliLossRateAndAccounting(t *testing.T) {
+	const n = 20000
+	_, s := drive(Config{Loss: 0.1}, 7, n, 0)
+	if s.Frames != n {
+		t.Fatalf("Frames = %d, want %d", s.Frames, n)
+	}
+	if s.Dropped != s.LossDrops || s.BurstDrops != 0 || s.PartitionDrops != 0 {
+		t.Fatalf("drop attribution inconsistent: %+v", s)
+	}
+	rate := float64(s.Dropped) / n
+	if rate < 0.08 || rate > 0.12 {
+		t.Errorf("Bernoulli loss rate = %v, want ~0.1", rate)
+	}
+}
+
+func TestGilbertElliottLossIsBursty(t *testing.T) {
+	// Same long-run loss rate two ways: independent Bernoulli vs a GE
+	// chain that is rarely bad but very lossy when bad. The GE drops
+	// must cluster: their mean run length is measurably longer.
+	const n = 200000
+	ge := Config{GE: &GilbertElliott{PGoodBad: 0.01, PBadGood: 0.2, LossBad: 0.9}}
+	bern := Config{Loss: float64(1) / 23} // ~GE steady-state loss
+
+	runLen := func(cfg Config) float64 {
+		acts, _ := drive(cfg, 11, n, 0)
+		runs, dropped, cur := 0, 0, 0
+		for _, a := range acts {
+			if a.Drop {
+				dropped++
+				cur++
+			} else if cur > 0 {
+				runs++
+				cur = 0
+			}
+		}
+		if cur > 0 {
+			runs++
+		}
+		if runs == 0 {
+			t.Fatal("no drops at all")
+		}
+		return float64(dropped) / float64(runs)
+	}
+	geRun, bernRun := runLen(ge), runLen(bern)
+	if geRun < 2*bernRun {
+		t.Errorf("GE mean loss-run %v not clearly burstier than Bernoulli %v", geRun, bernRun)
+	}
+}
+
+func TestPartitionWindowDropsExactly(t *testing.T) {
+	cfg := Config{Partitions: []Window{{From: 1.0, To: 2.0}}}
+	inj := New(cfg, 1)
+	for _, tc := range []struct {
+		now  float64
+		drop bool
+	}{{0.5, false}, {0.999, false}, {1.0, true}, {1.5, true}, {1.999, true}, {2.0, false}, {3.0, false}} {
+		act := inj.Frame(tc.now, 64)
+		if act.Drop != tc.drop {
+			t.Errorf("t=%v: drop=%v, want %v", tc.now, act.Drop, tc.drop)
+		}
+	}
+	if s := inj.Stats(); s.PartitionDrops != 3 || s.Dropped != 3 {
+		t.Errorf("partition accounting: %+v", s)
+	}
+}
+
+func TestMutationsComposeAndCount(t *testing.T) {
+	cfg := Config{DupProb: 1, ReorderProb: 1, ReorderSpan: 2, Delay: 0.01, Jitter: 0.02, CorruptProb: 1}
+	inj := New(cfg, 3)
+	for i := 0; i < 100; i++ {
+		act := inj.Frame(0, 100*8)
+		if act.Drop {
+			t.Fatal("no drop model configured, yet a frame dropped")
+		}
+		if !act.Duplicate || act.ReorderSpan < 1 || act.ReorderSpan > 2 {
+			t.Fatalf("mutations missing: %+v", act)
+		}
+		if act.Delay < 0.01 || act.Delay >= 0.03 {
+			t.Fatalf("delay %v outside [0.01, 0.03)", act.Delay)
+		}
+		if act.CorruptBit < 0 || act.CorruptBit >= 100*8 {
+			t.Fatalf("corrupt bit %d outside frame", act.CorruptBit)
+		}
+	}
+	s := inj.Stats()
+	if s.Duplicated != 100 || s.Reordered != 100 || s.Delayed != 100 || s.Corrupted != 100 {
+		t.Errorf("mutation counters: %+v", s)
+	}
+}
+
+func TestDroppedFramesGetNoMutations(t *testing.T) {
+	cfg := Config{Loss: 1, DupProb: 1, CorruptProb: 1, Delay: 0.01}
+	inj := New(cfg, 5)
+	for i := 0; i < 50; i++ {
+		act := inj.Frame(0, 64)
+		if !act.Drop || act.Duplicate || act.Delay != 0 || act.CorruptBit >= 0 {
+			t.Fatalf("dropped frame carried mutations: %+v", act)
+		}
+	}
+	if s := inj.Stats(); s.Duplicated+s.Delayed+s.Corrupted != 0 {
+		t.Errorf("mutation counters moved on drops: %+v", s)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{Loss: -0.1},
+		{Loss: 1.5},
+		{DupProb: 2},
+		{Delay: -1},
+		{ReorderSpan: -2},
+		{Partitions: []Window{{From: 2, To: 1}}},
+		{GE: &GilbertElliott{PGoodBad: 1.2}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d validated but should not: %+v", i, cfg)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+}
+
+func TestNewPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted an invalid config")
+		}
+	}()
+	New(Config{Loss: 2}, 1)
+}
+
+func TestPresetsAreValidAndNamed(t *testing.T) {
+	presets := Presets()
+	names := PresetNames()
+	if len(names) != len(presets) {
+		t.Fatalf("PresetNames has %d entries, Presets has %d", len(names), len(presets))
+	}
+	for _, name := range names {
+		cfg, ok := presets[name]
+		if !ok {
+			t.Fatalf("preset %q named but not defined", name)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+		if name != "clean" && !cfg.Enabled() {
+			t.Errorf("preset %q impairs nothing", name)
+		}
+	}
+	if Presets()["clean"].Enabled() {
+		t.Error("clean preset should impair nothing")
+	}
+	if got := Presets()["all"].String(); got == "none" {
+		t.Error("all preset stringified as none")
+	}
+}

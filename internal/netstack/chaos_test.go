@@ -1,0 +1,648 @@
+package netstack
+
+// Chaos suite: every impairment preset crossed with every processing
+// discipline and shard count, plus targeted regression tests for the
+// recovery-path bugs the injector exposed (unbounded TCP retransmission,
+// reassembly-state exhaustion, malformed-fragment veto) and property
+// tests that corruption is always caught by a checksum before it can
+// reach application data. Run with -race; the short mode trims the soak
+// matrix to a CI-sized smoke.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"ldlp/internal/core"
+	"ldlp/internal/faults"
+	"ldlp/internal/layers"
+	"ldlp/internal/mbuf"
+)
+
+type chaosCombo struct {
+	name   string
+	disc   core.Discipline
+	shards int
+}
+
+// Conventional with RxShards > 1 is rejected by construction, so the
+// matrix is the three legal corners.
+var chaosCombos = []chaosCombo{
+	{"conventional", core.Conventional, 1},
+	{"ldlp", core.LDLP, 1},
+	{"ldlp-rx4", core.LDLP, 4},
+}
+
+// chaosFrame hand-crafts one Ethernet/IPv4 frame addressed to dst,
+// returning the mbuf chain ready for Host.deliver. flags/fragOff are the
+// raw IP fields (fragOff in bytes), so tests can forge arbitrary
+// fragments, including malformed ones a well-behaved sender never emits.
+func chaosFrame(src, dst layers.IPAddr, proto byte, id uint16, flags byte, fragOff int, payload []byte) *mbuf.Mbuf {
+	ip := layers.IPv4{
+		TotalLen: layers.IPv4MinLen + len(payload),
+		ID:       id, TTL: 64, Protocol: proto, Src: src, Dst: dst,
+		Flags: flags, FragOff: fragOff,
+	}
+	m := mbuf.FromBytes(payload)
+	m, hdr := m.Prepend(layers.IPv4MinLen)
+	ip.Encode(hdr)
+	eth := layers.Ethernet{Dst: MACFor(dst), Src: MACFor(src), EtherType: layers.EtherTypeIPv4}
+	m, hdr = m.Prepend(layers.EthernetLen)
+	eth.Encode(hdr)
+	return m
+}
+
+func TestChaosSoak(t *testing.T) {
+	presets := faults.Presets()
+	names := faults.PresetNames()
+	if testing.Short() {
+		// CI smoke: one pure-loss mix, one mutation-heavy mix, and the
+		// everything-at-once mix.
+		names = []string{"bernoulli", "corrupt", "all"}
+	}
+	for _, name := range names {
+		for _, combo := range chaosCombos {
+			t.Run(name+"/"+combo.name, func(t *testing.T) {
+				runChaosScenario(t, presets[name], combo)
+			})
+		}
+	}
+}
+
+// runChaosScenario drives TCP, small-UDP, and fragmented-UDP traffic
+// between two hosts whose ingress links are both impaired by cfg, then
+// checks the end-to-end invariants: the TCP stream arrives byte-
+// identical and in order, every delivered datagram is byte-identical to
+// one that was sent, every injected fault shows up in an impairment or
+// drop counter, and no mbuf leaks.
+func runChaosScenario(t *testing.T, cfg faults.Config, combo chaosCombo) {
+	t.Helper()
+	mbuf.ResetPool()
+	n := NewNet()
+	mkOpts := func(shards int) Options {
+		o := DefaultOptions(combo.disc)
+		o.MTU = 600 // small enough that TCP segments and big datagrams fragment
+		o.RxShards = shards
+		return o
+	}
+	a := n.AddHost("client", ipA, mkOpts(1))
+	b := n.AddHost("server", ipB, mkOpts(combo.shards))
+	t.Cleanup(n.Close)
+	injs := n.ImpairAll(cfg, 0xC0FFEE)
+
+	l, err := b.ListenTCP(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := a.DialTCP(ipB, 80)
+	var srv *TCPSock
+	for i := 0; i < 400 && srv == nil; i++ {
+		n.Tick(0.05)
+		srv = l.Accept()
+	}
+	if srv == nil {
+		t.Fatalf("TCP handshake never completed (client state %s, err %v)", cli.State(), cli.Err())
+	}
+
+	const (
+		uFlows   = 3
+		rounds   = 40
+		bigEvery = 8
+		bigSize  = 2500 // 5 fragments at MTU 600
+	)
+	var utx, urx [uFlows]*UDPSock
+	for f := 0; f < uFlows; f++ {
+		if utx[f], err = a.UDPSocket(uint16(1000 + f)); err != nil {
+			t.Fatal(err)
+		}
+		if urx[f], err = b.UDPSocket(uint16(2000 + f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bigTx, _ := a.UDPSocket(3000)
+	bigRx, _ := b.UDPSocket(3100)
+
+	sentSmall := make(map[string]bool)
+	sentBig := make(map[byte]bool)
+	var gotSmall []string
+	var gotBig [][]byte
+	var want, got bytes.Buffer
+	rbuf := make([]byte, 8192)
+	drain := func() {
+		for {
+			nr := srv.Recv(rbuf)
+			if nr == 0 {
+				break
+			}
+			got.Write(rbuf[:nr])
+		}
+		for f := 0; f < uFlows; f++ {
+			for {
+				d, ok := urx[f].Recv()
+				if !ok {
+					break
+				}
+				gotSmall = append(gotSmall, string(d.Data))
+			}
+		}
+		for {
+			d, ok := bigRx.Recv()
+			if !ok {
+				break
+			}
+			gotBig = append(gotBig, d.Data)
+		}
+	}
+
+	for r := 0; r < rounds; r++ {
+		chunk := make([]byte, 300)
+		for i := range chunk {
+			chunk[i] = byte(r*31 + i)
+		}
+		want.Write(chunk)
+		if err := cli.Send(chunk); err != nil {
+			t.Fatalf("round %d: TCP send failed: %v", r, err)
+		}
+		for f := 0; f < uFlows; f++ {
+			msg := fmt.Sprintf("flow%d-round%03d", f, r)
+			sentSmall[msg] = true
+			utx[f].SendTo(ipB, uint16(2000+f), []byte(msg))
+		}
+		if r%bigEvery == 0 {
+			v := byte(0x40 + r/bigEvery)
+			sentBig[v] = true
+			bigTx.SendTo(ipB, 3100, bytes.Repeat([]byte{v}, bigSize))
+		}
+		n.Tick(0.05)
+		drain()
+	}
+
+	// Settle: the drive phase lasted ~2s of simulated time (past every
+	// preset's partition window), so from here retransmission alone must
+	// complete the stream. The budget is far beyond any preset's loss
+	// rate but far too short to mask a wedged connection.
+	for i := 0; i < 600 && got.Len() < want.Len(); i++ {
+		if cli.Err() != nil || srv.Err() != nil {
+			t.Fatalf("TCP connection died under impairment: cli=%v srv=%v", cli.Err(), srv.Err())
+		}
+		n.Tick(0.25)
+		drain()
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		i := 0
+		for i < got.Len() && i < want.Len() && got.Bytes()[i] == want.Bytes()[i] {
+			i++
+		}
+		t.Fatalf("TCP stream mismatch: got %d bytes, want %d, first divergence at %d", got.Len(), want.Len(), i)
+	}
+
+	// Flush: past the reassembly timeout so stale partial datagrams
+	// expire, plus slack for delayed frames (and any responses they
+	// provoke) to land.
+	n.Tick(fragTimeout + 1)
+	for i := 0; i < 4; i++ {
+		n.Tick(0.5)
+	}
+	drain()
+	if h := n.HeldFrames(); h != 0 {
+		t.Errorf("%d frames still held by delay impairment after flush", h)
+	}
+	if fr := len(b.frags); fr != 0 {
+		t.Errorf("%d partial datagrams survived the reassembly timeout", fr)
+	}
+
+	// Datagram integrity: anything delivered must be byte-identical to
+	// something sent; copies beyond the first only when duplication is on
+	// (one duplicate per frame, so never more than two).
+	dupLimit := 1
+	if cfg.DupProb > 0 {
+		dupLimit = 2
+	}
+	counts := make(map[string]int)
+	for _, m := range gotSmall {
+		if !sentSmall[m] {
+			t.Errorf("datagram %q arrived but was never sent intact", m)
+		}
+		counts[m]++
+	}
+	for m, c := range counts {
+		if c > dupLimit {
+			t.Errorf("datagram %q delivered %d times (limit %d for this mix)", m, c, dupLimit)
+		}
+	}
+	for _, d := range gotBig {
+		if len(d) != bigSize {
+			t.Errorf("reassembled datagram has %d bytes, want %d", len(d), bigSize)
+			continue
+		}
+		v := d[0]
+		if !sentBig[v] {
+			t.Errorf("reassembled datagram starts with unknown marker %#x", v)
+			continue
+		}
+		for i, x := range d {
+			if x != v {
+				t.Errorf("reassembled datagram corrupt at byte %d: %#x != %#x", i, x, v)
+				break
+			}
+		}
+	}
+
+	// Fault accounting: drop attribution is exact, and every frame the
+	// injector passed (originals minus drops, plus duplicates) was
+	// counted in by the host — nothing vanishes without a counter.
+	hosts := map[layers.IPAddr]*Host{ipA: a, ipB: b}
+	for ip, inj := range injs {
+		s := inj.Stats()
+		if s.Dropped != s.LossDrops+s.BurstDrops+s.PartitionDrops {
+			t.Errorf("%v: drop attribution broken: %+v", ip, s)
+		}
+		if in := hosts[ip].Counters.FramesIn; in != s.Frames-s.Dropped+s.Duplicated {
+			t.Errorf("%v: FramesIn=%d, want frames %d - dropped %d + duplicated %d",
+				ip, in, s.Frames, s.Dropped, s.Duplicated)
+		}
+	}
+	checkNoLeaks(t)
+}
+
+// TestChaosPartitionTimesOutTCP is the regression test for unbounded
+// retransmission: before tcpMaxRetries, a connection severed by a
+// partition retransmitted its head segment forever, pinning the PCB and
+// its send queue. Now it must give up, error the socket, and reap the
+// PCB.
+func TestChaosPartitionTimesOutTCP(t *testing.T) {
+	n, a, b := twoHosts(t, core.LDLP)
+	l, err := b.ListenTCP(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := a.DialTCP(ipB, 80)
+	n.RunUntilIdle()
+	srv := l.Accept()
+	if srv == nil || !cli.Established() {
+		t.Fatal("handshake failed on a clean link")
+	}
+
+	// Sever the link in both directions for the rest of the test.
+	cut := faults.Config{Partitions: []faults.Window{{From: 0, To: 1e9}}}
+	n.Impair(ipA, cut, 1)
+	n.Impair(ipB, cut, 2)
+
+	if err := cli.Send([]byte("into the void")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100 && cli.Err() == nil; i++ {
+		n.Tick(0.5)
+	}
+	if cli.Err() != ErrTimeout {
+		t.Fatalf("connection never gave up: err=%v state=%s retransmits=%d",
+			cli.Err(), cli.State(), a.Counters.Retransmits)
+	}
+	if err := cli.Send([]byte("more")); err != ErrTimeout {
+		t.Errorf("Send after timeout = %v, want ErrTimeout", err)
+	}
+	if got := len(a.pcbs); got != 0 {
+		t.Errorf("timed-out connection still pins %d PCBs", got)
+	}
+	if got := a.Counters.TimeoutDrops; got != 1 {
+		t.Errorf("TimeoutDrops = %d, want 1", got)
+	}
+	if got := a.Counters.Retransmits; got != tcpMaxRetries {
+		t.Errorf("gave up after %d retransmits, want exactly %d", got, tcpMaxRetries)
+	}
+	checkNoLeaks(t)
+}
+
+// TestChaosFragStateCapAndEviction is the regression test for
+// reassembly-state exhaustion: a flood of first-fragments with distinct
+// IDs used to pin one fragState each for the full 30s timeout. The cap
+// now evicts the oldest partial datagram, counting it as a reassembly
+// timeout.
+func TestChaosFragStateCapAndEviction(t *testing.T) {
+	n, _, b := twoHosts(t, core.Conventional)
+	const flood = 3 * maxFragStates
+	for i := 0; i < flood; i++ {
+		b.deliver(chaosFrame(ipA, ipB, layers.ProtoUDP, uint16(i+1), 0x1, 0,
+			bytes.Repeat([]byte{byte(i)}, 64)))
+	}
+	if got := len(b.frags); got != maxFragStates {
+		t.Errorf("fragment state grew to %d entries, want cap %d", got, maxFragStates)
+	}
+	if got := b.Counters.ReassemblyTimeouts; got != flood-maxFragStates {
+		t.Errorf("evictions counted as %d reassembly timeouts, want %d", got, flood-maxFragStates)
+	}
+	n.Tick(fragTimeout + 1)
+	if got := len(b.frags); got != 0 {
+		t.Errorf("%d partial datagrams survived the timeout", got)
+	}
+	if got := b.Counters.ReassemblyTimeouts; got != flood {
+		t.Errorf("ReassemblyTimeouts = %d after expiry, want %d", got, flood)
+	}
+	checkNoLeaks(t)
+}
+
+// TestChaosMalformedFragmentDropsAlone is the regression test for the
+// malformed-fragment veto: a fragment claiming bytes past the 64 KB
+// datagram limit used to tear down whatever reassembly state shared its
+// key, letting one spoofed fragment kill any in-progress datagram. It
+// must drop alone.
+func TestChaosMalformedFragmentDropsAlone(t *testing.T) {
+	_, _, b := twoHosts(t, core.Conventional)
+	rx, err := b.UDPSocket(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 900)
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	seg := make([]byte, layers.UDPLen)
+	uh := layers.UDP{SrcPort: 9, DstPort: 5000}
+	uh.Encode(seg, payload, ipA, ipB)
+	whole := append(seg, payload...)
+
+	const id = 7
+	b.deliver(chaosFrame(ipA, ipB, layers.ProtoUDP, id, 0x1, 0, whole[:576]))
+	if len(b.frags) != 1 {
+		t.Fatal("first fragment did not open reassembly state")
+	}
+	// Spoofed fragment with the same key, claiming bytes past 64 KB.
+	b.deliver(chaosFrame(ipA, ipB, layers.ProtoUDP, id, 0, 65528, make([]byte, 16)))
+	if got := b.Counters.BadIP; got != 1 {
+		t.Errorf("malformed fragment not counted: BadIP = %d, want 1", got)
+	}
+	if len(b.frags) != 1 {
+		t.Fatal("malformed fragment tore down legitimate reassembly state")
+	}
+	b.deliver(chaosFrame(ipA, ipB, layers.ProtoUDP, id, 0, 576, whole[576:]))
+	d, ok := rx.Recv()
+	if !ok {
+		t.Fatal("datagram never completed after a malformed fragment shared its key")
+	}
+	if !bytes.Equal(d.Data, payload) {
+		t.Error("reassembled payload corrupted")
+	}
+	if got := b.Counters.Reassembled; got != 1 {
+		t.Errorf("Reassembled = %d, want 1", got)
+	}
+	checkNoLeaks(t)
+}
+
+// TestChaosChecksumCorruptionUDP: flipping one bit of a UDP frame in
+// flight must never corrupt a payload the application sees — each frame
+// is either delivered byte-identical (the flip hit a field nothing
+// validates, like the Ethernet source) or counted as exactly one
+// checksum drop. The per-frame ledger must balance.
+func TestChaosChecksumCorruptionUDP(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			mbuf.ResetPool()
+			n := NewNet()
+			a := n.AddHost("a", ipA, DefaultOptions(core.Conventional))
+			b := n.AddHost("b", ipB, DefaultOptions(core.Conventional))
+			t.Cleanup(n.Close)
+			inj := n.Impair(ipB, faults.Config{CorruptProb: 0.6}, seed)
+			_ = a
+			tx, _ := a.UDPSocket(1000)
+			rx, _ := b.UDPSocket(2000)
+			rx.QueueLimit = 1 << 20
+			const N = 300
+			sent := make(map[string]bool, N)
+			for i := 0; i < N; i++ {
+				msg := fmt.Sprintf("probe-%04d-seed%d", i, seed)
+				sent[msg] = true
+				tx.SendTo(ipB, 2000, []byte(msg))
+			}
+			n.RunUntilIdle()
+			received := int64(0)
+			for {
+				d, ok := rx.Recv()
+				if !ok {
+					break
+				}
+				if !sent[string(d.Data)] {
+					t.Errorf("corrupt payload reached the socket: %q", d.Data)
+				}
+				received++
+			}
+			c := &b.Counters
+			s := inj.Stats()
+			if c.FramesIn != s.Frames {
+				t.Errorf("corruption dropped frames at the link: FramesIn=%d, injector saw %d", c.FramesIn, s.Frames)
+			}
+			bad := c.BadEther + c.BadIP + c.BadUDP + c.NoSocket
+			if received+bad != c.FramesIn {
+				t.Errorf("frame ledger broken: %d delivered + %d bad != %d in", received, bad, c.FramesIn)
+			}
+			if s.Corrupted == 0 || bad == 0 {
+				t.Errorf("expected corruption both injected and detected: corrupted=%d bad=%d", s.Corrupted, bad)
+			}
+			checkNoLeaks(t)
+		})
+	}
+}
+
+// TestChaosChecksumCorruptionTCP: under random bit flips the stream
+// must still arrive byte-identical — every flip is either caught by a
+// checksum (BadTCP/BadIP/BadEther) and repaired by retransmission, or
+// hit an unvalidated field and changed nothing.
+func TestChaosChecksumCorruptionTCP(t *testing.T) {
+	for _, combo := range chaosCombos {
+		t.Run(combo.name, func(t *testing.T) {
+			mbuf.ResetPool()
+			n := NewNet()
+			optA := DefaultOptions(combo.disc)
+			a := n.AddHost("a", ipA, optA)
+			optB := DefaultOptions(combo.disc)
+			optB.RxShards = combo.shards
+			b := n.AddHost("b", ipB, optB)
+			t.Cleanup(n.Close)
+			injs := n.ImpairAll(faults.Config{CorruptProb: 0.2}, 42)
+
+			l, err := b.ListenTCP(80)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cli := a.DialTCP(ipB, 80)
+			var srv *TCPSock
+			for i := 0; i < 400 && srv == nil; i++ {
+				n.Tick(0.05)
+				srv = l.Accept()
+			}
+			if srv == nil {
+				t.Fatalf("handshake never completed under corruption (client %s)", cli.State())
+			}
+			var want, got bytes.Buffer
+			rbuf := make([]byte, 4096)
+			for r := 0; r < 24; r++ {
+				chunk := make([]byte, 400)
+				for i := range chunk {
+					chunk[i] = byte(r ^ i)
+				}
+				want.Write(chunk)
+				if err := cli.Send(chunk); err != nil {
+					t.Fatal(err)
+				}
+				n.Tick(0.05)
+				for nr := srv.Recv(rbuf); nr > 0; nr = srv.Recv(rbuf) {
+					got.Write(rbuf[:nr])
+				}
+			}
+			for i := 0; i < 600 && got.Len() < want.Len(); i++ {
+				if cli.Err() != nil || srv.Err() != nil {
+					t.Fatalf("connection died: cli=%v srv=%v", cli.Err(), srv.Err())
+				}
+				n.Tick(0.1)
+				for nr := srv.Recv(rbuf); nr > 0; nr = srv.Recv(rbuf) {
+					got.Write(rbuf[:nr])
+				}
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Fatalf("stream corrupted: got %d bytes, want %d", got.Len(), want.Len())
+			}
+			var corrupted, caught int64
+			for _, inj := range injs {
+				corrupted += inj.Stats().Corrupted
+			}
+			for _, h := range []*Host{a, b} {
+				caught += h.Counters.BadTCP + h.Counters.BadIP + h.Counters.BadEther
+			}
+			if corrupted == 0 || caught == 0 {
+				t.Errorf("expected corruption injected and caught: corrupted=%d caught=%d", corrupted, caught)
+			}
+			checkNoLeaks(t)
+		})
+	}
+}
+
+// TestChaosChecksumCorruptionFragments: bit flips on the fragment path.
+// A flip in a fragment's IP header strands the datagram (reassembly
+// timeout); a flip in its payload survives reassembly but must then be
+// caught by the UDP checksum. Either way the application sees only
+// intact datagrams, and every loss is attributed: missing datagrams ==
+// reassembly timeouts + post-reassembly checksum drops.
+func TestChaosChecksumCorruptionFragments(t *testing.T) {
+	mbuf.ResetPool()
+	n := NewNet()
+	mkOpts := func() Options {
+		o := DefaultOptions(core.Conventional)
+		o.MTU = 600
+		return o
+	}
+	a := n.AddHost("a", ipA, mkOpts())
+	b := n.AddHost("b", ipB, mkOpts())
+	t.Cleanup(n.Close)
+	inj := n.Impair(ipB, faults.Config{CorruptProb: 0.25}, 7)
+
+	tx, _ := a.UDPSocket(1000)
+	rx, _ := b.UDPSocket(2000)
+	rx.QueueLimit = 1 << 20
+	const N = 60
+	const size = 2000 // 4 fragments at MTU 600
+	sent := make(map[string]bool, N)
+	for i := 0; i < N; i++ {
+		d := make([]byte, size)
+		for j := range d {
+			d[j] = byte(i*7 + j)
+		}
+		sent[string(d)] = true
+		tx.SendTo(ipB, 2000, d)
+	}
+	n.RunUntilIdle()
+	n.Tick(fragTimeout + 1) // expire stranded partials
+	received := int64(0)
+	for {
+		d, ok := rx.Recv()
+		if !ok {
+			break
+		}
+		if !sent[string(d.Data)] {
+			t.Error("corrupt reassembled payload reached the socket")
+		}
+		received++
+	}
+	c := &b.Counters
+	s := inj.Stats()
+	if c.FramesIn != s.Frames {
+		t.Errorf("corruption dropped frames at the link: FramesIn=%d, injector saw %d", c.FramesIn, s.Frames)
+	}
+	if len(b.frags) != 0 {
+		t.Errorf("%d partial datagrams survived expiry", len(b.frags))
+	}
+	if missing := N - received; missing != c.ReassemblyTimeouts+c.BadUDP {
+		t.Errorf("datagram ledger broken: %d missing, %d timeouts + %d bad UDP",
+			missing, c.ReassemblyTimeouts, c.BadUDP)
+	}
+	if s.Corrupted == 0 || c.BadIP+c.BadUDP+c.BadEther == 0 {
+		t.Errorf("expected corruption injected and detected: %+v, counters %+v", s, c)
+	}
+	checkNoLeaks(t)
+}
+
+// TestChaosDropCountersSharded extends the race-stress suite over the
+// two drop paths the shard workers hit concurrently — listener backlog
+// overflow and UDP queue overflow — while another goroutine reads the
+// counters mid-pump via the atomic accessors. Exact counts are asserted;
+// -race checks the accessors.
+func TestChaosDropCountersSharded(t *testing.T) {
+	mbuf.ResetPool()
+	n := NewNet()
+	optB := DefaultOptions(core.LDLP)
+	optB.RxShards = 4
+	b := n.AddHost("server", ipB, optB)
+	t.Cleanup(n.Close)
+	l, err := b.ListenTCP(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, err := b.UDPSocket(7000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us.QueueLimit = 4
+
+	const clients = 20
+	var hosts []*Host
+	for i := 0; i < clients; i++ {
+		ip := layers.IPAddr{10, 0, 1, byte(i + 1)}
+		hosts = append(hosts, n.AddHost(fmt.Sprintf("c%d", i), ip, DefaultOptions(core.Conventional)))
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			_ = l.DroppedCount() + us.DroppedCount()
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+
+	for i, h := range hosts {
+		h.DialTCP(ipB, 80)
+		s, err := h.UDPSocket(uint16(4000 + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 3; j++ {
+			s.SendTo(ipB, 7000, []byte{byte(i), byte(j)})
+		}
+	}
+	n.RunUntilIdle()
+	close(done)
+	wg.Wait()
+
+	if got, want := l.DroppedCount(), int64(clients-tcpBacklog); got != want {
+		t.Errorf("listener drops = %d, want %d (backlog %d, %d SYNs)", got, want, tcpBacklog, clients)
+	}
+	if got, want := us.DroppedCount(), int64(clients*3-us.QueueLimit); got != want {
+		t.Errorf("socket drops = %d, want %d (queue %d, %d datagrams)", got, want, us.QueueLimit, clients*3)
+	}
+	checkNoLeaks(t)
+}

@@ -36,6 +36,13 @@ const (
 	fragTimeout = 30.0
 	// maxFragPayload bounds a reassembled datagram.
 	maxFragPayload = 65535
+	// maxFragStates caps concurrent partial datagrams per host. Without
+	// a cap, a stream of first-fragments pins up to fragTimeout of
+	// state each — an easy memory-exhaustion lever under impairment or
+	// attack. At the cap the oldest partial datagram is evicted
+	// (counted as a ReassemblyTimeouts, which is what it would have
+	// become anyway).
+	maxFragStates = 64
 )
 
 // fragmentOutput splits an IP payload into MTU-sized fragments and
@@ -87,18 +94,23 @@ func (h *Host) reassemble(p *Packet) []byte {
 		h.frags = make(map[fragKey]*fragState)
 	}
 	key := fragKey{src: p.IP.Src, id: p.IP.ID, proto: p.IP.Protocol}
-	st := h.frags[key]
-	if st == nil {
-		st = &fragState{totalLen: -1, deadline: h.net.now + fragTimeout}
-		h.frags[key] = st
-	}
 	fragPayload := p.M.Contiguous()
 	off := p.IP.FragOff
 	end := off + len(fragPayload)
 	if end > maxFragPayload {
+		// Malformed fragment: drop it alone. It must not tear down a
+		// legitimate in-progress datagram that happens to share its key
+		// (that would let one spoofed fragment veto any reassembly).
 		inc(&h.Counters.BadIP)
-		delete(h.frags, key)
 		return nil
+	}
+	st := h.frags[key]
+	if st == nil {
+		if len(h.frags) >= maxFragStates {
+			h.evictOldestFrag()
+		}
+		st = &fragState{totalLen: -1, deadline: h.net.now + fragTimeout}
+		h.frags[key] = st
 	}
 	if end > len(st.data) {
 		if end <= cap(st.data) {
@@ -149,6 +161,25 @@ func (h *Host) reassemble(p *Packet) []byte {
 	delete(h.frags, key)
 	inc(&h.Counters.Reassembled)
 	return st.data[:st.totalLen]
+}
+
+// evictOldestFrag reclaims the partial datagram closest to expiry
+// (the oldest, since all share one timeout), making room for a new one
+// at the maxFragStates cap. Counted as a reassembly timeout: the
+// datagram is abandoned exactly as if its timer had fired.
+func (h *Host) evictOldestFrag() {
+	var oldest fragKey
+	best := -1.0
+	for key, st := range h.frags {
+		if best < 0 || st.deadline < best {
+			best = st.deadline
+			oldest = key
+		}
+	}
+	if best >= 0 {
+		delete(h.frags, oldest)
+		inc(&h.Counters.ReassemblyTimeouts)
+	}
 }
 
 // fragTick expires stale partial datagrams.

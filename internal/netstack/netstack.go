@@ -27,10 +27,12 @@ package netstack
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"ldlp/internal/core"
+	"ldlp/internal/faults"
 	"ldlp/internal/layers"
 	"ldlp/internal/mbuf"
 )
@@ -72,6 +74,7 @@ type Counters struct {
 	TxBatches           int64 // transmit-side LDLP: queued-output flushes
 	TxMaxBatch          int   // largest single transmit flush
 	WindowProbes        int64 // zero-window persist probes sent
+	TimeoutDrops        int64 // connections reaped after retransmission gave up
 }
 
 // inc bumps a counter; atomic because sharded receive paths update
@@ -99,6 +102,16 @@ type Options struct {
 	// schedule has no queues to shard). 0 or 1 keeps the deterministic
 	// single-threaded path.
 	RxShards int
+	// Faults, when non-nil, impairs this host's ingress link: every
+	// frame addressed to the host passes through a seeded faults
+	// Injector (loss, bursts, duplication, reordering, delay, bit
+	// corruption, partitions). Equivalent to calling Net.Impair on the
+	// host's address after AddHost.
+	Faults *faults.Config
+	// FaultSeed seeds the ingress injector (0 derives a stable seed
+	// from the host's IP, so multi-host setups stay deterministic
+	// without choosing seeds by hand).
+	FaultSeed int64
 }
 
 // DefaultOptions mirror the paper's LDLP setup bounded by a 500-packet
@@ -132,6 +145,16 @@ func (o Options) mtu() int {
 type frame struct {
 	dst layers.MACAddr
 	m   *mbuf.Mbuf
+	// impaired marks a frame that already received its one fault
+	// verdict (held for delay/reorder, or an injected duplicate), so
+	// re-dequeuing it delivers without a second draw.
+	impaired bool
+}
+
+// heldFrame is an impaired frame parked until the clock reaches due.
+type heldFrame struct {
+	due float64
+	f   frame
 }
 
 // Net is a broadcast segment connecting hosts, with an explicit clock.
@@ -142,14 +165,63 @@ type Net struct {
 	now    float64
 	inPump bool
 	// Loss, if set, is consulted per frame; returning true drops it
-	// (failure injection for retransmission tests).
+	// (failure injection for retransmission tests). Runs before any
+	// Impair injector.
 	Loss func(dst layers.IPAddr, data []byte) bool
+	// impair holds the per-destination link injectors; held parks
+	// delayed frames until a Tick advances the clock past their due
+	// time.
+	impair map[layers.IPAddr]*faults.Injector
+	held   []heldFrame
 }
 
 // NewNet creates an empty network segment.
 func NewNet() *Net {
 	return &Net{hosts: make(map[layers.MACAddr]*Host), byIP: make(map[layers.IPAddr]*Host)}
 }
+
+// Impair installs a seeded fault injector on the link toward dst: every
+// frame addressed to dst is subject to cfg's impairments. seed 0
+// derives a stable per-destination default. Replaces any previous
+// injector for dst (cfg.Enabled() == false removes it). Returns the
+// installed injector so callers can read its per-impairment counters;
+// install before pumping traffic, not mid-pump.
+func (n *Net) Impair(dst layers.IPAddr, cfg faults.Config, seed int64) *faults.Injector {
+	if !cfg.Enabled() {
+		delete(n.impair, dst)
+		return nil
+	}
+	if seed == 0 {
+		seed = int64(dst[0])<<24 | int64(dst[1])<<16 | int64(dst[2])<<8 | int64(dst[3]) | 1
+	}
+	if n.impair == nil {
+		n.impair = make(map[layers.IPAddr]*faults.Injector)
+	}
+	inj := faults.New(cfg, seed)
+	n.impair[dst] = inj
+	return inj
+}
+
+// ImpairAll installs cfg on the ingress link of every host currently
+// attached, each with a distinct seed derived from base, and returns
+// the injectors by address.
+func (n *Net) ImpairAll(cfg faults.Config, base int64) map[layers.IPAddr]*faults.Injector {
+	out := make(map[layers.IPAddr]*faults.Injector)
+	for ip := range n.byIP {
+		hostBits := int64(ip[0])<<24 | int64(ip[1])<<16 | int64(ip[2])<<8 | int64(ip[3])
+		if inj := n.Impair(ip, cfg, base*1_000_003+hostBits); inj != nil {
+			out[ip] = inj
+		}
+	}
+	return out
+}
+
+// InjectorFor returns the injector impairing dst's ingress, or nil.
+func (n *Net) InjectorFor(dst layers.IPAddr) *faults.Injector { return n.impair[dst] }
+
+// HeldFrames reports frames parked by delay impairment, awaiting a
+// Tick past their due time.
+func (n *Net) HeldFrames() int { return len(n.held) }
 
 // Now returns the simulated time in seconds.
 func (n *Net) Now() float64 { return n.now }
@@ -169,12 +241,25 @@ func (n *Net) AddHost(name string, ip layers.IPAddr, opts Options) *Host {
 	h := newHost(n, name, ip, opts)
 	n.hosts[h.mac] = h
 	n.byIP[ip] = h
+	if opts.Faults != nil {
+		n.Impair(ip, *opts.Faults, opts.FaultSeed)
+	}
 	return h
 }
 
 // Close stops every host's shard workers (no-op for single-threaded
-// hosts). Call when done with a network that uses RxShards.
+// hosts) and frees frames still parked on the wire or in delay holds,
+// so tests that end mid-impairment do not read as mbuf leaks. Call
+// when done with a network that uses RxShards or delay faults.
 func (n *Net) Close() {
+	for _, f := range n.wire {
+		f.m.FreeChain()
+	}
+	n.wire = nil
+	for _, hf := range n.held {
+		hf.f.m.FreeChain()
+	}
+	n.held = nil
 	for _, h := range n.hosts {
 		h.Close()
 	}
@@ -223,14 +308,90 @@ func (n *Net) RunUntilIdle() int {
 			f.m.FreeChain()
 			continue
 		}
+		if !f.impaired {
+			if inj := n.impair[dst.ip]; inj != nil && !n.impairFrame(inj, f, dst) {
+				continue // dropped, held, or reordered — not delivered now
+			}
+		}
 		dst.deliver(f.m)
 		delivered++
 	}
 }
 
-// Tick advances simulated time (firing TCP timers) and pumps the network.
+// impairFrame applies one fault verdict to a frame bound for dst.
+// Returns true when the frame should be delivered immediately; false
+// when it was dropped, parked for delay, or pushed back for reorder
+// (the frame's chain has been freed or re-owned accordingly).
+func (n *Net) impairFrame(inj *faults.Injector, f frame, dst *Host) bool {
+	act := inj.Frame(n.now, f.m.PktLen()*8)
+	if act.Drop {
+		f.m.FreeChain()
+		return false
+	}
+	f.impaired = true
+	if act.Duplicate {
+		// The copy is pristine (taken before any corruption) and marked
+		// impaired so it gets no second verdict. It queues behind the
+		// frames already on the wire, like a duplicate born of a real
+		// retransmitting link.
+		dup := frame{dst: f.dst, m: dst.txPool.FromBytes(f.m.Contiguous()), impaired: true}
+		n.wire = append(n.wire, dup)
+	}
+	if act.CorruptBit >= 0 {
+		flipBit(f.m, act.CorruptBit)
+	}
+	if act.Delay > 0 {
+		// Park until a Tick advances the clock past due. Explicitly
+		// pumped time means sub-Tick delays still land on the next Tick,
+		// never silently vanish.
+		n.held = append(n.held, heldFrame{due: n.now + act.Delay, f: f})
+		return false
+	}
+	if act.ReorderSpan > 0 && len(n.wire) > 0 {
+		// Reinsert behind up to ReorderSpan frames currently on the wire.
+		at := min(act.ReorderSpan, len(n.wire))
+		n.wire = append(n.wire, frame{})
+		copy(n.wire[at+1:], n.wire[at:])
+		n.wire[at] = f
+		return false
+	}
+	return true
+}
+
+// flipBit flips one bit of the chain's packet data, walking to the mbuf
+// holding it (bit is already reduced modulo the packet's bit length).
+func flipBit(m *mbuf.Mbuf, bit int) {
+	off := bit / 8
+	for cur := m; cur != nil; cur = cur.Next() {
+		if off < cur.Len() {
+			cur.Bytes()[off] ^= 1 << (bit % 8)
+			return
+		}
+		off -= cur.Len()
+	}
+}
+
+// releaseHeld moves delay-parked frames whose due time has passed back
+// onto the wire, earliest due first (jittered delays may release out of
+// arrival order — that is the reordering the impairment models).
+func (n *Net) releaseHeld() {
+	if len(n.held) == 0 {
+		return
+	}
+	sort.SliceStable(n.held, func(i, j int) bool { return n.held[i].due < n.held[j].due })
+	k := 0
+	for k < len(n.held) && n.held[k].due <= n.now {
+		n.wire = append(n.wire, n.held[k].f)
+		k++
+	}
+	n.held = n.held[k:]
+}
+
+// Tick advances simulated time (releasing delay-held frames, firing TCP
+// timers) and pumps the network.
 func (n *Net) Tick(dt float64) {
 	n.now += dt
+	n.releaseHeld()
 	for _, h := range n.hosts {
 		h.tick()
 	}

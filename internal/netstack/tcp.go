@@ -21,6 +21,11 @@ const (
 	tcpWindow     = 65535
 	tcpRTO        = 0.2 // seconds
 	tcpMaxBackoff = 3.2
+	// tcpMaxRetries bounds retransmissions of one segment: after this
+	// many unanswered tries the connection gives up with ErrTimeout
+	// instead of pinning its PCB forever behind a dead peer or a
+	// partition (with the capped backoff that is ~20 s of trying).
+	tcpMaxRetries = 8
 	// tcpPersist is the zero-window probe interval: if the peer closes
 	// its window and the reopening window update is lost, the sender
 	// probes rather than deadlocking.
@@ -68,6 +73,7 @@ type unackedSeg struct {
 	fin     bool
 	sentAt  float64
 	backoff float64
+	tries   int // timer retransmissions so far
 }
 
 type tcpPCB struct {
@@ -87,6 +93,9 @@ type tcpPCB struct {
 	delAckPending int
 	finQueued     bool
 	sock          *TCPSock
+	// err records why the connection died (ErrTimeout after
+	// retransmission gives up); surfaced through TCPSock.Err and Send.
+	err error
 
 	// lastProbe is the last zero-window persist probe time.
 	lastProbe float64
@@ -106,14 +115,24 @@ type TCPListener struct {
 	port    uint16
 	backlog []*TCPSock
 	// Dropped counts SYNs discarded because the backlog was full.
+	// Updated with atomic adds — SYNs from different remotes hash to
+	// different shard workers — like the host Counters; read while the
+	// network is quiescent, or via DroppedCount.
 	Dropped int64
 }
+
+// DroppedCount reads the backlog-drop counter with atomic semantics,
+// safe while shard workers are running.
+func (l *TCPListener) DroppedCount() int64 { return atomic.LoadInt64(&l.Dropped) }
 
 var (
 	// ErrPortInUse is returned when binding an occupied port.
 	ErrPortInUse = errors.New("netstack: port in use")
 	// ErrClosed is returned for operations on closed sockets.
 	ErrClosed = errors.New("netstack: socket closed")
+	// ErrTimeout is returned after retransmission gives up on an
+	// unresponsive peer and the connection is torn down.
+	ErrTimeout = errors.New("netstack: connection timed out")
 )
 
 // issCounter feeds initial send sequence numbers; atomic because two
@@ -173,6 +192,10 @@ func (s *TCPSock) Established() bool { return s.pcb.state == stEstablished }
 // State names the connection state.
 func (s *TCPSock) State() string { return s.pcb.state.String() }
 
+// Err reports why the connection died (ErrTimeout after retransmission
+// exhausted its retries), or nil while it is healthy.
+func (s *TCPSock) Err() error { return s.pcb.err }
+
 // Send queues data for transmission (flow-controlled by the peer's
 // window as the network is pumped). Sending remains legal in CLOSE-WAIT:
 // the peer half-closed, our direction is still open.
@@ -180,6 +203,9 @@ func (s *TCPSock) Send(data []byte) error {
 	switch s.pcb.state {
 	case stEstablished, stSynSent, stSynRcvd, stCloseWait:
 	default:
+		if s.pcb.err != nil {
+			return s.pcb.err
+		}
 		return ErrClosed
 	}
 	s.pcb.sndBuf = append(s.pcb.sndBuf, data...)
@@ -220,6 +246,19 @@ func (s *TCPSock) Close() {
 	}
 	pcb.finQueued = true
 	pcb.trySend()
+}
+
+// timeout kills a connection whose retransmissions went unanswered:
+// mark the socket failed, release the send-side queues (nothing will
+// ever ack them) and tear the PCB down so it stops consuming timer
+// cycles and map space.
+func (pcb *tcpPCB) timeout() {
+	pcb.err = ErrTimeout
+	pcb.unacked = nil
+	pcb.sndBuf = nil
+	pcb.finQueued = false
+	inc(&pcb.host.Counters.TimeoutDrops)
+	pcb.teardown()
 }
 
 func (pcb *tcpPCB) teardown() {
@@ -270,7 +309,7 @@ func (rx *rxPath) tcpInput(p *Packet, emit core.Emit[*Packet]) {
 		if th.Flags&layers.TCPSyn != 0 && th.Flags&layers.TCPAck == 0 {
 			if l, ok := h.listeners[th.DstPort]; ok {
 				if len(l.backlog) >= tcpBacklog {
-					l.Dropped++
+					inc(&l.Dropped)
 					rx.drop(p)
 					return
 				}
@@ -542,6 +581,15 @@ func (h *Host) tcpTick() {
 		}
 		u := &pcb.unacked[0]
 		if h.net.now-u.sentAt >= u.backoff {
+			if u.tries >= tcpMaxRetries {
+				// The peer is gone (dead host, standing partition):
+				// stop pinning the PCB and its queues forever. Error
+				// the socket so the application sees the failure, free
+				// everything queued, and reap the connection.
+				pcb.timeout()
+				continue
+			}
+			u.tries++
 			inc(&h.Counters.Retransmits)
 			u.sentAt = h.net.now
 			if u.backoff < tcpMaxBackoff {

@@ -2,6 +2,7 @@ package netstack
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ldlp/internal/core"
 	"ldlp/internal/layers"
@@ -21,8 +22,16 @@ type UDPSock struct {
 	queue []Datagram
 	// QueueLimit bounds buffered datagrams (drop-tail beyond it).
 	QueueLimit int
-	Dropped    int64
+	// Dropped counts datagrams discarded at a full queue. Updated with
+	// atomic adds — datagrams from different remotes hash to different
+	// shard workers — like the host Counters; read while quiescent, or
+	// via DroppedCount.
+	Dropped int64
 }
+
+// DroppedCount reads the queue-drop counter with atomic semantics,
+// safe while shard workers are running.
+func (s *UDPSock) DroppedCount() int64 { return atomic.LoadInt64(&s.Dropped) }
 
 // UDPSocket binds a datagram socket to port.
 func (h *Host) UDPSocket(port uint16) (*UDPSock, error) {
@@ -81,7 +90,7 @@ func (rx *rxPath) udpInput(p *Packet, emit core.Emit[*Packet]) {
 		return
 	}
 	if len(sock.queue) >= sock.QueueLimit {
-		sock.Dropped++
+		inc(&sock.Dropped)
 		rx.drop(p)
 		return
 	}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"sort"
+
+	"ldlp/internal/faults"
+	"ldlp/internal/traffic"
+)
+
+// FaultedSource wraps an arrival source with a seeded link-impairment
+// injector, adapting the frame-level fault model to the queueing sim's
+// message-arrival view: dropped and corrupted messages vanish before the
+// stack sees them (corruption is what the bottom-layer checksum turns
+// into loss), duplicated messages arrive twice, delayed messages arrive
+// later. Reordering has no observable effect here — sim messages are
+// independent — so it only shows in the injector's counters.
+//
+// The wrapped stream stays monotonically non-decreasing, as the Source
+// contract requires: mutated arrivals are buffered and released only
+// once no earlier-timed arrival can still emerge (impairment never moves
+// a message earlier than its raw time).
+type FaultedSource struct {
+	src     traffic.Source
+	inj     *faults.Injector
+	pending []traffic.Arrival // time-sorted buffer of mutated arrivals
+	lastRaw float64           // latest raw arrival time pulled from src
+	srcDone bool
+}
+
+// NewFaultedSource wraps src with inj. The injector must be private to
+// this source (it is consulted once per raw arrival, in order).
+func NewFaultedSource(src traffic.Source, inj *faults.Injector) *FaultedSource {
+	return &FaultedSource{src: src, inj: inj}
+}
+
+// Stats exposes the injector's per-impairment counters for the run.
+func (f *FaultedSource) Stats() faults.Stats { return f.inj.Stats() }
+
+// Next returns the next surviving (possibly delayed or duplicated)
+// arrival.
+func (f *FaultedSource) Next() (traffic.Arrival, bool) {
+	for {
+		// Release the head of the buffer once nothing earlier can appear.
+		if len(f.pending) > 0 && (f.srcDone || f.lastRaw >= f.pending[0].Time) {
+			a := f.pending[0]
+			f.pending = f.pending[1:]
+			return a, true
+		}
+		if f.srcDone {
+			return traffic.Arrival{}, false
+		}
+		a, ok := f.src.Next()
+		if !ok {
+			f.srcDone = true
+			continue
+		}
+		f.lastRaw = a.Time
+		act := f.inj.Frame(a.Time, a.Size*8)
+		if act.Drop {
+			continue
+		}
+		if act.Duplicate {
+			// The duplicate is a pristine, undelayed copy — mirroring the
+			// wire model, where the copy is taken before corruption or
+			// delay touches the original.
+			f.push(a)
+		}
+		if act.CorruptBit >= 0 {
+			// The original dies at the bottom-layer checksum.
+			continue
+		}
+		a.Time += act.Delay
+		f.push(a)
+	}
+}
+
+// push inserts keeping pending sorted by time (stable: equal times keep
+// arrival order).
+func (f *FaultedSource) push(a traffic.Arrival) {
+	i := sort.Search(len(f.pending), func(i int) bool { return f.pending[i].Time > a.Time })
+	f.pending = append(f.pending, traffic.Arrival{})
+	copy(f.pending[i+1:], f.pending[i:])
+	f.pending[i] = a
+}

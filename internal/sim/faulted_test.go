@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"testing"
+
+	"ldlp/internal/core"
+	"ldlp/internal/faults"
+	"ldlp/internal/traffic"
+)
+
+// finiteSource emits n evenly spaced fixed-size arrivals then ends.
+type finiteSource struct {
+	n, i, size int
+	dt         float64
+}
+
+func (s *finiteSource) Next() (traffic.Arrival, bool) {
+	if s.i >= s.n {
+		return traffic.Arrival{}, false
+	}
+	a := traffic.Arrival{Time: float64(s.i) * s.dt, Size: s.size}
+	s.i++
+	return a, true
+}
+
+func drainFaulted(f *FaultedSource) []traffic.Arrival {
+	var out []traffic.Arrival
+	for {
+		a, ok := f.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, a)
+	}
+}
+
+// TestFaultedSourceAccounting: draining a finite stream must yield
+// exactly originals - drops - corruptions + duplicates, in
+// non-decreasing time order despite per-message jittered delay.
+func TestFaultedSourceAccounting(t *testing.T) {
+	cfg := faults.Config{
+		Loss:        0.2,
+		DupProb:     0.1,
+		CorruptProb: 0.1,
+		Delay:       0.002,
+		Jitter:      0.004,
+	}
+	const n = 5000
+	f := NewFaultedSource(&finiteSource{n: n, size: 552, dt: 0.001}, faults.New(cfg, 3))
+	out := drainFaulted(f)
+	stats := f.Stats()
+	want := stats.Frames - stats.Dropped - stats.Corrupted + stats.Duplicated
+	if int64(len(out)) != want {
+		t.Errorf("emitted %d arrivals, want %d - %d - %d + %d = %d",
+			len(out), stats.Frames, stats.Dropped, stats.Corrupted, stats.Duplicated, want)
+	}
+	if stats.Dropped == 0 || stats.Duplicated == 0 || stats.Delayed == 0 || stats.Corrupted == 0 {
+		t.Errorf("expected every configured impairment to fire: %+v", stats)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Time < out[i-1].Time {
+			t.Fatalf("arrival %d at %v precedes arrival %d at %v: Source contract broken",
+				i, out[i].Time, i-1, out[i-1].Time)
+		}
+	}
+}
+
+// TestFaultedSourceDeterminism: same seed, same stream.
+func TestFaultedSourceDeterminism(t *testing.T) {
+	cfg := faults.Config{Loss: 0.1, DupProb: 0.1, Delay: 0.001, Jitter: 0.002}
+	mk := func() []traffic.Arrival {
+		return drainFaulted(NewFaultedSource(&finiteSource{n: 1000, size: 552, dt: 0.0005}, faults.New(cfg, 77)))
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverges at arrival %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSweepUnderLoss: the sweep machinery accepts a fault config, the
+// link drops are surfaced in the result, and the thinned stream offers
+// less work to the stack than the clean one.
+func TestSweepUnderLoss(t *testing.T) {
+	opts := SweepOptions{Runs: 3, Duration: 0.2, MessageSize: 552, BaseSeed: 1}
+	mk := func(seed int64) traffic.Source {
+		return traffic.NewPoisson(4000, opts.MessageSize, seed)
+	}
+	clean := averageRuns(DefaultConfig(core.LDLP), opts, mk)
+	lossy := opts
+	lossy.Faults = &faults.Config{Loss: 0.3}
+	faulted := averageRuns(DefaultConfig(core.LDLP), lossy, mk)
+	if clean.LinkDropped != 0 {
+		t.Errorf("clean sweep reported %d link drops", clean.LinkDropped)
+	}
+	if faulted.LinkDropped == 0 {
+		t.Error("lossy sweep reported no link drops")
+	}
+	if faulted.Offered >= clean.Offered {
+		t.Errorf("30%% loss did not thin the offered load: %d >= %d", faulted.Offered, clean.Offered)
+	}
+	if faulted.Offered+faulted.LinkDropped < clean.Offered*9/10 {
+		t.Errorf("offered+dropped (%d+%d) fell far below the clean offered load %d",
+			faulted.Offered, faulted.LinkDropped, clean.Offered)
+	}
+}
+
+// TestFigureLoss smoke-runs the loss sweep end to end.
+func TestFigureLoss(t *testing.T) {
+	opts := SweepOptions{Runs: 2, Duration: 0.1, MessageSize: 552, BaseSeed: 1}
+	tab := FigureLoss(opts, 3000, []float64{0, 0.2})
+	if len(tab.Points) != 2 {
+		t.Fatalf("loss sweep produced %d rows, want 2", len(tab.Points))
+	}
+}

@@ -95,6 +95,10 @@ type Result struct {
 	// Offered counts arrivals inside the horizon; Processed those that
 	// completed; Dropped those rejected at the full buffer.
 	Offered, Processed, Dropped int
+	// LinkDropped counts messages a fault-injecting source removed
+	// before the stack saw them (loss, burst loss, partition,
+	// corruption); zero when the sweep runs on a clean link.
+	LinkDropped int
 	// Latency aggregates per-message (completion - arrival) seconds.
 	Latency stats.Running
 	// P50Latency, P90Latency, P99Latency estimate latency quantiles in

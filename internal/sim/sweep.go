@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"ldlp/internal/core"
+	"ldlp/internal/faults"
 	"ldlp/internal/stats"
 	"ldlp/internal/traffic"
 )
@@ -24,6 +25,12 @@ type SweepOptions struct {
 	BaseSeed int64
 	// Parallel enables running seeds on all cores.
 	Parallel bool
+	// Faults, when non-nil and enabled, impairs every run's arrival
+	// stream with a seeded injector (seed derived from the run seed), so
+	// the figure sweeps rerun under link faults: loss and corruption
+	// remove messages before the stack sees them, duplication doubles
+	// them, delay shifts them.
+	Faults *faults.Config
 }
 
 // PaperSweep reproduces the published methodology: 100 runs of 1 second
@@ -53,7 +60,17 @@ func averageRuns(cfg Config, opts SweepOptions, mkSrc func(seed int64) traffic.S
 			c := cfg
 			c.Duration = opts.Duration
 			c.Seed = opts.BaseSeed + int64(r)*7919
-			results[r] = New(c).Run(mkSrc(c.Seed + 104729))
+			src := mkSrc(c.Seed + 104729)
+			var faulted *FaultedSource
+			if opts.Faults != nil && opts.Faults.Enabled() {
+				faulted = NewFaultedSource(src, faults.New(*opts.Faults, c.Seed*31+11))
+				src = faulted
+			}
+			results[r] = New(c).Run(src)
+			if faulted != nil {
+				s := faulted.Stats()
+				results[r].LinkDropped = int(s.Dropped + s.Corrupted)
+			}
 		}()
 	}
 	wg.Wait()
@@ -63,6 +80,7 @@ func averageRuns(cfg Config, opts SweepOptions, mkSrc func(seed int64) traffic.S
 		agg.Offered += res.Offered
 		agg.Processed += res.Processed
 		agg.Dropped += res.Dropped
+		agg.LinkDropped += res.LinkDropped
 		agg.Latency.Merge(&res.Latency)
 		agg.P99Latency += res.P99Latency
 		agg.IMissesPerMsg += res.IMissesPerMsg
@@ -140,6 +158,39 @@ func dropFrac(r Result) float64 {
 		return 0
 	}
 	return float64(r.Dropped) / float64(r.Offered)
+}
+
+// FigureLossRates are the Bernoulli link-loss probabilities the loss
+// sweep walks (0 is the clean baseline).
+var FigureLossRates = []float64{0, 0.01, 0.02, 0.05, 0.10, 0.20}
+
+// FigureLoss reruns the Figure-6 latency comparison at one fixed
+// arrival rate while sweeping link loss, per discipline. Loss thins the
+// arrival stream, so conventional latency *improves* with loss while
+// LDLP loses batch depth — the interesting question the sweep answers
+// is whether LDLP's advantage survives an imperfect link.
+func FigureLoss(opts SweepOptions, rate float64, losses []float64) *stats.Table {
+	if losses == nil {
+		losses = FigureLossRates
+	}
+	tab := stats.NewTable(
+		"Latency vs link loss (Poisson arrivals, fixed rate)",
+		"loss", "conv", "ldlp", "conv-linkdrop", "ldlp-linkdrop")
+	for _, p := range losses {
+		o := opts
+		if p > 0 {
+			cfg := faults.Config{Loss: p}
+			o.Faults = &cfg
+		}
+		mk := func(seed int64) traffic.Source {
+			return traffic.NewPoisson(rate, opts.MessageSize, seed)
+		}
+		conv := averageRuns(DefaultConfig(core.Conventional), o, mk)
+		ldlp := averageRuns(DefaultConfig(core.LDLP), o, mk)
+		tab.Add(p, conv.Latency.Mean(), ldlp.Latency.Mean(),
+			float64(conv.LinkDropped), float64(ldlp.LinkDropped))
+	}
+	return tab
 }
 
 // Figure7Clocks are the CPU clock rates the paper sweeps (Hz).

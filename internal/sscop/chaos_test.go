@@ -1,0 +1,136 @@
+package sscop
+
+// Chaos tests for SSCOP over an impaired link: the handshake-recovery
+// regression (a lost BGN or END used to wedge the link forever, since
+// only SD retransmission was timer-driven) and assured delivery under a
+// composed loss/duplication/reorder/corruption mix.
+
+import (
+	"fmt"
+	"testing"
+
+	"ldlp/internal/faults"
+	"ldlp/internal/netstack"
+)
+
+// impairedPair builds a link pair with cfg impairing both directions.
+func impairedPair(t *testing.T, cfg faults.Config, seed int64) (*netstack.Net, *Link, *Link) {
+	t.Helper()
+	n, la, lb := linkPair(t)
+	n.Impair(ipA, cfg, seed)
+	n.Impair(ipB, cfg, seed+1)
+	return n, la, lb
+}
+
+// TestChaosLostBGNRecovered is the regression test for the handshake
+// wedge: the BGN is swallowed by a link outage, so establishment must
+// come from the Tick-driven control retransmission. Before the fix the
+// link sat in Outgoing forever.
+func TestChaosLostBGNRecovered(t *testing.T) {
+	n, la, lb := linkPair(t)
+	// Outage covering the initial BGN only.
+	n.Impair(ipB, faults.Config{Partitions: []faults.Window{{From: 0, To: 0.1}}}, 1)
+	la.Connect(ipB, port)
+	pump(n, la, lb)
+	if la.Established() {
+		t.Fatal("BGN was supposed to be lost")
+	}
+	for i := 0; i < 8 && !la.Established(); i++ {
+		tickPump(n, 0.3, la, lb)
+	}
+	if !la.Established() || !lb.Established() {
+		t.Fatalf("link never recovered from a lost BGN: %v / %v", la.State(), lb.State())
+	}
+	if la.Stats.CtlRetransmits == 0 {
+		t.Error("recovery happened but no control retransmission was counted")
+	}
+}
+
+// TestChaosLostENDRecovered: same wedge on the release side — a lost
+// END left the initiator in Releasing forever.
+func TestChaosLostENDRecovered(t *testing.T) {
+	n, la, lb := linkPair(t)
+	connect(t, n, la, lb)
+	now := n.Now()
+	n.Impair(ipB, faults.Config{Partitions: []faults.Window{{From: now, To: now + 0.1}}}, 2)
+	la.Release()
+	pump(n, la, lb)
+	if la.State() != Releasing {
+		t.Fatalf("END was supposed to be lost, state %v", la.State())
+	}
+	for i := 0; i < 8 && la.State() != Idle; i++ {
+		tickPump(n, 0.3, la, lb)
+	}
+	if la.State() != Idle || lb.State() != Idle {
+		t.Fatalf("link never recovered from a lost END: %v / %v", la.State(), lb.State())
+	}
+	if la.Stats.CtlRetransmits == 0 {
+		t.Error("recovery happened but no control retransmission was counted")
+	}
+}
+
+// TestChaosAssuredDeliveryUnderImpairment: under composed loss,
+// duplication, reordering, and corruption (which the UDP checksum turns
+// into loss), SSCOP's selective retransmission must still deliver every
+// payload exactly once, in order.
+func TestChaosAssuredDeliveryUnderImpairment(t *testing.T) {
+	cfg := faults.Config{
+		Loss:        0.15,
+		DupProb:     0.10,
+		ReorderProb: 0.20,
+		CorruptProb: 0.10,
+	}
+	n, la, lb := impairedPair(t, cfg, 99)
+	// Establishment itself may need control retransmissions here.
+	la.Connect(ipB, port)
+	for i := 0; i < 40 && !(la.Established() && lb.Established()); i++ {
+		tickPump(n, 0.3, la, lb)
+	}
+	if !la.Established() || !lb.Established() {
+		t.Fatalf("establishment failed under impairment: %v / %v", la.State(), lb.State())
+	}
+
+	const N = 100
+	var got [][]byte
+	recv := func() {
+		for {
+			p, ok := lb.Recv()
+			if !ok {
+				break
+			}
+			got = append(got, p)
+		}
+	}
+	for i := 0; i < N; i++ {
+		msg := []byte(fmt.Sprintf("msg-%03d", i))
+		// The send window fills when loss delays acks; pump until a slot
+		// frees up.
+		for try := 0; la.Send(msg) != nil; try++ {
+			if try > 200 {
+				t.Fatalf("send window never reopened at payload %d", i)
+			}
+			tickPump(n, 0.3, la, lb)
+			recv()
+		}
+		if i%5 == 4 {
+			tickPump(n, 0.1, la, lb)
+			recv()
+		}
+	}
+	for i := 0; i < 400 && len(got) < N; i++ {
+		tickPump(n, 0.3, la, lb)
+		recv()
+	}
+	if len(got) != N {
+		t.Fatalf("delivered %d of %d payloads (retransmissions=%d, dup=%d)",
+			len(got), N, la.Stats.Retransmissions, lb.Stats.Duplicates)
+	}
+	for i, p := range got {
+		if want := fmt.Sprintf("msg-%03d", i); string(p) != want {
+			t.Fatalf("payload %d = %q, want %q (delivery out of order or corrupt)", i, p, want)
+		}
+	}
+	if la.Stats.Retransmissions == 0 {
+		t.Error("a 15%-loss link with 100 payloads should have forced SD retransmissions")
+	}
+}

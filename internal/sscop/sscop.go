@@ -81,6 +81,9 @@ type Stats struct {
 	OutOfOrder      int64
 	Duplicates      int64
 	BadPDUs         int64
+	// CtlRetransmits counts BGN/END control PDUs re-sent by the timer
+	// because the handshake answer never came (lost on the link).
+	CtlRetransmits int64
 }
 
 // ErrNotEstablished is returned by Send before the link is up.
@@ -106,7 +109,8 @@ type Link struct {
 	unacked  map[uint32]*sdRecord
 	sdsSince int // SDs since last POLL
 	lastPoll float64
-	ps       uint32 // poll sequence
+	lastCtl  float64 // last BGN/END (re)transmission time
+	ps       uint32  // poll sequence
 
 	// Receiver.
 	vr       uint32 // next expected in-order SD
@@ -140,6 +144,7 @@ func (l *Link) Established() bool { return l.state == Established }
 func (l *Link) Connect(dst layers.IPAddr, port uint16) {
 	l.peer, l.peerPort = dst, port
 	l.state = Outgoing
+	l.lastCtl = l.host.Now()
 	l.emit([]byte{pduBGN})
 }
 
@@ -149,6 +154,7 @@ func (l *Link) Release() {
 		return
 	}
 	l.state = Releasing
+	l.lastCtl = l.host.Now()
 	l.emit([]byte{pduEND})
 }
 
@@ -187,14 +193,29 @@ func (l *Link) Recv() ([]byte, bool) {
 // Pending reports queued deliveries.
 func (l *Link) Pending() int { return len(l.delivery) }
 
-// Tick runs the protocol timers: POLL while data is outstanding.
+// Tick runs the protocol timers: POLL while data is outstanding, and
+// BGN/END retransmission while a handshake answer is owed. Without the
+// latter, one lost BGN (or END) wedges the link in Outgoing (or
+// Releasing) forever — the recovery-path bug the chaos sweep surfaced.
 func (l *Link) Tick() {
-	if l.state != Established {
-		return
-	}
 	now := l.host.Now()
-	if len(l.unacked) > 0 && now-l.lastPoll >= PollInterval {
-		l.sendPoll()
+	switch l.state {
+	case Outgoing:
+		if now-l.lastCtl >= PollInterval {
+			l.lastCtl = now
+			l.Stats.CtlRetransmits++
+			l.emit([]byte{pduBGN})
+		}
+	case Releasing:
+		if now-l.lastCtl >= PollInterval {
+			l.lastCtl = now
+			l.Stats.CtlRetransmits++
+			l.emit([]byte{pduEND})
+		}
+	case Established:
+		if len(l.unacked) > 0 && now-l.lastPoll >= PollInterval {
+			l.sendPoll()
+		}
 	}
 }
 

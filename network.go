@@ -1,6 +1,7 @@
 package ldlp
 
 import (
+	"ldlp/internal/faults"
 	"ldlp/internal/layers"
 	"ldlp/internal/netstack"
 	"ldlp/internal/signal"
@@ -54,6 +55,37 @@ func DefaultHostOptions(d Discipline) HostOptions { return netstack.DefaultOptio
 // ordering is preserved. Call Net.Close (or Host.Close) to stop the
 // workers when done.
 func ShardedHostOptions(shards int) HostOptions { return netstack.ShardedOptions(shards) }
+
+// --- fault injection ---
+
+// FaultConfig describes a composable set of link impairments: Bernoulli
+// and Gilbert–Elliott bursty loss, timed partitions, duplication,
+// reordering, delay with jitter, and single-bit corruption. Install it
+// per-destination with Net.Impair (or Net.ImpairAll), or set
+// HostOptions.Faults before AddHost; every decision comes from one
+// seeded generator, so a run replays exactly.
+type FaultConfig = faults.Config
+
+// FaultWindow is an absolute simulated-time interval, used for
+// partition scheduling.
+type FaultWindow = faults.Window
+
+// GilbertElliott parameterises two-state bursty loss.
+type GilbertElliott = faults.GilbertElliott
+
+// FaultInjector is an installed impairment instance; read its Stats for
+// the per-impairment counters.
+type FaultInjector = faults.Injector
+
+// FaultStats are the per-impairment counters of one injector.
+type FaultStats = faults.Stats
+
+// FaultPresets returns the named impairment mixes used by the chaos
+// suite and cmd/chaos; FaultPresetNames lists them in running order.
+func FaultPresets() map[string]FaultConfig { return faults.Presets() }
+
+// FaultPresetNames returns the preset names in canonical order.
+func FaultPresetNames() []string { return faults.PresetNames() }
 
 // --- signalling ---
 
