@@ -3,15 +3,22 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race chaos chaos-smoke fuzz bench bench-full report examples clean
+.PHONY: all build vet lint test test-short test-race chaos chaos-smoke fuzz bench bench-full report examples clean
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet plus the repo's own analyzer suite (ldlpvet),
+# which enforces mbuf ownership balance, the zero-alloc //ldlp:hotpath
+# contract, atomics-only counter access, lock ordering, and per-seed
+# determinism. Exits non-zero on any unexplained finding.
+lint: vet
+	$(GO) run ./cmd/ldlpvet ./...
 
 test:
 	$(GO) test ./...

@@ -213,8 +213,21 @@ func runScenario(cfg faults.Config, d core.Discipline, shards int, seed int64, r
 		fail("%d frames still held by delay impairment", h)
 	}
 	hosts := map[layers.IPAddr]*netstack.Host{ipA: a, ipB: b}
+	// The per-injector loop below is the frame ledger. It is vacuous —
+	// and used to pass silently — when an impaired preset registered no
+	// injectors or an injector saw zero frames; both now fail the run.
+	if cfg.Enabled() && len(injs) == 0 {
+		fail("preset %s impairs traffic but registered no injectors; frame ledger unchecked", name)
+	}
+	if a.Counters.FramesOut == 0 || b.Counters.FramesIn == 0 {
+		fail("scenario moved no frames (client out=%d, server in=%d); ledger and delivery checks are vacuous",
+			a.Counters.FramesOut, b.Counters.FramesIn)
+	}
 	for ip, inj := range injs {
 		s := inj.Stats()
+		if s.Frames == 0 {
+			fail("%v: injector saw zero frames; its ledger check is vacuous", ip)
+		}
 		if s.Dropped != s.LossDrops+s.BurstDrops+s.PartitionDrops {
 			fail("%v: drop attribution broken: %+v", ip, s)
 		}

@@ -1,0 +1,94 @@
+// Command ldlpvet runs the repo's custom static analyzers (see
+// internal/lint) over the tree: mbufown, hotpathalloc, atomiccounter,
+// lockorder, and determinism. It is the static half of the invariant
+// story — the chaos and race suites catch violations at runtime, ldlpvet
+// rejects them at review time.
+//
+// Usage:
+//
+//	ldlpvet [-only name,name] [-list] [packages]
+//
+// Packages default to ./... relative to the current directory. Exit
+// status: 0 clean, 1 findings, 2 load or usage error.
+//
+// Suppress a finding with a justified directive on the same line or the
+// line above:
+//
+//	//lint:ignore <analyzer> <reason why the invariant does not apply>
+//
+// The reason is mandatory; a bare ignore is itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ldlp/internal/lint"
+)
+
+func main() {
+	var (
+		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+
+	analyzers := lint.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var kept []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				kept = append(kept, a)
+				delete(want, a.Name)
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "ldlpvet: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+		analyzers = kept
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ldlpvet: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, fset, err := lint.Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ldlpvet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(fset, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ldlpvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ldlpvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -36,6 +36,8 @@ type Accumulator struct {
 // trick; the paper's Figure 8 point about *code size* vs cycles is made
 // by Simple/Unrolled below on the machine model, which this routine does
 // not alter.)
+//
+//ldlp:hotpath
 func (a *Accumulator) Add(b []byte) {
 	if len(b) == 0 {
 		return
@@ -81,6 +83,8 @@ func (a *Accumulator) AddUint16(v uint16) {
 
 // Sum16 folds the accumulator to 16 bits and complements it, yielding the
 // value to place in a checksum field.
+//
+//ldlp:hotpath
 func (a *Accumulator) Sum16() uint16 {
 	s := a.sum
 	for s > 0xffff {
@@ -92,6 +96,8 @@ func (a *Accumulator) Sum16() uint16 {
 // Simple computes the Internet checksum of data with the smallest
 // reasonable loop: one 16-bit word per iteration. This is the paper's
 // "very simple version": more cycles per byte, far less code.
+//
+//ldlp:hotpath
 func Simple(data []byte) uint16 {
 	var sum uint64
 	n := len(data)

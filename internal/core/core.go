@@ -76,8 +76,10 @@ type fifo[M any] struct {
 	head int
 }
 
-func (q *fifo[M]) push(m M) { q.buf = append(q.buf, m) }
+//ldlp:hotpath
+func (q *fifo[M]) push(m M) { q.buf = append(q.buf, m) } //lint:ignore hotpathalloc amortized growth of a reused backing array; steady state never reallocates
 
+//ldlp:hotpath
 func (q *fifo[M]) pop() (M, bool) {
 	var zero M
 	if q.head >= len(q.buf) {
@@ -251,6 +253,8 @@ func (s *Stack[M]) Pending() int { return s.queued }
 // Under Conventional and ILP the message is processed through the whole
 // stack immediately (call-through). Under LDLP it is queued; call Run to
 // process. Inject returns ErrStackFull if the stack's buffer is full.
+//
+//ldlp:hotpath
 func (s *Stack[M]) Inject(m M) error {
 	if s.bottom == nil {
 		panic("core: Inject on a stack with no layers")
@@ -271,10 +275,13 @@ func (s *Stack[M]) Inject(m M) error {
 
 // callThrough runs a message depth-first through the layers, the
 // conventional schedule.
+//
+//ldlp:hotpath
 func (s *Stack[M]) callThrough(l *Layer[M], m M) {
 	s.process(l, m, l.emitCall)
 }
 
+//ldlp:hotpath
 func (s *Stack[M]) process(l *Layer[M], m M, emit Emit[M]) {
 	if s.onProcess != nil {
 		s.onProcess(l, m)
@@ -284,6 +291,7 @@ func (s *Stack[M]) process(l *Layer[M], m M, emit Emit[M]) {
 	l.handler(m, emit)
 }
 
+//ldlp:hotpath
 func (s *Stack[M]) deliver(m M) {
 	s.stats.Delivered++
 	if s.sink != nil {
@@ -291,6 +299,7 @@ func (s *Stack[M]) deliver(m M) {
 	}
 }
 
+//ldlp:hotpath
 func (s *Stack[M]) enqueue(l *Layer[M], m M) {
 	l.queue.push(m)
 	s.queued++
@@ -332,6 +341,7 @@ func (s *Stack[M]) Run() int64 {
 	return s.stats.Delivered - startDelivered
 }
 
+//ldlp:hotpath
 func (s *Stack[M]) highestPending() *Layer[M] {
 	for i := len(s.layers) - 1; i >= 0; i-- {
 		if s.layers[i].queue.len() > 0 {
@@ -343,6 +353,8 @@ func (s *Stack[M]) highestPending() *Layer[M] {
 
 // runLayer processes the layer's queue to completion (bounded by
 // BatchLimit at the bottom layer), emitting upward into queues.
+//
+//ldlp:hotpath
 func (s *Stack[M]) runLayer(l *Layer[M]) {
 	limit := l.queue.len()
 	if l == s.bottom && s.opts.BatchLimit > 0 && limit > s.opts.BatchLimit {

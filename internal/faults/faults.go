@@ -88,19 +88,26 @@ type Config struct {
 // Validate reports configuration errors (probabilities outside [0,1],
 // negative delays, inverted windows).
 func (c Config) Validate() error {
-	probs := map[string]float64{
-		"Loss": c.Loss, "DupProb": c.DupProb,
-		"ReorderProb": c.ReorderProb, "CorruptProb": c.CorruptProb,
+	// An ordered slice, not a map: with several probabilities out of
+	// range, map iteration made the reported error vary run to run.
+	type probEntry struct {
+		name string
+		p    float64
+	}
+	probs := []probEntry{
+		{"Loss", c.Loss}, {"DupProb", c.DupProb},
+		{"ReorderProb", c.ReorderProb}, {"CorruptProb", c.CorruptProb},
 	}
 	if c.GE != nil {
-		probs["GE.PGoodBad"] = c.GE.PGoodBad
-		probs["GE.PBadGood"] = c.GE.PBadGood
-		probs["GE.LossGood"] = c.GE.LossGood
-		probs["GE.LossBad"] = c.GE.LossBad
+		probs = append(probs,
+			probEntry{"GE.PGoodBad", c.GE.PGoodBad},
+			probEntry{"GE.PBadGood", c.GE.PBadGood},
+			probEntry{"GE.LossGood", c.GE.LossGood},
+			probEntry{"GE.LossBad", c.GE.LossBad})
 	}
-	for name, p := range probs {
-		if p < 0 || p > 1 {
-			return fmt.Errorf("faults: %s = %v outside [0,1]", name, p)
+	for _, e := range probs {
+		if e.p < 0 || e.p > 1 {
+			return fmt.Errorf("faults: %s = %v outside [0,1]", e.name, e.p)
 		}
 	}
 	if c.Delay < 0 || c.Jitter < 0 {

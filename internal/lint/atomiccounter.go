@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicCounterConfig parameterizes the atomiccounter analyzer.
+type AtomicCounterConfig struct {
+	// QuiescentReadTypes are qualified struct-type names (e.g.
+	// "ldlp/internal/netstack.Counters") whose documented access
+	// discipline allows PLAIN READS once the system is quiescent — all
+	// shard workers drained — while writes must still be atomic.
+	QuiescentReadTypes []string
+}
+
+// NewAtomicCounter builds the atomiccounter analyzer: any variable or
+// struct field whose address is ever passed to sync/atomic (directly or
+// through a thin wrapper like netstack's inc) is atomic forever — every
+// other access must also go through sync/atomic, or the mixed plain
+// access is a data race that -race only catches when the interleaving
+// cooperates. The registry of atomic fields is accumulated across
+// packages (definers are analyzed first), so a test in another package
+// reading a counter plainly is still caught.
+func NewAtomicCounter(cfg AtomicCounterConfig) *Analyzer {
+	fields := map[string]bool{}   // qualified names of atomically-accessed fields/vars
+	wrappers := map[string]bool{} // qualified names of single-purpose atomic wrapper funcs
+	a := &Analyzer{
+		Name: "atomiccounter",
+		Doc:  "fields touched via sync/atomic must never be read or written plainly",
+	}
+	a.Run = func(pass *Pass) error {
+		info := pass.TypesInfo
+
+		// Sweep 1: find wrapper functions whose entire body is
+		// sync/atomic calls (e.g. func inc(c *int64) { atomic.AddInt64(c, 1) }).
+		// A call to one sanctions its pointer arguments exactly like a
+		// direct atomic call.
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if ok && fd.Body != nil && isAtomicWrapper(info, fd) {
+					wrappers[FuncQName(pass.PkgPath, fd)] = true
+				}
+			}
+		}
+
+		// Sweep 2: register fields reached through atomic (or wrapper)
+		// calls, and remember those exact syntax nodes as sanctioned.
+		sanctioned := map[ast.Node]bool{}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				qname, ok := CalleeQName(info, call)
+				if !ok || (!strings.HasPrefix(qname, "sync/atomic.") && !wrappers[qname]) {
+					return true
+				}
+				for _, arg := range call.Args {
+					ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || ue.Op != token.AND {
+						continue
+					}
+					target := ast.Unparen(ue.X)
+					if fq, _ := atomicTargetQName(info, target); fq != "" {
+						fields[fq] = true
+						sanctioned[target] = true
+					}
+				}
+				return true
+			})
+		}
+
+		// Sweep 3: classify write contexts.
+		writes := map[ast.Node]bool{}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range x.Lhs {
+						writes[ast.Unparen(lhs)] = true
+					}
+				case *ast.IncDecStmt:
+					writes[ast.Unparen(x.X)] = true
+				case *ast.UnaryExpr:
+					if x.Op == token.AND {
+						writes[ast.Unparen(x.X)] = true
+					}
+				}
+				return true
+			})
+		}
+
+		// Sweep 4: report unsanctioned plain accesses.
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var target ast.Node
+				switch n.(type) {
+				case *ast.SelectorExpr, *ast.Ident:
+					target = n
+				default:
+					return true
+				}
+				fq, owner := atomicTargetQName(info, target)
+				if fq == "" || !fields[fq] || sanctioned[target] {
+					return true
+				}
+				if writes[target] {
+					pass.Reportf(target.Pos(),
+						"%s is updated via sync/atomic; this plain write (or address escape) races with concurrent atomic updates", fq)
+					return true
+				}
+				if owner != "" && MatchQName(owner, cfg.QuiescentReadTypes) {
+					return true // documented quiescent-read discipline
+				}
+				pass.Reportf(target.Pos(),
+					"%s is updated via sync/atomic; read it atomically (or via its accessor) instead of plainly", fq)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// atomicTargetQName names the field or package-level variable a plain
+// expression resolves to, plus the owning named type for fields.
+// Returns "" for anything else (locals, methods, non-field selectors).
+func atomicTargetQName(info *types.Info, n ast.Node) (qname, owner string) {
+	switch x := n.(type) {
+	case *ast.SelectorExpr:
+		sel := info.Selections[x]
+		if sel == nil || sel.Kind() != types.FieldVal {
+			return "", ""
+		}
+		v, ok := sel.Obj().(*types.Var)
+		if !ok {
+			return "", ""
+		}
+		t := sel.Recv()
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return "", ""
+		}
+		owner = named.Obj().Pkg().Path() + "." + named.Obj().Name()
+		return owner + "." + v.Name(), owner
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || v.Pkg() == nil {
+			return "", ""
+		}
+		if v.Parent() != v.Pkg().Scope() {
+			return "", "" // local variable
+		}
+		return v.Pkg().Path() + "." + v.Name(), ""
+	}
+	return "", ""
+}
+
+// isAtomicWrapper reports whether a function's body consists solely of
+// sync/atomic calls (as statements or as returned expressions).
+func isAtomicWrapper(info *types.Info, fd *ast.FuncDecl) bool {
+	if len(fd.Body.List) == 0 {
+		return false
+	}
+	isAtomicCall := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		qname, ok := CalleeQName(info, call)
+		return ok && strings.HasPrefix(qname, "sync/atomic.")
+	}
+	for _, st := range fd.Body.List {
+		switch s := st.(type) {
+		case *ast.ExprStmt:
+			if !isAtomicCall(s.X) {
+				return false
+			}
+		case *ast.ReturnStmt:
+			if len(s.Results) == 0 {
+				return false
+			}
+			for _, r := range s.Results {
+				if !isAtomicCall(r) {
+					return false
+				}
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

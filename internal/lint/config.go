@@ -1,0 +1,88 @@
+package lint
+
+// DefaultAnalyzers returns the five analyzers configured for this
+// repository's invariants. The qualified names below are load-bearing:
+// hotpathalloc.Required doubles as the regression guard for the
+// BenchmarkHotPathInject zero-alloc path (renaming or untagging one of
+// those functions fails `make lint`), and the lockorder classes declare
+// the repo-wide acquisition order.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		NewMbufOwn(MbufOwnConfig{
+			AllocFns: []string{
+				"ldlp/internal/mbuf.Get",
+				"ldlp/internal/mbuf.GetCluster",
+				"ldlp/internal/mbuf.FromBytes",
+				"ldlp/internal/mbuf.PoolShard.Get",
+				"ldlp/internal/mbuf.PoolShard.GetCluster",
+				"ldlp/internal/mbuf.PoolShard.FromBytes",
+				"ldlp/internal/mbuf.PoolShard.get",
+				"ldlp/internal/mbuf.Mbuf.alikeFor",
+			},
+		}),
+		NewHotPathAlloc(HotPathAllocConfig{
+			// The functions BenchmarkHotPathInject drives, per package:
+			// the conventional and LDLP inject→decode→demux→recycle path.
+			Required: []string{
+				"ldlp/internal/netstack.Host.deliver",
+				"ldlp/internal/netstack.Host.getPacket",
+				"ldlp/internal/netstack.Host.putPacket",
+				"ldlp/internal/netstack.rxPath.drop",
+				"ldlp/internal/netstack.rxPath.deviceInput",
+				"ldlp/internal/netstack.rxPath.etherInput",
+				"ldlp/internal/netstack.rxPath.ipInput",
+				"ldlp/internal/netstack.rxPath.tcpInput",
+				"ldlp/internal/netstack.rxPath.sockInput",
+				"ldlp/internal/mbuf.PoolShard.get",
+				"ldlp/internal/mbuf.PoolShard.FromBytes",
+				"ldlp/internal/mbuf.Mbuf.Free",
+				"ldlp/internal/mbuf.Mbuf.FreeChain",
+				"ldlp/internal/mbuf.Mbuf.Prepend",
+				"ldlp/internal/core.Stack.Inject",
+				"ldlp/internal/core.Stack.callThrough",
+				"ldlp/internal/core.Stack.process",
+				"ldlp/internal/core.Stack.deliver",
+				"ldlp/internal/core.Stack.enqueue",
+				"ldlp/internal/core.Stack.runLayer",
+				"ldlp/internal/core.Stack.highestPending",
+				"ldlp/internal/core.fifo.push",
+				"ldlp/internal/core.fifo.pop",
+				"ldlp/internal/checksum.Accumulator.Add",
+				"ldlp/internal/checksum.Accumulator.Sum16",
+				"ldlp/internal/checksum.Simple",
+			},
+		}),
+		NewAtomicCounter(AtomicCounterConfig{
+			// Counters documents a quiescent-read discipline: plain reads
+			// are safe once shard workers have drained. Writes must still
+			// be atomic, and per-socket drop counters get no such pass.
+			QuiescentReadTypes: []string{"ldlp/internal/netstack.Counters"},
+		}),
+		NewLockOrder(LockOrderConfig{
+			Classes: []LockClass{
+				{Path: "ldlp/internal/netstack.Host.mu", Rank: 10},
+				{Path: "ldlp/internal/netstack.expvarMu", Rank: 20},
+				{Path: "ldlp/internal/mbuf.PoolShard.mu", Rank: 30},
+			},
+			Wrappers: []LockWrapper{
+				{Fn: "ldlp/internal/netstack.Host.lockRx", Class: "ldlp/internal/netstack.Host.mu"},
+				{Fn: "ldlp/internal/netstack.Host.unlockRx", Class: "ldlp/internal/netstack.Host.mu", Release: true},
+			},
+			Sinks: []string{
+				"ldlp/internal/core.ShardedStack.Drain",
+				"ldlp/internal/core.ShardedStack.Close",
+				"ldlp/internal/core.Stack.Run",
+				"ldlp/internal/netstack.Net.RunUntilIdle",
+				"ldlp/internal/netstack.Net.Tick",
+			},
+			EmitTypes: []string{"ldlp/internal/core.Emit"},
+		}),
+		NewDeterminism(DeterminismConfig{
+			Packages: []string{
+				"ldlp/internal/sim",
+				"ldlp/internal/faults",
+				"ldlp/internal/traffic",
+			},
+		}),
+	}
+}

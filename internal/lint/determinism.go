@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeterminismConfig parameterizes the determinism analyzer.
+type DeterminismConfig struct {
+	// Packages are import-path patterns (MatchQName-style suffixes) the
+	// rules apply to. Test files within them are exempt — tests may
+	// legitimately iterate maps to assert set contents.
+	Packages []string
+}
+
+// NewDeterminism builds the determinism analyzer. The simulation,
+// fault-injection, and traffic packages must replay bit-identically per
+// seed, so three nondeterminism sources are banned outright in them:
+// wall-clock time (time.Now and friends — simulated time is threaded
+// explicitly), the global math/rand PRNG (package-level functions share
+// unseeded process-global state; a locally seeded *rand.Rand is fine),
+// and map iteration, whose order varies run to run.
+func NewDeterminism(cfg DeterminismConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "determinism",
+		Doc:  "no wall-clock, global PRNG, or map-iteration order in seed-replayable packages",
+	}
+	a.Run = func(pass *Pass) error {
+		if !MatchQName(pass.PkgPath, cfg.Packages) &&
+			!MatchQName(strings.TrimSuffix(pass.PkgPath, "_test"), cfg.Packages) {
+			return nil
+		}
+		info := pass.TypesInfo
+		for _, f := range pass.Files {
+			if pass.IsTestFile(f.Pos()) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.CallExpr:
+					qname, ok := CalleeQName(info, x)
+					if !ok {
+						return true
+					}
+					switch qname {
+					case "time.Now", "time.Since", "time.Until":
+						pass.Reportf(x.Pos(), "%s reads the wall clock; replay depends on the seed alone — thread simulated time instead", qname)
+					}
+					if rest, found := strings.CutPrefix(qname, "math/rand."); found &&
+						!strings.Contains(rest, ".") && rest != "New" && rest != "NewSource" && rest != "NewZipf" {
+						pass.Reportf(x.Pos(), "math/rand.%s uses the process-global PRNG; draw from a seeded *rand.Rand so runs replay per seed", rest)
+					}
+				case *ast.RangeStmt:
+					if t := info.TypeOf(x.X); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							pass.Reportf(x.Pos(), "map iteration order is nondeterministic; iterate a sorted key slice (or restructure) so output replays per seed")
+						}
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,329 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPathAllocConfig parameterizes the hotpathalloc analyzer.
+type HotPathAllocConfig struct {
+	// Required lists fully-qualified functions that MUST carry the
+	// //ldlp:hotpath tag. This is the regression guard for the
+	// BenchmarkHotPathInject zero-alloc path: deleting or untagging one
+	// of these functions fails `make lint`, so the allocation rules can
+	// never silently stop applying to the benchmarked path.
+	Required []string
+}
+
+// NewHotPathAlloc builds the hotpathalloc analyzer. Functions whose doc
+// comment carries the //ldlp:hotpath directive must stay free of the
+// allocation sources that would break the zero-allocs-per-op invariant:
+// heap-escaping composite literals (&T{}, slice/map literals), make/new,
+// unbounded append, interface boxing at call sites, closures, fmt, and
+// string building. Arguments to panic() are exempt — a panicking path
+// has already left the hot path.
+func NewHotPathAlloc(cfg HotPathAllocConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "hotpathalloc",
+		Doc:  "//ldlp:hotpath functions must not allocate (composites, boxing, closures, fmt, unbounded append)",
+	}
+	a.Run = func(pass *Pass) error {
+		found := map[string]bool{}
+		declared := false
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				declared = true
+				qname := FuncQName(pass.PkgPath, fd)
+				tagged := HasDirective(fd.Doc, "//ldlp:hotpath")
+				if pat := matchedPattern(qname, cfg.Required); pat != "" {
+					found[pat] = true
+					if !tagged {
+						pass.Reportf(fd.Name.Pos(), "%s is on the benchmarked hot path and must carry //ldlp:hotpath", qname)
+					}
+				}
+				if tagged && fd.Body != nil {
+					checkHotBody(pass, fd)
+				}
+			}
+		}
+		if declared {
+			for _, req := range cfg.Required {
+				if !found[req] && qnamePkg(req) == pass.PkgPath {
+					pass.Reportf(pass.Files[0].Name.Pos(),
+						"hot-path function %s is required by the lint config but no longer declared (regression guard)", req)
+				}
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// qnamePkg extracts the package path from a qualified function name
+// ("ldlp/internal/mbuf.PoolShard.get" → "ldlp/internal/mbuf").
+func qnamePkg(qname string) string {
+	base := qname
+	prefix := ""
+	if slash := strings.LastIndex(qname, "/"); slash >= 0 {
+		prefix = qname[:slash+1]
+		base = qname[slash+1:]
+	}
+	if dot := strings.Index(base, "."); dot >= 0 {
+		return prefix + base[:dot]
+	}
+	return qname
+}
+
+// posRange is a half-open source interval used to exempt subtrees.
+type posRange struct{ from, to token.Pos }
+
+func inRanges(p token.Pos, rs []posRange) bool {
+	for _, r := range rs {
+		if p > r.from && p < r.to {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotBody reports every allocation source in one tagged function.
+func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Pass 0: collect exemption ranges and allocation-free slice vars.
+	var panicRanges, closureRanges []posRange
+	addrComposites := map[*ast.CompositeLit]bool{}
+	okSlices := map[*types.Var]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isPanicCall(info, x) {
+				for _, arg := range x.Args {
+					panicRanges = append(panicRanges, posRange{arg.Pos() - 1, arg.End() + 1})
+				}
+			}
+		case *ast.FuncLit:
+			closureRanges = append(closureRanges, posRange{x.Body.Lbrace, x.Body.Rbrace + 1})
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if cl, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					addrComposites[cl] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if i >= len(x.Lhs) {
+					break
+				}
+				if _, ok := ast.Unparen(rhs).(*ast.SliceExpr); !ok {
+					continue
+				}
+				if id, ok := x.Lhs[i].(*ast.Ident); ok {
+					if v, ok := objVar(info, id); ok {
+						okSlices[v] = true // e.g. keep := q[:0] — reuses q's backing array
+					}
+				}
+			}
+		}
+		return true
+	})
+	exempt := func(p token.Pos) bool {
+		return inRanges(p, panicRanges) || inRanges(p, closureRanges)
+	}
+
+	// Pass 1: report.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil || exempt(n.Pos()) {
+			return true
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(), "function literal on the hot path allocates a closure")
+		case *ast.CompositeLit:
+			t := info.TypeOf(x)
+			if addrComposites[x] {
+				pass.Reportf(x.Pos(), "&%s composite literal escapes to the heap on the hot path", typeLabel(t))
+			} else if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(x.Pos(), "%s literal allocates on the hot path", typeLabel(t))
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				if t := info.TypeOf(x); t != nil && isString(t) {
+					pass.Reportf(x.Pos(), "string concatenation allocates on the hot path")
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, x, okSlices)
+		}
+		return true
+	})
+}
+
+// checkHotCall applies the per-call rules: make/new, unbounded append,
+// fmt, allocating conversions, and interface boxing.
+func checkHotCall(pass *Pass, call *ast.CallExpr, okSlices map[*types.Var]bool) {
+	info := pass.TypesInfo
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				if t := info.TypeOf(call); t != nil {
+					switch t.Underlying().(type) {
+					case *types.Slice, *types.Map, *types.Chan:
+						pass.Reportf(call.Pos(), "make(%s) allocates on the hot path", typeLabel(t))
+					}
+				}
+			case "new":
+				pass.Reportf(call.Pos(), "new(T) allocates on the hot path")
+			case "append":
+				if len(call.Args) > 0 && !appendIsBounded(info, call.Args[0], okSlices) {
+					pass.Reportf(call.Pos(), "append may grow its backing array on the hot path")
+				}
+			}
+			return
+		}
+	}
+
+	// Conversion, not a call?
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		to := tv.Type.Underlying()
+		if len(call.Args) == 1 {
+			from := info.TypeOf(call.Args[0])
+			_, toSlice := to.(*types.Slice)
+			if (toSlice && from != nil && isString(from)) ||
+				(isString(tv.Type) && from != nil && isByteOrRuneSlice(from)) {
+				pass.Reportf(call.Pos(), "string/slice conversion copies and allocates on the hot path")
+			}
+		}
+		return
+	}
+
+	if qname, ok := CalleeQName(info, call); ok && strings.HasPrefix(qname, "fmt.") {
+		pass.Reportf(call.Pos(), "%s on the hot path allocates (and formats reflectively)", qname)
+		return
+	}
+
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		if t := info.TypeOf(call.Fun); t != nil {
+			sig, ok = t.Underlying().(*types.Signature)
+		}
+		if !ok {
+			return
+		}
+	}
+	if call.Ellipsis.IsValid() {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramTypeAt(sig, i)
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || boxFree(at) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxes %s into an interface (allocates on the hot path)", typeLabel(at))
+	}
+}
+
+// appendIsBounded reports whether the append target provably reuses an
+// existing backing array: a re-slice expression (q[:0]) or a variable
+// initialized from one.
+func appendIsBounded(info *types.Info, arg ast.Expr, okSlices map[*types.Var]bool) bool {
+	arg = ast.Unparen(arg)
+	if _, ok := arg.(*ast.SliceExpr); ok {
+		return true
+	}
+	if id, ok := arg.(*ast.Ident); ok {
+		if v, isVar := objVar(info, id); isVar {
+			return okSlices[v]
+		}
+	}
+	return false
+}
+
+func objVar(info *types.Info, id *ast.Ident) (*types.Var, bool) {
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	return v, ok
+}
+
+// paramTypeAt resolves the static parameter type for argument i,
+// expanding the variadic tail.
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if params == nil {
+		return nil
+	}
+	n := params.Len()
+	if sig.Variadic() && i >= n-1 {
+		if n == 0 {
+			return nil
+		}
+		if sl, ok := params.At(n - 1).Type().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// boxFree reports whether a value of type t converts to an interface
+// without allocating: pointers and pointer-shaped types, interfaces,
+// and untyped nil.
+func boxFree(t types.Type) bool {
+	if _, isParam := t.(*types.TypeParam); isParam {
+		return true // instantiation-dependent; give the benefit of the doubt
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer || u.Kind() == types.UntypedNil
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func typeLabel(t types.Type) string {
+	if t == nil {
+		return "value"
+	}
+	s := t.String()
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}

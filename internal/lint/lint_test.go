@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the expectation regexes from fixture comments of the
+// form `// want `pattern“, in the style of x/tools' analysistest.
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+// runFixture loads testdata/<name>, runs the analyzers, and checks the
+// diagnostics against the fixture's want comments: every diagnostic
+// must match a want on its line, and every want must be matched.
+func runFixture(t *testing.T, name string, analyzers []*Analyzer) {
+	t.Helper()
+	pkg, fset, err := LoadFixture(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	diags, err := Run(fset, []*Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", name, err)
+	}
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := map[string][]*want{} // "file:line" → expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pos := fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+					wants[key] = append(wants[key], &want{re: regexp.MustCompile(m[1])})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	var keys []string
+	for key := range wants {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		for _, w := range wants[key] {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matching %q", key, w.re)
+			}
+		}
+	}
+}
+
+func TestMbufOwn(t *testing.T) {
+	runFixture(t, "mbufown", []*Analyzer{NewMbufOwn(MbufOwnConfig{
+		AllocFns: []string{"mbufown.alloc"},
+	})})
+}
+
+func TestHotPathAlloc(t *testing.T) {
+	runFixture(t, "hotpathalloc", []*Analyzer{NewHotPathAlloc(HotPathAllocConfig{
+		Required: []string{"hotpathalloc.mustStayTagged", "hotpathalloc.ghostFunction"},
+	})})
+}
+
+func TestAtomicCounter(t *testing.T) {
+	runFixture(t, "atomiccounter", []*Analyzer{NewAtomicCounter(AtomicCounterConfig{
+		QuiescentReadTypes: []string{"atomiccounter.quiet"},
+	})})
+}
+
+func TestLockOrder(t *testing.T) {
+	runFixture(t, "lockorder", []*Analyzer{NewLockOrder(LockOrderConfig{
+		Classes: []LockClass{
+			{Path: "lockorder.host.mu", Rank: 10},
+			{Path: "lockorder.globalMu", Rank: 20},
+			{Path: "lockorder.pool.mu", Rank: 30},
+		},
+		Sinks:     []string{"lockorder.drain"},
+		EmitTypes: []string{"lockorder.emitFn"},
+	})})
+}
+
+func TestDeterminism(t *testing.T) {
+	runFixture(t, "determinism", []*Analyzer{NewDeterminism(DeterminismConfig{
+		Packages: []string{"determinism"},
+	})})
+}
+
+// TestIgnoreRequiresReason proves a reason-less //lint:ignore both gets
+// reported and does NOT suppress the finding beneath it. The assertions
+// live here because the directive occupies the line a want comment
+// would need.
+func TestIgnoreRequiresReason(t *testing.T) {
+	pkg, fset, err := LoadFixture(filepath.Join("testdata", "lintignore"))
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := Run(fset, []*Package{pkg}, []*Analyzer{NewDeterminism(DeterminismConfig{
+		Packages: []string{"lintignore"},
+	})})
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (malformed ignore + unsuppressed finding):\n%v", len(diags), diags)
+	}
+	byAnalyzer := map[string]string{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = d.Message
+	}
+	if msg, ok := byAnalyzer["lintignore"]; !ok || !strings.Contains(msg, "non-empty reason") {
+		t.Errorf("missing or wrong malformed-ignore diagnostic: %q", msg)
+	}
+	if msg, ok := byAnalyzer["determinism"]; !ok || !strings.Contains(msg, "wall clock") {
+		t.Errorf("reason-less ignore suppressed the finding it covered: %q", msg)
+	}
+}
+
+func TestDefaultAnalyzers(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range DefaultAnalyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing a name, doc, or run function", a)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	for _, want := range []string{"mbufown", "hotpathalloc", "atomiccounter", "lockorder", "determinism"} {
+		if !names[want] {
+			t.Errorf("DefaultAnalyzers is missing %q", want)
+		}
+	}
+}
+
+// TestRepoIsLintClean runs the full default suite over the module,
+// exactly like `make lint`: the tree must stay free of unexplained
+// findings, so CI catches regressions even when only `go test` runs.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loading the whole module is not short")
+	}
+	pkgs, fset, err := Load(filepath.Join("..", ".."), []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := Run(fset, pkgs, DefaultAnalyzers())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexplained finding: %s", d)
+	}
+}

@@ -1,0 +1,273 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MbufOwnConfig names the allocation entry points whose results carry
+// mbuf ownership.
+type MbufOwnConfig struct {
+	// AllocFns are qualified-name patterns (see MatchQName) of functions
+	// returning an owned mbuf chain. The caller must balance each call
+	// with exactly one Free / FreeChain, hand-off (passing the chain to
+	// any function, method, channel, struct, or return), or reassignment.
+	AllocFns []string
+}
+
+// NewMbufOwn builds the mbufown analyzer: a flow-approximate,
+// intra-procedural check that an allocated mbuf reaches a consumer on
+// every path out of the allocating statement list.
+//
+// The tracker follows the straight-line statements after an
+// `x := alloc()` assignment. Passing x to any call, return, send,
+// composite literal, or address-of consumes it (Free, Prepend, and
+// transmit hand-offs all look alike at this level — the point is that
+// ownership went *somewhere*). Two leak shapes are reported:
+//
+//   - an early `return` (or break/continue/goto) taken before any
+//     consumer, the classic forgotten-Free error path;
+//   - the enclosing function ending with the chain still in hand.
+//
+// Control flow the tracker cannot prove safe — the variable used inside
+// a condition, loop, or nested function — makes it go silent rather
+// than guess: the analyzer is precise on the patterns it claims, not
+// complete.
+func NewMbufOwn(cfg MbufOwnConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "mbufown",
+		Doc:  "every mbuf allocation must reach exactly one Free/hand-off on every path",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				scanOwnership(pass, cfg, fd.Body.List, true, fd.Body.Rbrace)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// scanOwnership finds alloc assignments in stmts and tracks each to a
+// consumer. atEnd marks the function's outermost statement list, where
+// falling off the end is a leak.
+func scanOwnership(pass *Pass, cfg MbufOwnConfig, stmts []ast.Stmt, atEnd bool, rbrace token.Pos) {
+	for i, stmt := range stmts {
+		// Recurse into nested statement lists so allocations inside
+		// branches and loops are tracked within their own scope.
+		switch s := stmt.(type) {
+		case *ast.BlockStmt:
+			scanOwnership(pass, cfg, s.List, false, token.NoPos)
+		case *ast.IfStmt:
+			scanOwnership(pass, cfg, s.Body.List, false, token.NoPos)
+			if eb, ok := s.Else.(*ast.BlockStmt); ok {
+				scanOwnership(pass, cfg, eb.List, false, token.NoPos)
+			} else if ei, ok := s.Else.(*ast.IfStmt); ok {
+				scanOwnership(pass, cfg, []ast.Stmt{ei}, false, token.NoPos)
+			}
+		case *ast.ForStmt:
+			scanOwnership(pass, cfg, s.Body.List, false, token.NoPos)
+		case *ast.RangeStmt:
+			scanOwnership(pass, cfg, s.Body.List, false, token.NoPos)
+		case *ast.SwitchStmt:
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					scanOwnership(pass, cfg, cc.Body, false, token.NoPos)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					scanOwnership(pass, cfg, cc.Body, false, token.NoPos)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					scanOwnership(pass, cfg, cc.Body, false, token.NoPos)
+				}
+			}
+		case *ast.LabeledStmt:
+			scanOwnership(pass, cfg, []ast.Stmt{s.Stmt}, false, token.NoPos)
+		}
+		if v, name := allocAssign(pass, cfg, stmt); v != nil {
+			trackOwnership(pass, v, name, stmts[i+1:], atEnd, rbrace)
+		}
+	}
+}
+
+// allocAssign recognizes `x := allocFn(...)` (or `x = allocFn(...)`)
+// and returns the variable now owning the chain.
+func allocAssign(pass *Pass, cfg MbufOwnConfig, stmt ast.Stmt) (*types.Var, string) {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, ""
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	qname, ok := CalleeQName(pass.TypesInfo, call)
+	if !ok || !MatchQName(qname, cfg.AllocFns) {
+		return nil, ""
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, ""
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v, id.Name
+}
+
+// trackOwnership walks the statements after the allocation until the
+// chain is consumed, the analysis gives up, or a leak is proven.
+func trackOwnership(pass *Pass, v *types.Var, name string, rest []ast.Stmt, atEnd bool, rbrace token.Pos) {
+	info := pass.TypesInfo
+	for _, st := range rest {
+		switch s := st.(type) {
+		case *ast.ReturnStmt:
+			if consumesVar(info, s, v) {
+				return
+			}
+			pass.Reportf(s.Pos(), "mbuf %q allocated above is leaked by this return (no Free or hand-off on this path)", name)
+			return
+		case *ast.BranchStmt:
+			pass.Reportf(s.Pos(), "mbuf %q allocated above leaks out of this branch (no Free or hand-off on this path)", name)
+			return
+		case *ast.DeferStmt:
+			if usesVar(info, s, v) {
+				return // deferred cleanup owns it
+			}
+		case *ast.IfStmt:
+			if s.Init != nil && usesVar(info, s.Init, v) || usesVar(info, s.Cond, v) {
+				return // conditional ownership — beyond this tracker
+			}
+			if usesVar(info, s.Body, v) {
+				return // branch consumes or frees conditionally
+			}
+			reportBranchExit(pass, s.Body, name)
+			if s.Else != nil {
+				if usesVar(info, s.Else, v) {
+					return
+				}
+				if eb, ok := s.Else.(*ast.BlockStmt); ok {
+					reportBranchExit(pass, eb, name)
+				}
+			}
+		case *ast.AssignStmt:
+			// `_ = m` keeps the typechecker quiet but hands nothing off —
+			// keep tracking.
+			if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+				if id, ok := s.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+					if rid, ok := ast.Unparen(s.Rhs[0]).(*ast.Ident); ok && info.Uses[rid] == v {
+						continue
+					}
+				}
+			}
+			// Reassigning the variable drops our handle.
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && (info.Uses[id] == v || info.Defs[id] == v) {
+					if consumesVar(info, s, v) {
+						return
+					}
+					return // overwritten before tracking proves anything
+				}
+			}
+			if consumesVar(info, s, v) {
+				return
+			}
+			if usesVar(info, st, v) {
+				return // mutation like m.off = 0 — keep silent
+			}
+		case *ast.ExprStmt, *ast.SendStmt, *ast.GoStmt:
+			if consumesVar(info, st, v) {
+				return
+			}
+			if usesVar(info, st, v) {
+				return
+			}
+		default:
+			// Loops, switches, selects, nested funcs: if the chain is
+			// involved at all, assume it is handled.
+			if usesVar(info, st, v) {
+				return
+			}
+		}
+	}
+	if atEnd && rbrace.IsValid() {
+		pass.Reportf(rbrace, "mbuf %q is still owned when the function returns (no Free or hand-off)", name)
+	}
+}
+
+// reportBranchExit flags an if-branch that exits the function without
+// ever touching the tracked chain — the classic forgotten-Free error
+// path. The caller has already established the branch never uses v.
+func reportBranchExit(pass *Pass, body *ast.BlockStmt, name string) {
+	if n := len(body.List); n > 0 {
+		switch last := body.List[n-1].(type) {
+		case *ast.ReturnStmt:
+			pass.Reportf(last.Pos(), "mbuf %q allocated above is leaked by this return (error path misses Free)", name)
+		case *ast.BranchStmt:
+			pass.Reportf(last.Pos(), "mbuf %q allocated above leaks out of this branch", name)
+		}
+	}
+}
+
+// consumesVar reports whether the statement hands the chain off:
+// passing it (or its address) to a call, returning it, sending it on a
+// channel, or storing it into a composite value.
+func consumesVar(info *types.Info, n ast.Node, v *types.Var) bool {
+	consumed := false
+	ast.Inspect(n, func(nn ast.Node) bool {
+		if consumed {
+			return false
+		}
+		switch x := nn.(type) {
+		case *ast.CallExpr:
+			for _, arg := range x.Args {
+				if usesVar(info, arg, v) {
+					consumed = true
+					return false
+				}
+			}
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && usesVar(info, sel.X, v) {
+				consumed = true // method call on the chain: v.Free(), v.Prepend(n)
+				return false
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if usesVar(info, res, v) {
+					consumed = true
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			if usesVar(info, x.Value, v) {
+				consumed = true
+				return false
+			}
+		case *ast.CompositeLit:
+			if usesVar(info, x, v) {
+				consumed = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND && usesVar(info, x.X, v) {
+				consumed = true
+				return false
+			}
+		}
+		return true
+	})
+	return consumed
+}

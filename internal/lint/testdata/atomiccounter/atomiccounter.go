@@ -1,0 +1,47 @@
+// Fixture for the atomiccounter analyzer. The test configures
+// QuiescentReadTypes = ["atomiccounter.quiet"], so plain reads of quiet
+// fields are sanctioned while plain writes stay forbidden.
+package atomiccounter
+
+import "sync/atomic"
+
+type counters struct {
+	frames int64
+	drops  int64
+}
+
+// bump is a thin wrapper; calling it sanctions its argument exactly
+// like a direct sync/atomic call.
+func bump(c *int64) { atomic.AddInt64(c, 1) }
+
+type quiet struct{ n int64 }
+
+func (c *counters) record() {
+	atomic.AddInt64(&c.frames, 1)
+	bump(&c.drops)
+}
+
+func (c *counters) badWrite() {
+	c.frames++ // want `plain write`
+}
+
+func (c *counters) badRead() int64 {
+	return c.drops // want `read it atomically`
+}
+
+func (c *counters) okAtomicRead() int64 { return atomic.LoadInt64(&c.drops) }
+
+func (q *quiet) inc() { atomic.AddInt64(&q.n, 1) }
+
+// Total is a plain read of a quiescent-read type: allowed.
+func (q *quiet) Total() int64 { return q.n }
+
+// reset writes plainly: quiescent-read discipline covers reads only.
+func (q *quiet) reset() {
+	q.n = 0 // want `plain write`
+}
+
+func (c *counters) ignored() {
+	//lint:ignore atomiccounter fixture: reset runs before any worker starts
+	c.frames = 0
+}

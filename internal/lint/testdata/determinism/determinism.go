@@ -1,0 +1,36 @@
+// Fixture for the determinism analyzer. The test configures
+// Packages = ["determinism"].
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badClock() time.Time {
+	return time.Now() // want `reads the wall clock`
+}
+
+func badGlobalRand() int {
+	return rand.Intn(6) // want `process-global PRNG`
+}
+
+func badMapRange(m map[int]string) {
+	for k := range m { // want `map iteration order is nondeterministic`
+		_ = k
+	}
+}
+
+// A locally seeded source replays per seed: allowed.
+func goodSeeded(seed int64, weights []float64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return weights[rng.Intn(len(weights))]
+}
+
+// Simulated time is threaded as plain values: allowed.
+func goodElapsed(now, start float64) float64 { return now - start }
+
+func ignored() int64 {
+	//lint:ignore determinism fixture: cold-start banner only, never replayed
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,83 @@
+// Fixture for the hotpathalloc analyzer. The test configures
+// Required = ["hotpathalloc.mustStayTagged", "hotpathalloc.ghostFunction"];
+// ghostFunction is deliberately absent, so the regression guard fires on
+// the package clause below.
+package hotpathalloc // want `ghostFunction is required by the lint config but no longer declared`
+
+import "fmt"
+
+type item struct{ v int }
+
+func sink(v any) {}
+
+//ldlp:hotpath
+func hotComposites(n int) {
+	p := &item{v: n} // want `composite literal escapes to the heap`
+	_ = p
+	s := make([]int, n) // want `allocates on the hot path`
+	_ = s
+	m := map[int]int{} // want `literal allocates on the hot path`
+	_ = m
+}
+
+//ldlp:hotpath
+func hotAppendAndFmt(q []item, n int) []item {
+	q = append(q, item{v: n}) // want `append may grow its backing array`
+	fmt.Println(n)            // want `fmt.Println on the hot path allocates`
+	return q
+}
+
+//ldlp:hotpath
+func hotBoxing(n int) {
+	sink(n) // want `boxes int into an interface`
+}
+
+//ldlp:hotpath
+func hotClosure(n int) func() int {
+	f := func() int { return n } // want `allocates a closure`
+	return f
+}
+
+//ldlp:hotpath
+func hotStrings(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+// The allocation-free idioms must stay silent: value composites,
+// bounded append into a reused backing array, pointer arguments, and
+// panic messages (a panicking path has already left the hot path).
+//
+//ldlp:hotpath
+func hotClean(q []item, p *item, n int) []item {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n))
+	}
+	v := item{v: n}
+	_ = v
+	sink(p)
+	keep := q[:0]
+	for _, it := range q {
+		if it.v > 0 {
+			keep = append(keep, it)
+		}
+	}
+	return keep
+}
+
+// Untagged functions may allocate freely.
+func coldPath(n int) *item { return &item{v: n} }
+
+// The regression guard: this function is in Required but lost its tag.
+func mustStayTagged() {} // want `must carry //ldlp:hotpath`
+
+// A justified suppression on a genuine cold path inside a tagged
+// function.
+//
+//ldlp:hotpath
+func hotWithColdMiss(cache *item) *item {
+	if cache != nil {
+		return cache
+	}
+	//lint:ignore hotpathalloc fixture: pool-miss cold path runs once per warmup
+	return &item{v: 1}
+}

@@ -1,0 +1,12 @@
+// Fixture proving a reason-less //lint:ignore is itself reported AND
+// fails to suppress the finding underneath it. The expectations live in
+// the test code rather than want comments, because the directive
+// occupies the line a comment would go on.
+package lintignore
+
+import "time"
+
+func bare() int64 {
+	//lint:ignore determinism
+	return time.Now().UnixNano()
+}

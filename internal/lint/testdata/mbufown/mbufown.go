@@ -1,0 +1,93 @@
+// Fixture for the mbufown analyzer. The test configures
+// AllocFns = ["mbufown.alloc"]; the local Mbuf mimics the real pool's
+// ownership contract.
+package mbufown
+
+type Mbuf struct{ next *Mbuf }
+
+func (m *Mbuf) Free()               {}
+func (m *Mbuf) Prepend(n int) *Mbuf { return m }
+func transmit(m *Mbuf)              {}
+func alloc() *Mbuf                  { return &Mbuf{} }
+
+// The pre-fix pattern: an error path returns before the chain is freed.
+func leakErrorPath(fail bool) {
+	m := alloc()
+	if fail {
+		return // want `error path misses Free`
+	}
+	m.Free()
+}
+
+func leakReturnNil(drop bool) *Mbuf {
+	m := alloc()
+	if drop {
+		return nil // want `error path misses Free`
+	}
+	return m
+}
+
+func leakBeforeAnyUse() int {
+	m := alloc()
+	return 0 // want `leaked by this return`
+	m.Free() // unreachable; keeps the declared-and-not-used check quiet
+	return 1
+}
+
+func leakToFunctionEnd() {
+	m := alloc()
+	_ = m
+} // want `still owned when the function returns`
+
+// Every consumption shape the tracker accepts.
+func okFree() {
+	m := alloc()
+	m.Free()
+}
+
+func okHandOffCall() {
+	m := alloc()
+	transmit(m)
+}
+
+func okHandOffChannel(q chan *Mbuf) {
+	m := alloc()
+	q <- m
+}
+
+func okReturned() *Mbuf {
+	m := alloc()
+	return m
+}
+
+func okMethodChain() *Mbuf {
+	m := alloc()
+	mm := m.Prepend(4)
+	return mm
+}
+
+func okDeferredFree() {
+	m := alloc()
+	defer m.Free()
+}
+
+// Conditional ownership is beyond the tracker: it must stay silent, not
+// guess.
+func okConditionalFree(fail bool) {
+	m := alloc()
+	if fail {
+		m.Free()
+		return
+	}
+	transmit(m)
+}
+
+// A justified suppression: no finding may survive.
+func okIgnored(fail bool) {
+	m := alloc()
+	if fail {
+		//lint:ignore mbufown fixture: ownership is transferred out of band here
+		return
+	}
+	m.Free()
+}

@@ -190,6 +190,7 @@ func (ps *PoolShard) Get() *Mbuf { return ps.get(false) }
 // GetCluster allocates a cluster mbuf from this shard.
 func (ps *PoolShard) GetCluster() *Mbuf { return ps.get(true) }
 
+//ldlp:hotpath
 func (ps *PoolShard) get(cluster bool) *Mbuf {
 	var m *Mbuf
 	// Fast path: this shard's freelist, if the lock is free right now.
@@ -223,6 +224,7 @@ func (ps *PoolShard) get(cluster bool) *Mbuf {
 		if cluster {
 			size = MCLBytes
 		}
+		//lint:ignore hotpathalloc pool-miss cold path: runs only when the freelist and overflow pool are both empty
 		m = &Mbuf{buf: make([]byte, size), cluster: cluster}
 	}
 	m.owner = ps
@@ -245,6 +247,8 @@ func (m *Mbuf) alikeFor(n int) *Mbuf {
 
 // Free releases this single mbuf to its owning shard and returns the next
 // mbuf in the chain. Double frees panic: they are ownership bugs.
+//
+//ldlp:hotpath
 func (m *Mbuf) Free() *Mbuf {
 	if m.freed {
 		panic("mbuf: double free")
@@ -261,11 +265,13 @@ func (m *Mbuf) Free() *Mbuf {
 	if ps.mu.TryLock() {
 		if m.cluster {
 			if len(ps.clust) < shardFreeCap {
+				//lint:ignore hotpathalloc freelist is capped at shardFreeCap, so growth is bounded and amortized
 				ps.clust = append(ps.clust, m)
 				pushed = true
 			}
 		} else {
 			if len(ps.small) < shardFreeCap {
+				//lint:ignore hotpathalloc freelist is capped at shardFreeCap, so growth is bounded and amortized
 				ps.small = append(ps.small, m)
 				pushed = true
 			}
@@ -284,6 +290,8 @@ func (m *Mbuf) Free() *Mbuf {
 }
 
 // FreeChain releases every mbuf in the chain.
+//
+//ldlp:hotpath
 func (m *Mbuf) FreeChain() {
 	for m != nil {
 		m = m.Free()
@@ -346,6 +354,8 @@ func (m *Mbuf) Append(data []byte) *Mbuf {
 // the new head (a fresh mbuf if the current head lacks headroom). The new
 // bytes are zeroed and returned for the caller to fill — the no-copy
 // header push every layer's output path uses.
+//
+//ldlp:hotpath
 func (m *Mbuf) Prepend(n int) (*Mbuf, []byte) {
 	if n <= m.leading() {
 		m.off -= n
@@ -514,6 +524,8 @@ func (m *Mbuf) Chunks() [][]byte {
 
 // FromBytes builds a chain from this shard holding a copy of data, using
 // clusters for bulk.
+//
+//ldlp:hotpath
 func (ps *PoolShard) FromBytes(data []byte) *Mbuf {
 	var m *Mbuf
 	if len(data) > MSize/2 {

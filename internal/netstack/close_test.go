@@ -1,0 +1,29 @@
+package netstack
+
+import (
+	"testing"
+
+	"ldlp/internal/core"
+	"ldlp/internal/mbuf"
+)
+
+// TestCloseFreesQueuedTx covers the error path ldlpvet's mbufown work
+// surfaced: under LDLP, transmit parks outbound frames in the host txq
+// until the next pump, so a Send followed by Close without a pump left
+// those frames (and their mbuf chains) permanently in flight. Close must
+// drain each host's txq.
+func TestCloseFreesQueuedTx(t *testing.T) {
+	n, a, _ := twoHosts(t, core.LDLP)
+	s, err := a.UDPSocket(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SendTo(ipB, 9, []byte("never pumped"))
+	if len(a.txq) == 0 {
+		t.Fatal("expected SendTo under LDLP to queue a tx frame")
+	}
+	n.Close()
+	if st := mbuf.PoolStats(); st.InUse != 0 {
+		t.Errorf("tx frames queued at Close leaked: %+v", st)
+	}
+}

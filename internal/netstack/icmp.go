@@ -88,5 +88,6 @@ func (rx *rxPath) icmpInput(p *Packet, emit core.Emit[*Packet]) {
 		rx.drop(p)
 		return
 	}
+	//lint:ignore lockorder emit only enqueues on the shard ring (layers never run inline); mu is a no-op single-threaded
 	emit(rx.sock, p)
 }

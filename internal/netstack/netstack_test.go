@@ -105,8 +105,8 @@ func TestUDPQueueLimitDrops(t *testing.T) {
 		sa.SendTo(ipB, 2, []byte{byte(i)})
 	}
 	n.RunUntilIdle()
-	if sb.Pending() != 3 || sb.Dropped != 2 {
-		t.Errorf("pending %d dropped %d, want 3/2", sb.Pending(), sb.Dropped)
+	if sb.Pending() != 3 || sb.DroppedCount() != 2 {
+		t.Errorf("pending %d dropped %d, want 3/2", sb.Pending(), sb.DroppedCount())
 	}
 	checkNoLeaks(t)
 }

@@ -287,6 +287,8 @@ func (h *Host) lookupPCB(t fourTuple) *tcpPCB {
 // tcpInput is the receive-path TCP layer. The checksum-heavy decode runs
 // lock-free; connection state is mutated under the host lock (a no-op on
 // the single-threaded path).
+//
+//ldlp:hotpath
 func (rx *rxPath) tcpInput(p *Packet, emit core.Emit[*Packet]) {
 	h := rx.h
 	seg := p.M.Contiguous()
@@ -305,30 +307,7 @@ func (rx *rxPath) tcpInput(p *Packet, emit core.Emit[*Packet]) {
 	pcb := h.lookupPCB(tuple)
 
 	if pcb == nil {
-		// Passive open?
-		if th.Flags&layers.TCPSyn != 0 && th.Flags&layers.TCPAck == 0 {
-			if l, ok := h.listeners[th.DstPort]; ok {
-				if len(l.backlog) >= tcpBacklog {
-					inc(&l.Dropped)
-					rx.drop(p)
-					return
-				}
-				pcb = &tcpPCB{
-					host: h, tuple: tuple, state: stSynRcvd,
-					iss: nextISS(), irs: th.Seq,
-					rcvNxt: th.Seq + 1, sndWnd: int(th.Window),
-				}
-				pcb.sndUna, pcb.sndNxt = pcb.iss, pcb.iss
-				pcb.sock = &TCPSock{pcb: pcb}
-				h.pcbs[tuple] = pcb
-				l.backlog = append(l.backlog, pcb.sock)
-				pcb.sendSegment(layers.TCPSyn|layers.TCPAck, nil, true)
-			} else {
-				inc(&h.Counters.NoSocket)
-			}
-		} else {
-			inc(&h.Counters.NoSocket)
-		}
+		rx.tcpPassiveOpen(tuple, th)
 		rx.drop(p)
 		return
 	}
@@ -344,6 +323,7 @@ func (rx *rxPath) tcpInput(p *Packet, emit core.Emit[*Packet]) {
 		if len(payload) > 0 {
 			pcb.acceptData(payload)
 			inc(&h.Counters.DataSegsIn)
+			//lint:ignore lockorder emit only enqueues on the shard ring (layers never run inline); mu is a no-op single-threaded
 			emit(rx.sock, p)
 			return
 		}
@@ -353,6 +333,38 @@ func (rx *rxPath) tcpInput(p *Packet, emit core.Emit[*Packet]) {
 
 	inc(&h.Counters.TCPSlowPath)
 	rx.tcpSlowPath(pcb, th, payload, p, emit)
+}
+
+// tcpPassiveOpen handles a segment with no matching PCB: a SYN to a
+// listener creates the connection, anything else bumps NoSocket.
+// Connection setup runs once per connection, not per segment, so its
+// allocations live here rather than in the hot-tagged tcpInput. Called
+// with the host lock held (when sharded); the caller recycles p.
+func (rx *rxPath) tcpPassiveOpen(tuple fourTuple, th *layers.TCP) {
+	h := rx.h
+	if th.Flags&layers.TCPSyn == 0 || th.Flags&layers.TCPAck != 0 {
+		inc(&h.Counters.NoSocket)
+		return
+	}
+	l, ok := h.listeners[th.DstPort]
+	if !ok {
+		inc(&h.Counters.NoSocket)
+		return
+	}
+	if len(l.backlog) >= tcpBacklog {
+		inc(&l.Dropped)
+		return
+	}
+	pcb := &tcpPCB{
+		host: h, tuple: tuple, state: stSynRcvd,
+		iss: nextISS(), irs: th.Seq,
+		rcvNxt: th.Seq + 1, sndWnd: int(th.Window),
+	}
+	pcb.sndUna, pcb.sndNxt = pcb.iss, pcb.iss
+	pcb.sock = &TCPSock{pcb: pcb}
+	h.pcbs[tuple] = pcb
+	l.backlog = append(l.backlog, pcb.sock)
+	pcb.sendSegment(layers.TCPSyn|layers.TCPAck, nil, true)
 }
 
 // tcpSlowPath handles everything header prediction does not. Called with

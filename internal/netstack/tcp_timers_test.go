@@ -138,8 +138,8 @@ func TestListenerBacklogLimit(t *testing.T) {
 		h.DialTCP(ipB, 80)
 	}
 	n.RunUntilIdle()
-	if l.Dropped != 5 {
-		t.Errorf("backlog drops = %d, want 5", l.Dropped)
+	if l.DroppedCount() != 5 {
+		t.Errorf("backlog drops = %d, want 5", l.DroppedCount())
 	}
 	accepted := 0
 	for l.Accept() != nil {

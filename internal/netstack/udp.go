@@ -96,5 +96,6 @@ func (rx *rxPath) udpInput(p *Packet, emit core.Emit[*Packet]) {
 	}
 	payload := append([]byte(nil), buf[n:p.UDP.Length]...)
 	sock.queue = append(sock.queue, Datagram{Src: p.IP.Src, SrcPort: p.UDP.SrcPort, Data: payload})
+	//lint:ignore lockorder emit only enqueues on the shard ring (layers never run inline); mu is a no-op single-threaded
 	emit(rx.sock, p)
 }
