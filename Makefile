@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short test-race chaos chaos-smoke fuzz bench bench-full report examples clean
+.PHONY: all build vet lint test test-short test-race chaos chaos-smoke fuzz bench bench-full trace-smoke report examples clean
 
 all: build lint test
 
@@ -57,9 +57,16 @@ fuzz:
 # allocs/op for BenchmarkHotPathInject must stay 0 — that is the PR's
 # steady-state guarantee, and a regression shows up here first.
 bench:
-	$(GO) test -run=NONE -bench='BenchmarkHotPathInject|BenchmarkPoolAllocFree|BenchmarkPrependHeader|BenchmarkAllocFreeCluster' \
-		-benchmem -benchtime=1x ./internal/netstack ./internal/mbuf \
+	$(GO) test -run=NONE -bench='BenchmarkHotPathInject|BenchmarkPoolAllocFree|BenchmarkPrependHeader|BenchmarkAllocFreeCluster|BenchmarkSimPoisson' \
+		-benchmem -benchtime=1x ./internal/netstack ./internal/mbuf . \
 		| $(GO) run ./cmd/benchjson -out BENCH_2.json
+
+# Flight-recorder smoke: run a short Poisson workload through
+# cmd/ldlptrace at both load points and validate the emitted Chrome
+# trace (well-formed JSON, per-track monotonic timestamps). The
+# trace.json artifact opens directly in ui.perfetto.dev.
+trace-smoke:
+	$(GO) run ./cmd/ldlptrace -out trace.json -load both -duration 0.02 -check
 
 # The full benchmark sweep (slow; numbers, not smoke).
 bench-full:

@@ -95,6 +95,26 @@ func simCfg(d core.Discipline, seed int) sim.Config {
 	return cfg
 }
 
+// BenchmarkSimPoissonLDLP runs the §4 Poisson workload under LDLP and
+// reports the telemetry histogram quantiles alongside ns/op: batch
+// sizes from the engine's dispatch loop and end-to-end message latency
+// from the simulated clock. benchjson lifts these units into its
+// telemetry summary, so the BENCH artifact tracks the distributions,
+// not just means.
+func BenchmarkSimPoissonLDLP(b *testing.B) {
+	var res sim.Result
+	for i := 0; i < b.N; i++ {
+		res = sim.New(simCfg(core.LDLP, i)).Run(traffic.NewPoisson(8000, 552, int64(i+1)))
+	}
+	if res.BatchHist.Count == 0 || res.LatencyHist.Count == 0 {
+		b.Fatal("sim result carries no telemetry histograms")
+	}
+	b.ReportMetric(res.BatchHist.Quantile(0.50), "p50-batch")
+	b.ReportMetric(res.BatchHist.Quantile(0.99), "p99-batch")
+	b.ReportMetric(res.LatencyHist.Quantile(0.50), "p50-latency-ns")
+	b.ReportMetric(res.LatencyHist.Quantile(0.99), "p99-latency-ns")
+}
+
 // BenchmarkFigure6Latency regenerates latency vs arrival rate at the same
 // representative load.
 func BenchmarkFigure6Latency(b *testing.B) {

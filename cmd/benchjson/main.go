@@ -20,14 +20,36 @@ import (
 )
 
 // Result is one benchmark line. Metrics beyond the standard three
-// (ns/op, B/op, allocs/op) land in Extra keyed by their unit.
+// (ns/op, B/op, allocs/op) land in Extra keyed by their unit, except
+// the telemetry histogram quantiles, which are lifted into Telemetry
+// so CI diffs can key on stable field names.
 type Result struct {
 	Name       string             `json:"name"`
 	Iterations int64              `json:"iterations"`
 	NsPerOp    float64            `json:"ns_per_op"`
 	BytesPerOp *float64           `json:"bytes_per_op,omitempty"`
 	AllocsOp   *float64           `json:"allocs_per_op,omitempty"`
+	Telemetry  *TelemetrySummary  `json:"telemetry,omitempty"`
 	Extra      map[string]float64 `json:"extra,omitempty"`
+}
+
+// TelemetrySummary holds the histogram quantiles benchmarks report via
+// b.ReportMetric from the telemetry package's snapshots: LDLP batch
+// sizes and end-to-end message latency.
+type TelemetrySummary struct {
+	BatchP50     *float64 `json:"batch_p50,omitempty"`
+	BatchP99     *float64 `json:"batch_p99,omitempty"`
+	LatencyP50NS *float64 `json:"latency_p50_ns,omitempty"`
+	LatencyP99NS *float64 `json:"latency_p99_ns,omitempty"`
+}
+
+// telemetryUnits maps a ReportMetric unit to the TelemetrySummary
+// field it fills.
+var telemetryUnits = map[string]func(*TelemetrySummary, float64){
+	"p50-batch":      func(t *TelemetrySummary, v float64) { t.BatchP50 = &v },
+	"p99-batch":      func(t *TelemetrySummary, v float64) { t.BatchP99 = &v },
+	"p50-latency-ns": func(t *TelemetrySummary, v float64) { t.LatencyP50NS = &v },
+	"p99-latency-ns": func(t *TelemetrySummary, v float64) { t.LatencyP99NS = &v },
 }
 
 // Summary is the emitted document.
@@ -110,6 +132,13 @@ func parseBenchLine(line string) (Result, bool) {
 			a := v
 			r.AllocsOp = &a
 		default:
+			if set, ok := telemetryUnits[unit]; ok {
+				if r.Telemetry == nil {
+					r.Telemetry = &TelemetrySummary{}
+				}
+				set(r.Telemetry, v)
+				continue
+			}
 			if r.Extra == nil {
 				r.Extra = map[string]float64{}
 			}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestParseBenchLineStandardMetrics(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkHotPathInject-8   1000000   359.2 ns/op   0 B/op   0 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if r.Name != "BenchmarkHotPathInject-8" || r.Iterations != 1000000 || r.NsPerOp != 359.2 {
+		t.Errorf("parsed %+v", r)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 0 || r.AllocsOp == nil || *r.AllocsOp != 0 {
+		t.Errorf("memory metrics not parsed: %+v", r)
+	}
+	if r.Telemetry != nil || r.Extra != nil {
+		t.Errorf("unexpected extra metrics: %+v", r)
+	}
+}
+
+func TestParseBenchLineLiftsTelemetryQuantiles(t *testing.T) {
+	line := "BenchmarkSimPoissonLDLP-8  50  21000 ns/op  14 p50-batch  14 p99-batch  52000 p50-latency-ns  91000 p99-latency-ns  3 widgets/op"
+	r, ok := parseBenchLine(line)
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	tel := r.Telemetry
+	if tel == nil {
+		t.Fatal("telemetry quantiles not lifted")
+	}
+	if tel.BatchP50 == nil || *tel.BatchP50 != 14 ||
+		tel.BatchP99 == nil || *tel.BatchP99 != 14 ||
+		tel.LatencyP50NS == nil || *tel.LatencyP50NS != 52000 ||
+		tel.LatencyP99NS == nil || *tel.LatencyP99NS != 91000 {
+		t.Errorf("telemetry = %+v %+v %+v %+v", tel.BatchP50, tel.BatchP99, tel.LatencyP50NS, tel.LatencyP99NS)
+	}
+	// Lifted units must not double-report in Extra; unknown units stay.
+	if _, dup := r.Extra["p50-batch"]; dup {
+		t.Error("p50-batch duplicated in Extra")
+	}
+	if v := r.Extra["widgets/op"]; v != 3 {
+		t.Errorf("widgets/op = %v, want 3 in Extra", v)
+	}
+
+	doc, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(doc, &back); err != nil {
+		t.Fatal(err)
+	}
+	telMap, ok := back["telemetry"].(map[string]any)
+	if !ok {
+		t.Fatalf("no telemetry object in JSON: %s", doc)
+	}
+	if telMap["batch_p50"].(float64) != 14 || telMap["latency_p99_ns"].(float64) != 91000 {
+		t.Errorf("telemetry JSON = %v", telMap)
+	}
+}
+
+func TestParseBenchLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"ok  \tldlp/internal/core\t0.5s",
+		"goos: linux",
+		"BenchmarkBad notanumber ns/op",
+		"",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("%q parsed as a benchmark line", line)
+		}
+	}
+}

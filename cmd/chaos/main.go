@@ -238,12 +238,32 @@ func runScenario(cfg faults.Config, d core.Discipline, shards int, seed int64, r
 			fmt.Printf("  %-12s %v: %+v\n", name, ip, s)
 		}
 	}
+	// Telemetry liveness: the flight recorder must have watched the same
+	// run the counters did. Under LDLP every delivered frame passes
+	// through a batch observation, so a server that moved frames with an
+	// empty ldlp-batch histogram means the instrumentation fell off the
+	// receive path (another vacuous-check hazard: traces would read as
+	// "no batches" instead of failing).
+	if d == core.LDLP && b.Counters.FramesIn > 0 {
+		snap := b.Telemetry().Snapshot()
+		if bh, ok := snap.Hist("ldlp-batch"); !ok || bh.Count == 0 {
+			fail("server moved %d frames but recorded no ldlp-batch observations; telemetry is dead", b.Counters.FramesIn)
+		}
+	}
 	if verbose {
 		for _, h := range []*netstack.Host{a, b} {
 			c := h.Counters
 			fmt.Printf("  %-12s %s: in=%d out=%d badEther=%d badIP=%d badTCP=%d badUDP=%d rexmt=%d timeouts=%d reasmTO=%d\n",
 				name, h.Name(), c.FramesIn, c.FramesOut, c.BadEther, c.BadIP, c.BadTCP, c.BadUDP,
 				c.Retransmits, c.TimeoutDrops, c.ReassemblyTimeouts)
+			for _, e := range h.Telemetry().Snapshot().Hists {
+				s := e.Hist.Summary()
+				if s.Count == 0 {
+					continue
+				}
+				fmt.Printf("  %-12s %s: hist %-10s count=%d mean=%.1f p50=%.1f p99=%.1f max=%d\n",
+					name, h.Name(), e.Name, s.Count, s.Mean, s.P50, s.P99, s.Max)
+			}
 		}
 	}
 	if s := mbuf.PoolStats(); s.InUse != 0 {

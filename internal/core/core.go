@@ -28,6 +28,8 @@ package core
 import (
 	"errors"
 	"fmt"
+
+	"ldlp/internal/telemetry"
 )
 
 // Discipline selects how messages flow through the stack (Figure 2).
@@ -121,6 +123,10 @@ type Layer[M any] struct {
 // Name returns the layer's name.
 func (l *Layer[M]) Name() string { return l.name }
 
+// Index returns the layer's position in the stack (bottom = 0) — the
+// index telemetry events are recorded under.
+func (l *Layer[M]) Index() int { return l.index }
+
 // QueueLen reports the current input-queue depth.
 func (l *Layer[M]) QueueLen() int { return l.queue.len() }
 
@@ -179,6 +185,13 @@ type Stack[M any] struct {
 	// onProcess, if set, is called before each handler invocation — the
 	// simulator charges per-layer cache and cycle costs here.
 	onProcess func(l *Layer[M], m M)
+
+	// tracer, if set, flight-records the LDLP schedule: layer
+	// enter/exit spans and batch formation. batchHist, if set, observes
+	// the size of every bottom-layer batch. Both are nil-safe /
+	// gate-checked inside telemetry, so the unwired stack pays nothing.
+	tracer    *telemetry.Tracer
+	batchHist *telemetry.Hist
 }
 
 // NewStack creates an empty stack. Layers are added bottom-up with
@@ -232,6 +245,18 @@ func (s *Stack[M]) Link(lower, upper *Layer[M]) {
 
 // OnProcess installs a per-handler-invocation hook (cost accounting).
 func (s *Stack[M]) OnProcess(fn func(l *Layer[M], m M)) { s.onProcess = fn }
+
+// SetTelemetry attaches a flight-recorder tracer and a batch-size
+// histogram to the stack. Layer names already added are registered with
+// the tracer (by layer index) so exported traces resolve them. Either
+// argument may be nil. Setup path, not for concurrent use with Run.
+func (s *Stack[M]) SetTelemetry(tr *telemetry.Tracer, batch *telemetry.Hist) {
+	s.tracer = tr
+	s.batchHist = batch
+	for _, l := range s.layers {
+		tr.RegisterLayer(l.index, l.name)
+	}
+}
 
 // SetSink installs the receiver for messages leaving the stack top.
 func (s *Stack[M]) SetSink(fn Sink[M]) { s.sink = fn }
@@ -363,6 +388,16 @@ func (s *Stack[M]) runLayer(l *Layer[M]) {
 	if limit > s.stats.LargestBatch {
 		s.stats.LargestBatch = limit
 	}
+	if l == s.bottom {
+		// One batch has formed at the injection layer — the §3 online
+		// batching rule, observed. Record before the pass so the trace
+		// shows the batch counter stepping at the span open.
+		s.tracer.Event(telemetry.EvBatchFormed, l.index, int64(limit))
+		if s.batchHist != nil {
+			s.batchHist.Observe(int64(limit))
+		}
+	}
+	s.tracer.Event(telemetry.EvLayerEnter, l.index, int64(limit))
 	for i := 0; i < limit; i++ {
 		m, ok := l.queue.pop()
 		if !ok {
@@ -371,4 +406,5 @@ func (s *Stack[M]) runLayer(l *Layer[M]) {
 		s.queued--
 		s.process(l, m, l.emitQueued)
 	}
+	s.tracer.Event(telemetry.EvLayerExit, l.index, int64(limit))
 }

@@ -21,6 +21,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ldlp/internal/telemetry"
 )
 
 // defaultShardQueue bounds a shard's input queue when Options.MaxQueued
@@ -144,6 +146,22 @@ func (s *ShardedStack[M]) NumShards() int { return len(s.shards) }
 // top. It runs on the merger goroutine, never concurrently with itself.
 // Must be called before the first Inject.
 func (s *ShardedStack[M]) SetSink(fn Sink[M]) { s.sink = fn }
+
+// SetTelemetry wires each shard's private stack to a flight-recorder
+// tracer from d (labelled "shard<i>", one ring of ringCap events per
+// shard, <= 0 selecting the default) plus a shared batch-size histogram
+// named "ldlp-batch". Like SetSink it must be called before the first
+// Inject: workers are parked on their empty input queues until then, so
+// the per-shard stacks are not yet in use.
+func (s *ShardedStack[M]) SetTelemetry(d *telemetry.Domain, ringCap int) {
+	if d == nil {
+		return
+	}
+	batch := d.Hist("ldlp-batch")
+	for i, sh := range s.shards {
+		sh.stack.SetTelemetry(d.Tracer("shard"+fmt.Sprint(i), ringCap), batch)
+	}
+}
 
 // Inject routes one arriving message to its flow's shard. It returns
 // ErrStackFull (counted in Stats.Dropped) when that shard's input queue

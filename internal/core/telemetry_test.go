@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+
+	"ldlp/internal/telemetry"
+)
+
+// buildTelemetryStack is a two-layer LDLP chain with telemetry wired.
+func buildTelemetryStack(batchLimit int) (*Stack[int], *telemetry.Domain) {
+	now := int64(0)
+	d := telemetry.NewDomain("core-test", func() int64 { now += 10; return now })
+	s := NewStack[int](Options{Discipline: LDLP, BatchLimit: batchLimit})
+	var upper *Layer[int]
+	lower := s.AddLayer("mac", func(m int, emit Emit[int]) { emit(upper, m) })
+	upper = s.AddLayer("ip", func(m int, emit Emit[int]) { emit(nil, m) })
+	s.Link(lower, upper)
+	s.SetTelemetry(d.Tracer("shard0", 64), d.Hist("ldlp-batch"))
+	return s, d
+}
+
+func TestStackTelemetryRecordsBatchesAndSpans(t *testing.T) {
+	s, d := buildTelemetryStack(4)
+	for i := 0; i < 10; i++ {
+		if err := s.Inject(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+
+	snap := d.Snapshot()
+	if len(snap.Tracers) != 1 {
+		t.Fatalf("want 1 tracer, got %d", len(snap.Tracers))
+	}
+	tr := snap.Tracers[0]
+	if len(tr.Layers) < 2 || tr.Layers[0] != "mac" || tr.Layers[1] != "ip" {
+		t.Fatalf("layer names not registered: %v", tr.Layers)
+	}
+
+	var batches []int64
+	enters, exits := 0, 0
+	for _, ev := range tr.Events {
+		switch ev.Kind {
+		case telemetry.EvBatchFormed:
+			if ev.Layer != 0 {
+				t.Errorf("batch recorded at non-bottom layer %d", ev.Layer)
+			}
+			batches = append(batches, ev.Arg)
+		case telemetry.EvLayerEnter:
+			enters++
+		case telemetry.EvLayerExit:
+			exits++
+		}
+	}
+	// 10 messages with BatchLimit 4: the schedule is data-dependent, but
+	// every bottom batch is capped at 4 and they must total 10.
+	var total int64
+	for _, b := range batches {
+		if b > 4 {
+			t.Errorf("batch %d exceeds BatchLimit 4", b)
+		}
+		total += b
+	}
+	if total != 10 {
+		t.Errorf("batch sizes total %d, want 10 (batches %v)", total, batches)
+	}
+	if enters == 0 || enters != exits {
+		t.Errorf("unbalanced layer spans: %d enters, %d exits", enters, exits)
+	}
+
+	h, ok := snap.Hist("ldlp-batch")
+	if !ok {
+		t.Fatal("ldlp-batch histogram missing from snapshot")
+	}
+	if h.Count != int64(len(batches)) || h.Sum != 10 {
+		t.Errorf("batch hist count/sum = %d/%d, want %d/10", h.Count, h.Sum, len(batches))
+	}
+
+	// Timestamps come from the injected clock and are strictly monotonic.
+	last := int64(0)
+	for _, ev := range tr.Events {
+		if ev.TS <= last {
+			t.Fatalf("timestamps not monotonic: %d after %d", ev.TS, last)
+		}
+		last = ev.TS
+	}
+}
+
+func TestShardedStackTelemetry(t *testing.T) {
+	d := telemetry.NewDomain("shards", nil)
+	var upper []*Layer[int]
+	s := NewShardedStack[int](Options{Discipline: LDLP, BatchLimit: 8, Shards: 2},
+		func(m int) uint64 { return uint64(m) },
+		func(i int, st *Stack[int]) {
+			lo := st.AddLayer("mac", func(m int, emit Emit[int]) { emit(upper[i], m) })
+			up := st.AddLayer("ip", func(m int, emit Emit[int]) { emit(nil, m) })
+			st.Link(lo, up)
+			upper = append(upper, up)
+		})
+	s.SetTelemetry(d, 128)
+	defer s.Close()
+
+	const n = 64
+	for i := 0; i < n; i++ {
+		if err := s.Inject(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Drain()
+
+	snap := d.Snapshot()
+	if len(snap.Tracers) != 2 {
+		t.Fatalf("want one tracer per shard, got %d", len(snap.Tracers))
+	}
+	for _, tr := range snap.Tracers {
+		if tr.Recorded == 0 {
+			t.Errorf("shard %d recorded no events", tr.Shard)
+		}
+		if len(tr.Layers) < 2 || tr.Layers[0] != "mac" {
+			t.Errorf("shard %d layers not registered: %v", tr.Shard, tr.Layers)
+		}
+	}
+	h, ok := snap.Hist("ldlp-batch")
+	if !ok || h.Sum != n {
+		t.Fatalf("shared batch hist sum = %d (ok=%v), want %d", h.Sum, ok, n)
+	}
+}
+
+func TestConventionalStackRecordsNothing(t *testing.T) {
+	now := int64(0)
+	d := telemetry.NewDomain("conv", func() int64 { now++; return now })
+	s := NewStack[int](Options{Discipline: Conventional})
+	var upper *Layer[int]
+	lower := s.AddLayer("mac", func(m int, emit Emit[int]) { emit(upper, m) })
+	upper = s.AddLayer("ip", func(m int, emit Emit[int]) { emit(nil, m) })
+	s.Link(lower, upper)
+	tr := d.Tracer("shard0", 64)
+	s.SetTelemetry(tr, d.Hist("ldlp-batch"))
+
+	for i := 0; i < 100; i++ {
+		_ = s.Inject(i)
+	}
+	// The conventional call-through path is deliberately uninstrumented:
+	// per-frame events there would tax exactly the benchmark the paper
+	// measures against. Only the LDLP schedule flight-records.
+	if got := tr.Ring().Recorded(); got != 0 {
+		t.Fatalf("conventional call-through recorded %d events, want 0", got)
+	}
+}

@@ -28,6 +28,7 @@ func DefaultAnalyzers() []*Analyzer {
 				"ldlp/internal/netstack.Host.getPacket",
 				"ldlp/internal/netstack.Host.putPacket",
 				"ldlp/internal/netstack.rxPath.drop",
+				"ldlp/internal/netstack.rxPath.reject",
 				"ldlp/internal/netstack.rxPath.deviceInput",
 				"ldlp/internal/netstack.rxPath.etherInput",
 				"ldlp/internal/netstack.rxPath.ipInput",
@@ -50,6 +51,15 @@ func DefaultAnalyzers() []*Analyzer {
 				"ldlp/internal/checksum.Accumulator.Add",
 				"ldlp/internal/checksum.Accumulator.Sum16",
 				"ldlp/internal/checksum.Simple",
+				// The flight recorder's record path: the telemetry promise
+				// is that these stay allocation- and lock-free forever.
+				"ldlp/internal/telemetry.Ring.Record",
+				"ldlp/internal/telemetry.Tracer.Event",
+				"ldlp/internal/telemetry.Tracer.EventAt",
+				"ldlp/internal/telemetry.Hist.Observe",
+				"ldlp/internal/telemetry.Counter.Inc",
+				"ldlp/internal/telemetry.Counter.Add",
+				"ldlp/internal/telemetry.Enabled",
 			},
 		}),
 		NewAtomicCounter(AtomicCounterConfig{
@@ -82,6 +92,10 @@ func DefaultAnalyzers() []*Analyzer {
 				"ldlp/internal/sim",
 				"ldlp/internal/faults",
 				"ldlp/internal/traffic",
+				// Telemetry timestamps must come from an injected Clock so
+				// sim-driven traces depend on the seed alone; time.Now
+				// anywhere in the package would silently break replay.
+				"ldlp/internal/telemetry",
 			},
 		}),
 	}

@@ -1,0 +1,60 @@
+// Telemetry-flavored determinism cases: flight-recorder timestamps in
+// sim-driven runs must come from an injected clock on the simulated
+// timeline, never the wall clock — a time.Now inside a record path
+// would silently break seed-for-seed trace replay.
+package determinism
+
+import "time"
+
+type fakeRing struct {
+	ts   []int64
+	kind []uint8
+}
+
+func (r *fakeRing) record(ts int64, kind uint8) {
+	r.ts = append(r.ts, ts)
+	r.kind = append(r.kind, kind)
+}
+
+// badEventStamp is the bug the analyzer exists to catch: stamping an
+// event off the wall clock instead of the injected clock.
+func badEventStamp(r *fakeRing, kind uint8) {
+	r.record(time.Now().UnixNano(), kind) // want `reads the wall clock`
+}
+
+// badSpanDuration measures a layer span with real elapsed time.
+func badSpanDuration(start time.Time) int64 {
+	return int64(time.Since(start)) // want `reads the wall clock`
+}
+
+// goodInjectedClock threads a caller-supplied clock, the telemetry
+// package's actual shape: deterministic when the caller is simulated.
+func goodInjectedClock(r *fakeRing, clock func() int64, kind uint8) {
+	r.record(clock(), kind)
+}
+
+// goodSimulatedStamp derives the timestamp from simulated quantities
+// (batch start plus cycles burned), as the sim engine does.
+func goodSimulatedStamp(r *fakeRing, batchStart, cycles, hz float64, kind uint8) {
+	r.record(int64((batchStart+cycles/hz)*1e9), kind)
+}
+
+// goodOrderedExport walks histogram buckets by index — a fixed array
+// order, not map iteration — so exports are byte-stable.
+func goodOrderedExport(buckets [64]int64) []int64 {
+	out := make([]int64, 0, len(buckets))
+	for i := 0; i < len(buckets); i++ {
+		out = append(out, buckets[i])
+	}
+	return out
+}
+
+// badSnapshotOrder exports named histograms by ranging a map: the JSON
+// would shuffle between identical runs.
+func badSnapshotOrder(hists map[string][]int64) [][]int64 {
+	var out [][]int64
+	for _, h := range hists { // want `map iteration order is nondeterministic`
+		out = append(out, h)
+	}
+	return out
+}

@@ -31,6 +31,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"ldlp/internal/telemetry"
 )
 
 const (
@@ -45,12 +47,21 @@ const (
 	shardFreeCap = 512
 )
 
-// Stats counts pool activity, for leak detection.
+// Stats counts pool activity, for leak detection and tier attribution.
 type Stats struct {
 	Allocs   int64
 	Frees    int64
 	InUse    int64
 	Clusters int64
+	// HeapAllocs counts allocations that missed both the shard freelist
+	// and the overflow tier and fell through to the heap — the cold
+	// path. Steady-state traffic should hold this flat.
+	HeapAllocs int64
+	// OverflowGets/OverflowPuts count traffic through the pool-wide
+	// sync.Pool tier: hits there mean a shard's private freelist ran
+	// dry (or filled up on free) — cross-shard imbalance.
+	OverflowGets int64
+	OverflowPuts int64
 }
 
 // PoolShard is one allocation domain of a Pool. Handles are cheap to
@@ -65,10 +76,16 @@ type PoolShard struct {
 	clust []*Mbuf
 
 	// InUse is derived as allocs-frees rather than kept as a third
-	// counter: one fewer atomic on every Get and Free.
-	allocs   atomic.Int64
-	frees    atomic.Int64
-	clusters atomic.Int64
+	// counter: one fewer atomic on every Get and Free. These are
+	// telemetry counters (lock-free, hot-path tagged) rather than bare
+	// atomics so the allocator's accounting rides the same lint-enforced
+	// substrate as the rest of the flight recorder.
+	allocs       telemetry.Counter
+	frees        telemetry.Counter
+	clusters     telemetry.Counter
+	heapAllocs   telemetry.Counter
+	overflowGets telemetry.Counter
+	overflowPuts telemetry.Counter
 
 	// Keep shards off each other's cache lines: the counters above are
 	// the write-hot fields.
@@ -120,6 +137,9 @@ func (p *Pool) Stats() Stats {
 		s.Allocs += ps.allocs.Load()
 		s.Frees += ps.frees.Load()
 		s.Clusters += ps.clusters.Load()
+		s.HeapAllocs += ps.heapAllocs.Load()
+		s.OverflowGets += ps.overflowGets.Load()
+		s.OverflowPuts += ps.overflowPuts.Load()
 	}
 	s.InUse = s.Allocs - s.Frees
 	return s
@@ -136,6 +156,9 @@ func (p *Pool) Reset() {
 		ps.allocs.Store(0)
 		ps.frees.Store(0)
 		ps.clusters.Store(0)
+		ps.heapAllocs.Store(0)
+		ps.overflowGets.Store(0)
+		ps.overflowPuts.Store(0)
 	}
 	p.overflow.Store(&overflowPools{})
 }
@@ -214,12 +237,16 @@ func (ps *PoolShard) get(cluster bool) *Mbuf {
 		} else {
 			m, _ = ov.small.Get().(*Mbuf)
 		}
+		if m != nil {
+			ps.overflowGets.Inc()
+		}
 	}
-	ps.allocs.Add(1)
+	ps.allocs.Inc()
 	if cluster {
-		ps.clusters.Add(1)
+		ps.clusters.Inc()
 	}
 	if m == nil {
+		ps.heapAllocs.Inc()
 		size := MSize
 		if cluster {
 			size = MCLBytes
@@ -257,7 +284,7 @@ func (m *Mbuf) Free() *Mbuf {
 	m.freed = true
 	m.next = nil
 	ps := m.owner
-	ps.frees.Add(1)
+	ps.frees.Inc()
 	if m.cluster {
 		ps.clusters.Add(-1)
 	}
@@ -280,6 +307,7 @@ func (m *Mbuf) Free() *Mbuf {
 	}
 	if !pushed {
 		ov := ps.pool.overflow.Load()
+		ps.overflowPuts.Inc()
 		if m.cluster {
 			ov.clust.Put(m)
 		} else {

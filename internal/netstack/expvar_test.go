@@ -3,6 +3,7 @@ package netstack
 import (
 	"encoding/json"
 	"expvar"
+	"fmt"
 	"testing"
 
 	"ldlp/internal/core"
@@ -75,6 +76,70 @@ func TestExpvarPublishAndRebind(t *testing.T) {
 	}
 	if hostVars.FramesOut != 0 {
 		t.Errorf("rebound netstack.a framesOut = %d, want the fresh host's 0", hostVars.FramesOut)
+	}
+	checkNoLeaks(t)
+}
+
+// TestExpvarNoDoublePublishCrosstalk is the regression test for the
+// double-publish hazard: when two same-named hosts are alive at once,
+// the legacy alias can only show one of them — but each host's
+// canonical "netstack.<name>.<id>" entry must keep reading its own
+// counters, not the other host's.
+func TestExpvarNoDoublePublishCrosstalk(t *testing.T) {
+	n1, a1, _ := twoHosts(t, core.LDLP)
+	n2, a2, _ := twoHosts(t, core.LDLP)
+	a1.PublishExpvars()
+	a2.PublishExpvars()
+	if a1.id == a2.id {
+		t.Fatalf("host instance ids collide: %d", a1.id)
+	}
+
+	// Traffic on the first net only: one datagram out of a1.
+	sa, _ := a1.UDPSocket(1)
+	defer sa.Close()
+	sa.SendTo(ipB, 9, []byte("x"))
+	n1.RunUntilIdle()
+	n2.RunUntilIdle()
+
+	read := func(name string) map[string]any {
+		t.Helper()
+		v := expvar.Get(name)
+		if v == nil {
+			t.Fatalf("%s not published", name)
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(v.String()), &m); err != nil {
+			t.Fatalf("%s not JSON: %v", name, err)
+		}
+		return m
+	}
+	c1 := read(fmt.Sprintf("netstack.a.%d", a1.id))
+	c2 := read(fmt.Sprintf("netstack.a.%d", a2.id))
+	if got := c1["framesOut"].(float64); got != 1 {
+		t.Errorf("canonical a1 framesOut = %v, want 1", got)
+	}
+	if got := c2["framesOut"].(float64); got != 0 {
+		t.Errorf("canonical a2 framesOut = %v, want 0 (crosstalk from a1?)", got)
+	}
+	// The alias tracks the latest publisher (a2).
+	if got := read("netstack.a")["id"].(float64); int(got) != a2.id {
+		t.Errorf("alias netstack.a id = %v, want latest publisher %d", got, a2.id)
+	}
+	// Re-publishing an already-canonical host is a no-op, not a panic.
+	a1.PublishExpvars()
+
+	// Telemetry histogram summaries ride along: a1 flushed one
+	// single-frame tx batch.
+	tel, ok := c1["telemetry"].(map[string]any)
+	if !ok {
+		t.Fatalf("canonical a1 has no telemetry map: %v", c1)
+	}
+	tx, ok := tel["tx-batch"].(map[string]any)
+	if !ok {
+		t.Fatalf("telemetry has no tx-batch summary: %v", tel)
+	}
+	if got := tx["count"].(float64); got != 1 {
+		t.Errorf("tx-batch count = %v, want 1", got)
 	}
 	checkNoLeaks(t)
 }

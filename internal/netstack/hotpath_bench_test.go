@@ -6,6 +6,7 @@ import (
 	"ldlp/internal/core"
 	"ldlp/internal/layers"
 	"ldlp/internal/mbuf"
+	"ldlp/internal/telemetry"
 )
 
 // buildBareAck hand-builds the wire bytes of a bare ACK from a to b's
@@ -79,6 +80,50 @@ func BenchmarkHotPathInject(b *testing.B) {
 	}
 }
 
+// BenchmarkHotPathInjectTelemetryOff is BenchmarkHotPathInject with the
+// global telemetry gate flipped off: the delta against the default run
+// is the cost of the disabled-path branches, which should be noise
+// (~0%). The enabled run itself must stay within a couple percent of
+// the pre-telemetry baseline — the conventional call-through path
+// records no events at all, so both variants exercise the same code up
+// to the gate checks.
+func BenchmarkHotPathInjectTelemetryOff(b *testing.B) {
+	prev := telemetry.Enable(false)
+	defer telemetry.Enable(prev)
+	mbuf.ResetPool()
+	n := NewNet()
+	ha := n.AddHost("a", ipA, DefaultOptions(core.Conventional))
+	hb := n.AddHost("b", ipB, DefaultOptions(core.Conventional))
+	if _, err := hb.ListenTCP(80); err != nil {
+		b.Fatal(err)
+	}
+	s := ha.DialTCP(ipB, 80)
+	n.RunUntilIdle()
+	if !s.Established() {
+		b.Fatal("handshake did not complete")
+	}
+	var bpcb *tcpPCB
+	for _, pcb := range hb.pcbs {
+		bpcb = pcb
+	}
+	ack := buildBareAck(bpcb, ipA, ipB)
+
+	for i := 0; i < 64; i++ {
+		hb.deliver(mbuf.FromBytes(ack))
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hb.deliver(mbuf.FromBytes(ack))
+	}
+	b.StopTimer()
+
+	if st := mbuf.PoolStats(); st.InUse != 0 {
+		b.Fatalf("mbuf leak on hot path: %+v", st)
+	}
+}
+
 // BenchmarkHotPathInjectLDLP is the same cycle under the LDLP schedule:
 // deliver enqueues at the device layer and process() runs the batch.
 func BenchmarkHotPathInjectLDLP(b *testing.B) {
@@ -113,6 +158,10 @@ func BenchmarkHotPathInjectLDLP(b *testing.B) {
 	}
 	b.StopTimer()
 
+	if bh, ok := hb.Telemetry().Snapshot().Hist("ldlp-batch"); ok && bh.Count > 0 {
+		b.ReportMetric(bh.Quantile(0.50), "p50-batch")
+		b.ReportMetric(bh.Quantile(0.99), "p99-batch")
+	}
 	if st := mbuf.PoolStats(); st.InUse != 0 {
 		b.Fatalf("mbuf leak on hot path: %+v", st)
 	}

@@ -6,6 +6,7 @@ import (
 	"ldlp/internal/checksum"
 	"ldlp/internal/core"
 	"ldlp/internal/layers"
+	"ldlp/internal/telemetry"
 )
 
 // ICMP echo: the smallest of small-message protocols (§1 name-checks
@@ -62,12 +63,12 @@ func (rx *rxPath) icmpInput(p *Packet, emit core.Emit[*Packet]) {
 	buf := p.M.Contiguous()
 	if len(buf) < icmpHeaderLen {
 		inc(&h.Counters.BadICMP)
-		rx.drop(p)
+		rx.reject(p, rx.icmpin, telemetry.DropBadICMP)
 		return
 	}
 	if checksum.Simple(buf) != 0 {
 		inc(&h.Counters.BadICMP)
-		rx.drop(p)
+		rx.reject(p, rx.icmpin, telemetry.DropBadICMP)
 		return
 	}
 	typ := buf[0]
@@ -85,7 +86,7 @@ func (rx *rxPath) icmpInput(p *Packet, emit core.Emit[*Packet]) {
 		h.pingReplies = append(h.pingReplies, PingReply{From: p.IP.Src, ID: id, Seq: seq, Payload: payload})
 	default:
 		inc(&h.Counters.BadICMP)
-		rx.drop(p)
+		rx.reject(p, rx.icmpin, telemetry.DropBadICMP)
 		return
 	}
 	//lint:ignore lockorder emit only enqueues on the shard ring (layers never run inline); mu is a no-op single-threaded

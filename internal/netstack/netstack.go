@@ -35,6 +35,7 @@ import (
 	"ldlp/internal/faults"
 	"ldlp/internal/layers"
 	"ldlp/internal/mbuf"
+	"ldlp/internal/telemetry"
 )
 
 // Packet is the unit flowing up the receive path: an mbuf chain plus the
@@ -112,6 +113,14 @@ type Options struct {
 	// from the host's IP, so multi-host setups stay deterministic
 	// without choosing seeds by hand).
 	FaultSeed int64
+	// TelemetryClock stamps the host's flight-recorder events. Nil uses
+	// the Net's simulated clock (in nanoseconds), which keeps traces
+	// deterministic per seed; real-time drivers (cmd/ldlptrace) inject a
+	// monotonic wall clock instead.
+	TelemetryClock telemetry.Clock
+	// TelemetryRing sizes each shard's flight-recorder ring (<= 0 uses
+	// the telemetry default).
+	TelemetryRing int
 }
 
 // DefaultOptions mirror the paper's LDLP setup bounded by a 500-packet
@@ -331,6 +340,25 @@ func (n *Net) RunUntilIdle() int {
 // (the frame's chain has been freed or re-owned accordingly).
 func (n *Net) impairFrame(inj *faults.Injector, f frame, dst *Host) bool {
 	act := inj.Frame(n.now, f.m.PktLen()*8)
+	var verdict telemetry.VerdictBits
+	if act.Drop {
+		verdict |= telemetry.VerdictDrop
+	}
+	if act.Duplicate {
+		verdict |= telemetry.VerdictDuplicate
+	}
+	if act.CorruptBit >= 0 {
+		verdict |= telemetry.VerdictCorrupt
+	}
+	if act.Delay > 0 {
+		verdict |= telemetry.VerdictDelay
+	}
+	if act.ReorderSpan > 0 {
+		verdict |= telemetry.VerdictReorder
+	}
+	if verdict != telemetry.VerdictDeliver {
+		dst.telPump.Event(telemetry.EvFaultVerdict, 0, int64(verdict))
+	}
 	if act.Drop {
 		f.m.FreeChain()
 		return false
@@ -410,6 +438,10 @@ func (n *Net) Tick(dt float64) {
 type Host struct {
 	net  *Net
 	name string
+	// id is a process-unique instance number (the host's mbuf pool
+	// base), distinguishing same-named hosts from rebuilt Nets in the
+	// expvar registry.
+	id   int
 	mac  layers.MACAddr
 	ip   layers.IPAddr
 	opts Options
@@ -458,6 +490,15 @@ type Host struct {
 
 	// UDP state (udp.go).
 	udpSocks map[uint16]*UDPSock
+
+	// tel is the host's telemetry domain: one flight-recorder tracer
+	// per receive shard (wired into the LDLP engine), one pump-side
+	// tracer (telPump) for events that happen outside the receive
+	// schedule — transmit flushes, retransmissions, fault verdicts,
+	// intake overflow — and the shared histograms. Always non-nil.
+	tel     *telemetry.Domain
+	telPump *telemetry.Tracer
+	txBatch *telemetry.Hist
 }
 
 // rxPath is one receive pipeline's layers: device -> ether -> ip ->
@@ -466,6 +507,10 @@ type Host struct {
 // their own shard's queues).
 type rxPath struct {
 	h *Host
+	// tel is this pipeline's shard tracer (drop events on the error
+	// paths; the LDLP engine records batch and layer events through the
+	// same ring). Nil-safe.
+	tel *telemetry.Tracer
 	// pool is this receive pipeline's private mbuf shard: every
 	// allocation the pipeline makes on its own behalf (pull-ups,
 	// reassembled datagrams) comes from here, so shard workers never
@@ -514,7 +559,24 @@ func newHost(n *Net, name string, ip layers.IPAddr, opts Options) *Host {
 		udpSocks:  make(map[uint16]*UDPSock),
 	}
 	poolBase := int(hostSeq.Add(int64(maxInt(1, opts.RxShards) + 1)))
+	h.id = poolBase
 	h.txPool = mbuf.DefaultShard(poolBase)
+
+	// Telemetry domain: per-shard flight recorders plus the pump tracer.
+	// The default clock is the Net's simulated time in nanoseconds —
+	// the pump advances n.now strictly before workers observe frames
+	// (the channel send into a shard queue orders the write), so traces
+	// stay deterministic per seed without a real clock anywhere.
+	clock := opts.TelemetryClock
+	if clock == nil {
+		clock = func() int64 { return int64(n.now * 1e9) }
+	}
+	h.tel = telemetry.NewDomain(name, clock)
+	h.telPump = h.tel.Tracer("pump", opts.TelemetryRing)
+	h.telPump.RegisterLayer(0, "pump")
+	h.txBatch = h.tel.Hist("tx-batch")
+	rxBatch := h.tel.Hist("ldlp-batch")
+
 	engineOpts := core.Options{
 		Discipline: opts.Discipline,
 		BatchLimit: opts.BatchLimit,
@@ -531,6 +593,8 @@ func newHost(n *Net, name string, ip layers.IPAddr, opts Options) *Host {
 			func(i int, st *core.Stack[*Packet]) {
 				rx := h.buildRxPath(st)
 				rx.pool = mbuf.DefaultShard(poolBase + 1 + i)
+				rx.tel = h.tel.Tracer("shard"+fmt.Sprint(i), opts.TelemetryRing)
+				st.SetTelemetry(rx.tel, rxBatch)
 			})
 		h.shards.SetSink(h.putPacket)
 		return h
@@ -538,6 +602,8 @@ func newHost(n *Net, name string, ip layers.IPAddr, opts Options) *Host {
 	h.stack = core.NewStack[*Packet](engineOpts)
 	h.rx = h.buildRxPath(h.stack)
 	h.rx.pool = h.txPool
+	h.rx.tel = h.tel.Tracer("shard0", opts.TelemetryRing)
+	h.stack.SetTelemetry(h.rx.tel, rxBatch)
 	h.stack.SetSink(h.putPacket)
 	return h
 }
@@ -627,6 +693,11 @@ func (h *Host) StackStats() core.Stats {
 	return h.stack.Stats()
 }
 
+// Telemetry exposes the host's flight-recorder domain: per-shard event
+// traces plus the batch-size histograms. Snapshot it while the network
+// is quiescent for exact results.
+func (h *Host) Telemetry() *telemetry.Domain { return h.tel }
+
 // RxShards reports the receive path's shard count (1 when single-
 // threaded).
 func (h *Host) RxShards() int {
@@ -667,6 +738,7 @@ func (h *Host) deliver(m *mbuf.Mbuf) {
 			// where processing keeps up with delivery by construction.
 			h.shards.Drain()
 			if err := h.shards.Inject(pkt); err != nil {
+				h.telPump.Event(telemetry.EvDrop, 0, int64(telemetry.DropStackFull))
 				pkt.M.FreeChain()
 				h.putPacket(pkt)
 			}
@@ -674,6 +746,7 @@ func (h *Host) deliver(m *mbuf.Mbuf) {
 		return
 	}
 	if err := h.stack.Inject(pkt); err != nil {
+		h.telPump.Event(telemetry.EvDrop, 0, int64(telemetry.DropStackFull))
 		pkt.M.FreeChain()
 		h.putPacket(pkt)
 	}
@@ -715,6 +788,8 @@ func (h *Host) flushTx() int {
 		h.Counters.TxMaxBatch = n
 	}
 	inc(&h.Counters.TxBatches)
+	h.telPump.Event(telemetry.EvTxFlush, 0, int64(n))
+	h.txBatch.Observe(int64(n))
 	for _, f := range h.txq {
 		h.net.send(f)
 	}
@@ -723,12 +798,27 @@ func (h *Host) flushTx() int {
 }
 
 // drop ends a packet's life mid-path: the chain returns to its owner's
-// pool shard and the wrapper is recycled.
+// pool shard and the wrapper is recycled. Deliberately event-free: the
+// TCP fast path retires every pure ACK through here, and per-frame
+// telemetry there would tax exactly the path the paper measures.
 //
 //ldlp:hotpath
 func (rx *rxPath) drop(p *Packet) {
 	p.M.FreeChain()
 	rx.h.putPacket(p)
+}
+
+// reject ends a packet's life on a protocol error path: flight-record
+// the drop with its layer and reason, then free the packet. Callers
+// bump their error counter via inc() themselves (the atomiccounter
+// analyzer tracks those addresses; they must not escape through here).
+// Error paths are rare by construction, so the event cost never shows
+// on the fast path.
+//
+//ldlp:hotpath
+func (rx *rxPath) reject(p *Packet, l *core.Layer[*Packet], reason telemetry.DropReason) {
+	rx.tel.Event(telemetry.EvDrop, l.Index(), int64(reason))
+	rx.drop(p)
 }
 
 // deviceInput models the driver layer: frame length sanity. Lock-free:
@@ -738,7 +828,7 @@ func (rx *rxPath) drop(p *Packet) {
 func (rx *rxPath) deviceInput(p *Packet, emit core.Emit[*Packet]) {
 	if p.M.PktLen() < layers.EthernetLen {
 		inc(&rx.h.Counters.BadEther)
-		rx.drop(p)
+		rx.reject(p, rx.device, telemetry.DropBadEther)
 		return
 	}
 	emit(rx.ether, p)
@@ -754,18 +844,18 @@ func (rx *rxPath) etherInput(p *Packet, emit core.Emit[*Packet]) {
 	n, err := p.Eth.Decode(buf)
 	if err != nil {
 		inc(&h.Counters.BadEther)
-		rx.drop(p)
+		rx.reject(p, rx.ether, telemetry.DropBadEther)
 		return
 	}
 	if p.Eth.Dst != h.mac && p.Eth.Dst != (layers.MACAddr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}) {
 		inc(&h.Counters.BadEther)
-		rx.drop(p)
+		rx.reject(p, rx.ether, telemetry.DropBadEther)
 		return
 	}
 	p.M.Adj(n)
 	if p.Eth.EtherType != layers.EtherTypeIPv4 {
 		inc(&h.Counters.BadEther)
-		rx.drop(p)
+		rx.reject(p, rx.ether, telemetry.DropBadEther)
 		return
 	}
 	emit(rx.ipin, p)
@@ -782,23 +872,23 @@ func (rx *rxPath) ipInput(p *Packet, emit core.Emit[*Packet]) {
 	p.M, err = p.M.Pullup(min(p.M.PktLen(), layers.IPv4MinLen))
 	if err != nil {
 		inc(&h.Counters.BadIP)
-		rx.drop(p)
+		rx.reject(p, rx.ipin, telemetry.DropBadIP)
 		return
 	}
 	n, err := p.IP.Decode(p.M.Bytes())
 	if err != nil {
 		inc(&h.Counters.BadIP)
-		rx.drop(p)
+		rx.reject(p, rx.ipin, telemetry.DropBadIP)
 		return
 	}
 	if p.IP.Dst != h.ip {
 		inc(&h.Counters.BadIP)
-		rx.drop(p)
+		rx.reject(p, rx.ipin, telemetry.DropBadIP)
 		return
 	}
 	if p.IP.TotalLen > p.M.PktLen() {
 		inc(&h.Counters.BadIP)
-		rx.drop(p)
+		rx.reject(p, rx.ipin, telemetry.DropBadIP)
 		return
 	}
 	// Trim link-layer padding beyond TotalLen, then strip the header.
@@ -830,7 +920,7 @@ func (rx *rxPath) ipInput(p *Packet, emit core.Emit[*Packet]) {
 		emit(rx.icmpin, p)
 	default:
 		inc(&h.Counters.BadIP)
-		rx.drop(p)
+		rx.reject(p, rx.ipin, telemetry.DropBadIP)
 	}
 }
 

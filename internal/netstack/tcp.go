@@ -7,6 +7,7 @@ import (
 
 	"ldlp/internal/core"
 	"ldlp/internal/layers"
+	"ldlp/internal/telemetry"
 )
 
 // TCP-lite: enough of TCP for the examples and benchmarks to move real
@@ -295,7 +296,7 @@ func (rx *rxPath) tcpInput(p *Packet, emit core.Emit[*Packet]) {
 	n, err := p.TCP.Decode(seg, p.IP.Src, p.IP.Dst)
 	if err != nil {
 		inc(&h.Counters.BadTCP)
-		rx.drop(p)
+		rx.reject(p, rx.tcpin, telemetry.DropBadTCP)
 		return
 	}
 	payload := seg[n:]
@@ -344,15 +345,18 @@ func (rx *rxPath) tcpPassiveOpen(tuple fourTuple, th *layers.TCP) {
 	h := rx.h
 	if th.Flags&layers.TCPSyn == 0 || th.Flags&layers.TCPAck != 0 {
 		inc(&h.Counters.NoSocket)
+		rx.tel.Event(telemetry.EvDrop, rx.tcpin.Index(), int64(telemetry.DropNoSocket))
 		return
 	}
 	l, ok := h.listeners[th.DstPort]
 	if !ok {
 		inc(&h.Counters.NoSocket)
+		rx.tel.Event(telemetry.EvDrop, rx.tcpin.Index(), int64(telemetry.DropNoSocket))
 		return
 	}
 	if len(l.backlog) >= tcpBacklog {
 		inc(&l.Dropped)
+		rx.tel.Event(telemetry.EvDrop, rx.tcpin.Index(), int64(telemetry.DropListenOverflow))
 		return
 	}
 	pcb := &tcpPCB{
@@ -603,6 +607,7 @@ func (h *Host) tcpTick() {
 			}
 			u.tries++
 			inc(&h.Counters.Retransmits)
+			h.telPump.Event(telemetry.EvRetransmit, 0, int64(u.seq))
 			u.sentAt = h.net.now
 			if u.backoff < tcpMaxBackoff {
 				u.backoff *= 2

@@ -6,6 +6,7 @@ import (
 
 	"ldlp/internal/core"
 	"ldlp/internal/layers"
+	"ldlp/internal/telemetry"
 )
 
 // Datagram is one received UDP message.
@@ -78,7 +79,7 @@ func (rx *rxPath) udpInput(p *Packet, emit core.Emit[*Packet]) {
 	n, err := p.UDP.Decode(buf, p.IP.Src, p.IP.Dst)
 	if err != nil {
 		inc(&h.Counters.BadUDP)
-		rx.drop(p)
+		rx.reject(p, rx.udpin, telemetry.DropBadUDP)
 		return
 	}
 	h.lockRx()
@@ -86,12 +87,12 @@ func (rx *rxPath) udpInput(p *Packet, emit core.Emit[*Packet]) {
 	sock, ok := h.udpSocks[p.UDP.DstPort]
 	if !ok {
 		inc(&h.Counters.NoSocket)
-		rx.drop(p)
+		rx.reject(p, rx.udpin, telemetry.DropNoSocket)
 		return
 	}
 	if len(sock.queue) >= sock.QueueLimit {
 		inc(&sock.Dropped)
-		rx.drop(p)
+		rx.reject(p, rx.udpin, telemetry.DropSockBuffer)
 		return
 	}
 	payload := append([]byte(nil), buf[n:p.UDP.Length]...)

@@ -20,6 +20,7 @@ import (
 	"ldlp/internal/core"
 	"ldlp/internal/machine"
 	"ldlp/internal/stats"
+	"ldlp/internal/telemetry"
 	"ldlp/internal/traffic"
 )
 
@@ -114,6 +115,11 @@ type Result struct {
 	Throughput float64
 	// BusyFrac is the fraction of simulated time the CPU was busy.
 	BusyFrac float64
+	// BatchHist and LatencyHist are the run's telemetry distributions:
+	// engine batch sizes (messages per bottom-layer batch) and
+	// per-message latencies in simulated nanoseconds. Mergeable, so
+	// sweeps aggregate them across seeds exactly.
+	BatchHist, LatencyHist telemetry.HistSnapshot
 }
 
 // message is the unit flowing through the stack.
@@ -139,6 +145,14 @@ type Sim struct {
 	completions      []completion
 
 	hist *stats.Histogram
+
+	// tel is the run's telemetry domain, stamped by the simulated clock
+	// (batch start time plus cycles burned since, scaled to ns) — the
+	// determinism analyzer guarantees no wall-clock leaks in here, so
+	// traces replay bit-identically per seed.
+	tel        *telemetry.Domain
+	latencyNS  *telemetry.Hist
+	simBatches *telemetry.Hist
 }
 
 type simLayer struct {
@@ -204,8 +218,19 @@ func New(cfg Config) *Sim {
 		s.completions = append(s.completions, completion{m: m, at: at})
 	})
 	s.hist = stats.NewHistogram(0, 1.0, 100000) // 10 µs buckets up to 1 s
+
+	s.tel = telemetry.NewDomain("sim", func() int64 {
+		return int64((s.batchStartTime + (s.cpu.Cycles()-s.batchStartCycles)/s.clock) * 1e9)
+	})
+	s.stack.SetTelemetry(s.tel.Tracer("engine", 0), s.tel.Hist("ldlp-batch"))
+	s.latencyNS = s.tel.Hist("latency-ns")
+	s.simBatches = s.tel.Hist("dispatch-batch")
 	return s
 }
+
+// Telemetry exposes the run's telemetry domain (per-layer engine trace
+// plus histograms), stamped on the simulated timeline.
+func (s *Sim) Telemetry() *telemetry.Domain { return s.tel }
 
 func layerIndex(l *core.Layer[*message]) int {
 	// Layer names are L1..Ln; parse cheaply.
@@ -359,10 +384,12 @@ func (s *Sim) Run(src traffic.Source) Result {
 			lat := c.at - c.m.arrival
 			res.Latency.Add(lat)
 			s.hist.Add(lat)
+			s.latencyNS.Observe(int64(lat * 1e9))
 			res.Processed++
 		}
 		dispatches++
 		batchSum += len(batch)
+		s.simBatches.Observe(int64(len(batch)))
 	}
 
 	if res.Processed > 0 {
@@ -380,5 +407,7 @@ func (s *Sim) Run(src traffic.Source) Result {
 	if res.BusyFrac > 1 {
 		res.BusyFrac = 1
 	}
+	res.BatchHist = s.simBatches.Snapshot()
+	res.LatencyHist = s.latencyNS.Snapshot()
 	return res
 }

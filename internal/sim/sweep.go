@@ -88,6 +88,8 @@ func averageRuns(cfg Config, opts SweepOptions, mkSrc func(seed int64) traffic.S
 		agg.MeanBatch += res.MeanBatch
 		agg.Throughput += res.Throughput
 		agg.BusyFrac += res.BusyFrac
+		agg.BatchHist.Merge(res.BatchHist)
+		agg.LatencyHist.Merge(res.LatencyHist)
 	}
 	n := float64(opts.Runs)
 	agg.P99Latency /= n

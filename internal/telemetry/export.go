@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Snapshot is one domain's exported state: every tracer's retained
+// events and every histogram, JSON-stable (fixed field order, no map
+// iteration anywhere on the way out).
+type Snapshot struct {
+	Domain  string           `json:"domain"`
+	Now     int64            `json:"now"`
+	Tracers []TracerSnapshot `json:"tracers,omitempty"`
+	Hists   []HistEntry      `json:"hists,omitempty"`
+}
+
+// TracerSnapshot is one shard's decoded flight-recorder contents.
+type TracerSnapshot struct {
+	Label  string   `json:"label"`
+	Shard  int      `json:"shard"`
+	Layers []string `json:"layers,omitempty"`
+	Events []Event  `json:"events"`
+	// Recorded counts events ever recorded; Lost is how many of those
+	// the ring had already overwritten (or tore mid-snapshot) by the
+	// time this snapshot ran.
+	Recorded uint64 `json:"recorded"`
+	Lost     uint64 `json:"lost"`
+}
+
+// LayerName resolves a layer index against the snapshot's registered
+// names, mirroring Tracer.LayerName for offline consumers.
+func (ts TracerSnapshot) LayerName(index int) string {
+	if index >= 0 && index < len(ts.Layers) && ts.Layers[index] != "" {
+		return ts.Layers[index]
+	}
+	return "L" + itoa(index)
+}
+
+// HistEntry is one named histogram in a snapshot.
+type HistEntry struct {
+	Name string       `json:"name"`
+	Hist HistSnapshot `json:"hist"`
+}
+
+// Hist returns the named histogram's snapshot (zero value if absent).
+func (s Snapshot) Hist(name string) (HistSnapshot, bool) {
+	for _, e := range s.Hists {
+		if e.Name == name {
+			return e.Hist, true
+		}
+	}
+	return HistSnapshot{}, false
+}
+
+// TraceEvent is one Chrome trace_event entry ("JSON Array Format", the
+// subset Perfetto and chrome://tracing both accept). TS and Dur are in
+// microseconds, per the format.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace renders the snapshot as Chrome trace_event entries: one
+// thread per tracer (shard), layer enter/exit as 'B'/'E' spans named by
+// the registered layer names, batch/txflush events as 'C' counters, and
+// drop/retransmit/fault events as 'I' instants with decoded args.
+// Metadata events name the process after the domain and each thread
+// after its tracer label.
+func (s Snapshot) ChromeTrace(pid int) []TraceEvent {
+	out := make([]TraceEvent, 0, 2+len(s.Tracers))
+	out = append(out, TraceEvent{
+		Name: "process_name", Ph: "M", PID: pid, TID: 0,
+		Args: map[string]any{"name": s.Domain},
+	})
+	for _, tr := range s.Tracers {
+		tid := tr.Shard + 1 // tid 0 renders oddly in some viewers
+		out = append(out, TraceEvent{
+			Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+			Args: map[string]any{"name": tr.Label},
+		})
+		// Depth of currently-open 'B' spans; unmatched exits at the head
+		// of a wrapped ring are dropped rather than emitted unbalanced.
+		depth := 0
+		for _, ev := range tr.Events {
+			info := ev.Kind.Kind()
+			te := TraceEvent{
+				Name: info.Name,
+				Ph:   string(info.Phase),
+				TS:   float64(ev.TS) / 1e3,
+				PID:  pid,
+				TID:  tid,
+			}
+			switch ev.Kind {
+			case EvLayerEnter:
+				te.Name = tr.LayerName(int(ev.Layer))
+				te.Args = map[string]any{"queued": ev.Arg}
+				depth++
+			case EvLayerExit:
+				if depth == 0 {
+					continue
+				}
+				depth--
+				te.Name = tr.LayerName(int(ev.Layer))
+				te.Args = map[string]any{"processed": ev.Arg}
+			case EvBatchFormed:
+				te.Args = map[string]any{"batch": ev.Arg}
+			case EvTxFlush:
+				te.Args = map[string]any{"frames": ev.Arg}
+			case EvDrop:
+				te.Args = map[string]any{
+					"layer":  tr.LayerName(int(ev.Layer)),
+					"reason": DropReason(ev.Arg).String(),
+				}
+			case EvRetransmit:
+				te.Args = map[string]any{"seq": ev.Arg}
+			case EvFaultVerdict:
+				te.Args = map[string]any{"verdict": VerdictBits(ev.Arg).String()}
+			default:
+				te.Args = map[string]any{"arg": ev.Arg}
+			}
+			out = append(out, te)
+		}
+		// Close any spans the ring's tail left open so the JSON stays
+		// balanced for strict viewers.
+		for ; depth > 0; depth-- {
+			out = append(out, TraceEvent{
+				Name: "truncated", Ph: "E", TS: float64(s.Now) / 1e3, PID: pid, TID: tid,
+			})
+		}
+	}
+	return out
+}
+
+// WriteChromeTrace writes events as a Chrome trace_event JSON array,
+// one event per line for greppability.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]\n")
+	return err
+}
+
+// MarshalJSON-stability helper: Summary condenses a histogram snapshot
+// to the headline stats the bench JSON and expvar exports publish.
+type HistSummary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	Max   int64   `json:"max"`
+}
+
+// Summary computes the headline stats of a snapshot.
+func (s HistSnapshot) Summary() HistSummary {
+	return HistSummary{
+		Count: s.Count,
+		Mean:  s.Mean(),
+		P50:   s.Quantile(0.50),
+		P99:   s.Quantile(0.99),
+		Max:   s.Max,
+	}
+}

@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func buildSnapshot(t *testing.T) Snapshot {
+	t.Helper()
+	now := int64(0)
+	d := NewDomain("host-a", func() int64 { return now })
+	tr := d.Tracer("shard0", 64)
+	tr.RegisterLayer(0, "device")
+	tr.RegisterLayer(1, "ip")
+
+	now = 1000
+	tr.Event(EvLayerEnter, 1, 4)
+	now = 2000
+	tr.Event(EvBatchFormed, 0, 4)
+	now = 3000
+	tr.Event(EvLayerExit, 1, 4)
+	now = 4000
+	tr.Event(EvDrop, 1, int64(DropBadIP))
+	tr.Event(EvRetransmit, 0, 17)
+	tr.Event(EvFaultVerdict, 0, int64(VerdictDrop|VerdictCorrupt))
+	tr.Event(EvTxFlush, 0, 3)
+
+	d.Hist("rx-batch").Observe(4)
+	return d.Snapshot()
+}
+
+func TestSnapshotJSONStable(t *testing.T) {
+	s := buildSnapshot(t)
+	b1, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(buildSnapshot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("snapshot JSON not stable across identical runs:\n%s\n%s", b1, b2)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back.Domain != "host-a" || len(back.Tracers) != 1 || len(back.Tracers[0].Events) != 7 {
+		t.Fatalf("round-trip lost data: %+v", back)
+	}
+	if h, ok := back.Hist("rx-batch"); !ok || h.Count != 1 {
+		t.Fatalf("round-trip lost histogram: %+v ok=%v", h, ok)
+	}
+}
+
+func TestChromeTraceStructure(t *testing.T) {
+	s := buildSnapshot(t)
+	events := s.ChromeTrace(7)
+
+	// Starts with process/thread metadata.
+	if events[0].Ph != "M" || events[0].Name != "process_name" || events[0].Args["name"] != "host-a" {
+		t.Fatalf("missing process metadata: %+v", events[0])
+	}
+	if events[1].Ph != "M" || events[1].Name != "thread_name" || events[1].Args["name"] != "shard0" {
+		t.Fatalf("missing thread metadata: %+v", events[1])
+	}
+
+	byPh := map[string][]TraceEvent{}
+	for _, ev := range events {
+		if ev.PID != 7 {
+			t.Fatalf("event with wrong pid: %+v", ev)
+		}
+		byPh[ev.Ph] = append(byPh[ev.Ph], ev)
+	}
+	// One B/E pair named by the registered layer.
+	if len(byPh["B"]) != 1 || byPh["B"][0].Name != "ip" {
+		t.Fatalf("B events wrong: %+v", byPh["B"])
+	}
+	if len(byPh["E"]) != 1 || byPh["E"][0].Name != "ip" {
+		t.Fatalf("E events wrong: %+v", byPh["E"])
+	}
+	if byPh["B"][0].TS != 1.0 || byPh["E"][0].TS != 3.0 {
+		t.Fatalf("span ts not converted ns->us: B=%v E=%v", byPh["B"][0].TS, byPh["E"][0].TS)
+	}
+	// Counters: batch + txflush.
+	if len(byPh["C"]) != 2 {
+		t.Fatalf("C events = %+v, want batch and txflush", byPh["C"])
+	}
+	// Instants: drop, retransmit, fault — with decoded args.
+	var sawDrop, sawRetx, sawFault bool
+	for _, ev := range byPh["I"] {
+		switch ev.Name {
+		case "drop":
+			sawDrop = true
+			if ev.Args["reason"] != DropBadIP.String() {
+				t.Errorf("drop reason not decoded: %+v", ev.Args)
+			}
+			if ev.Args["layer"] != "ip" {
+				t.Errorf("drop layer not resolved: %+v", ev.Args)
+			}
+		case "retransmit":
+			sawRetx = true
+		case "fault":
+			sawFault = true
+			if ev.Args["verdict"] != "drop+corrupt" {
+				t.Errorf("verdict not decoded: %+v", ev.Args)
+			}
+		}
+	}
+	if !sawDrop || !sawRetx || !sawFault {
+		t.Fatalf("missing instants: drop=%v retx=%v fault=%v", sawDrop, sawRetx, sawFault)
+	}
+}
+
+func TestChromeTraceBalancesTruncatedSpans(t *testing.T) {
+	// An exit whose enter was overwritten must be dropped; an enter
+	// whose exit has not happened yet must be closed.
+	s := Snapshot{
+		Domain: "d",
+		Now:    9000,
+		Tracers: []TracerSnapshot{{
+			Label: "s0",
+			Events: []Event{
+				{Seq: 10, TS: 100, Kind: EvLayerExit, Layer: 2, Arg: 1}, // orphan exit
+				{Seq: 11, TS: 200, Kind: EvLayerEnter, Layer: 3, Arg: 1},
+				{Seq: 12, TS: 300, Kind: EvLayerExit, Layer: 3, Arg: 1},
+				{Seq: 13, TS: 400, Kind: EvLayerEnter, Layer: 4, Arg: 1}, // dangling enter
+			},
+		}},
+	}
+	events := s.ChromeTrace(1)
+	depth := 0
+	for _, ev := range events {
+		switch ev.Ph {
+		case "B":
+			depth++
+		case "E":
+			depth--
+			if depth < 0 {
+				t.Fatalf("unbalanced: E without matching B at %+v", ev)
+			}
+		}
+	}
+	if depth != 0 {
+		t.Fatalf("unbalanced: %d unclosed B spans", depth)
+	}
+}
+
+func TestWriteChromeTraceWellFormed(t *testing.T) {
+	s := buildSnapshot(t)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, s.ChromeTrace(1)); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []TraceEvent
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("emitted trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(parsed) != len(s.ChromeTrace(1)) {
+		t.Fatalf("parsed %d events, want %d", len(parsed), len(s.ChromeTrace(1)))
+	}
+	if !strings.HasPrefix(buf.String(), "[\n") {
+		t.Error("trace should open as a JSON array")
+	}
+}
+
+func TestTracerSnapshotLost(t *testing.T) {
+	d := NewDomain("d", func() int64 { return 0 })
+	tr := d.Tracer("s0", 4)
+	for i := 0; i < 10; i++ {
+		tr.Event(EvBatchFormed, 0, int64(i))
+	}
+	s := d.Snapshot()
+	ts := s.Tracers[0]
+	if ts.Recorded != 10 {
+		t.Fatalf("Recorded = %d, want 10", ts.Recorded)
+	}
+	if ts.Lost != 10-uint64(len(ts.Events)) {
+		t.Fatalf("Lost = %d inconsistent with %d retained", ts.Lost, len(ts.Events))
+	}
+}
+
+func TestKindTableComplete(t *testing.T) {
+	for k := EventKind(0); k < numEventKinds; k++ {
+		info := k.Kind()
+		if info.Name == "" {
+			t.Errorf("kind %d has no registered name", k)
+		}
+		switch info.Phase {
+		case 'B', 'E', 'I', 'C':
+		default:
+			t.Errorf("kind %d has invalid phase %q", k, info.Phase)
+		}
+	}
+	if EventKind(200).Kind().Name != "invalid" {
+		t.Error("out-of-range kind should decode as invalid")
+	}
+}
+
+func TestDropReasonAndVerdictStrings(t *testing.T) {
+	if DropBadTCP.String() != "bad-tcp" || DropReason(99).String() != "invalid" {
+		t.Error("DropReason.String wrong")
+	}
+	if VerdictDeliver.String() != "deliver" {
+		t.Error("VerdictDeliver should render as deliver")
+	}
+	if got := (VerdictDuplicate | VerdictDelay).String(); got != "dup+delay" {
+		t.Errorf("verdict mask = %q, want dup+delay", got)
+	}
+}

@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestHistBucketPlacement(t *testing.T) {
+	var h Hist
+	h.Observe(0)  // bucket 0
+	h.Observe(1)  // bucket 1: [1,2)
+	h.Observe(2)  // bucket 2: [2,4)
+	h.Observe(3)  // bucket 2
+	h.Observe(4)  // bucket 3: [4,8)
+	h.Observe(-5) // clamps to 0 -> bucket 0
+	s := h.Snapshot()
+	want := map[int]int64{0: 2, 1: 1, 2: 2, 3: 1}
+	for b, n := range s.Buckets {
+		if n != want[b] {
+			t.Errorf("bucket %d = %d, want %d", b, n, want[b])
+		}
+	}
+	if s.Count != 6 || s.Max != 4 || s.Sum != 10 {
+		t.Errorf("Count/Max/Sum = %d/%d/%d, want 6/4/10", s.Count, s.Max, s.Sum)
+	}
+}
+
+func TestHistLargeValuesNoOverflow(t *testing.T) {
+	var h Hist
+	const big = int64(1)<<62 + 12345
+	h.Observe(big)
+	s := h.Snapshot()
+	if s.Buckets[63] != 1 {
+		t.Fatalf("1<<62-range value not in bucket 63: %v", s.Buckets)
+	}
+	if got := s.Quantile(1.0); got != float64(big) {
+		t.Errorf("p100 = %v, want %v (Max caps the top bucket)", got, float64(big))
+	}
+}
+
+// TestHistMergeEqualsSingleStream is the mergeability property: split a
+// random sample stream across k shard histograms, merge the snapshots,
+// and the result must be bit-identical to one histogram fed the whole
+// stream.
+func TestHistMergeEqualsSingleStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		k := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(5000)
+		shards := make([]*Hist, k)
+		for i := range shards {
+			shards[i] = &Hist{}
+		}
+		var single Hist
+		for i := 0; i < n; i++ {
+			// Mix magnitudes so many buckets get hit.
+			v := rng.Int63() >> uint(rng.Intn(63))
+			shards[rng.Intn(k)].Observe(v)
+			single.Observe(v)
+		}
+		var merged HistSnapshot
+		for _, sh := range shards {
+			merged.Merge(sh.Snapshot())
+		}
+		want := single.Snapshot()
+		if merged != want {
+			t.Fatalf("trial %d (k=%d n=%d): merged snapshot != single-stream\nmerged: %+v\nsingle: %+v",
+				trial, k, n, merged, want)
+		}
+	}
+}
+
+func TestHistQuantileSanity(t *testing.T) {
+	var h Hist
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	s := h.Snapshot()
+	// Power-of-two buckets bound relative error by 2x in each direction.
+	if p50 := s.Quantile(0.5); p50 < 250 || p50 > 1000 {
+		t.Errorf("p50 = %v, outside [250, 1000] for uniform 1..1000", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 495 || p99 > 1000 {
+		t.Errorf("p99 = %v, outside [495, 1000]", p99)
+	}
+	if p0 := s.Quantile(0); p0 < 0 || p0 > 2 {
+		t.Errorf("p0 = %v, want ~1", p0)
+	}
+	if p100 := s.Quantile(1); p100 != 1000 {
+		t.Errorf("p100 = %v, want exactly Max=1000", p100)
+	}
+	if mean := s.Mean(); mean != 500.5 {
+		t.Errorf("Mean = %v, want exact 500.5", mean)
+	}
+	// Monotone in q.
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: q=%v gives %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistQuantileEdgeCases(t *testing.T) {
+	var empty HistSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty snapshot quantile/mean should be 0")
+	}
+	var h Hist
+	h.Observe(7)
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got < 4 || got > 7 {
+		t.Errorf("single-sample p50 = %v, want within its bucket capped at Max", got)
+	}
+	if s.Quantile(-1) != s.Quantile(0) || s.Quantile(2) != s.Quantile(1) {
+		t.Error("out-of-range q not clamped")
+	}
+}
+
+// TestHistConcurrentObserve checks the aggregate fields stay exact
+// under concurrent writers (every Add is atomic; -race validates the
+// memory model side).
+func TestHistConcurrentObserve(t *testing.T) {
+	var h Hist
+	const goroutines = 8
+	const per = 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(g*per + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Errorf("Count = %d, want %d", s.Count, goroutines*per)
+	}
+	wantMax := int64(goroutines*per - 1)
+	if s.Max != wantMax {
+		t.Errorf("Max = %d, want %d", s.Max, wantMax)
+	}
+	var bucketTotal int64
+	for _, n := range s.Buckets {
+		bucketTotal += n
+	}
+	if bucketTotal != s.Count {
+		t.Errorf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+	wantSum := int64(goroutines*per) * (goroutines*per - 1) / 2
+	if s.Sum != wantSum {
+		t.Errorf("Sum = %d, want %d", s.Sum, wantSum)
+	}
+}
+
+func TestHistReset(t *testing.T) {
+	var h Hist
+	h.Observe(3)
+	h.Reset()
+	if s := h.Snapshot(); s != (HistSnapshot{}) {
+		t.Errorf("Reset left state: %+v", s)
+	}
+}
+
+func TestHistSummary(t *testing.T) {
+	var h Hist
+	for i := 0; i < 100; i++ {
+		h.Observe(8)
+	}
+	sum := h.Snapshot().Summary()
+	if sum.Count != 100 || sum.Max != 8 || sum.Mean != 8 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum.P50 < 8 || sum.P50 > 8 {
+		t.Errorf("p50 = %v, want 8 (all samples identical, Max caps bucket)", sum.P50)
+	}
+}
+
+func BenchmarkHistObserve(b *testing.B) {
+	var h Hist
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i & 0xffff))
+	}
+}

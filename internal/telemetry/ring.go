@@ -1,0 +1,120 @@
+package telemetry
+
+import "sync/atomic"
+
+// DefaultRingCap is the per-shard flight-recorder depth when the owner
+// does not choose one: deep enough to hold several scheduling rounds of
+// history, small enough (32 KB) that every host/shard can afford one.
+const DefaultRingCap = 1024
+
+// slot is one ring entry. Every field is atomic so a live ring can be
+// snapshotted by concurrent readers without locks and without races:
+// seq is a per-slot sequence lock (odd while the writer is mid-record,
+// even — encoding the slot's logical index — once the payload is
+// consistent), and the payload words are plain atomic stores/loads.
+type slot struct {
+	seq  atomic.Uint64
+	ts   atomic.Int64
+	meta atomic.Uint64 // kind | layer<<8
+	arg  atomic.Int64
+}
+
+// Ring is a fixed-size flight-recorder trace: the most recent capacity
+// events, oldest overwritten first. Writers never block and never
+// allocate; multiple writers are safe (slots are claimed by atomic
+// fetch-add), though the intended discipline is one writer per ring —
+// one shard, one tracer. Readers snapshot concurrently and discard
+// slots caught mid-write.
+type Ring struct {
+	slots []slot
+	mask  uint64
+	pos   atomic.Uint64 // next logical index to write
+}
+
+// NewRing builds a ring with capacity rounded up to a power of two
+// (minimum 2; capacity <= 0 selects DefaultRingCap).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCap
+	}
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring{slots: make([]slot, n), mask: uint64(n - 1)}
+}
+
+// Cap reports the ring's (power-of-two) capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Recorded reports how many events have ever been recorded; the ring
+// retains the last Cap() of them.
+func (r *Ring) Recorded() uint64 { return r.pos.Load() }
+
+// Record appends one event. Lock-free and allocation-free: claim a
+// logical index, mark the slot's sequence odd, store the payload, mark
+// it even with the generation encoded — a concurrent reader that saw
+// the odd value (or a different generation) discards the slot.
+//
+//ldlp:hotpath
+func (r *Ring) Record(ts int64, kind EventKind, layer uint8, arg int64) {
+	i := r.pos.Add(1) - 1
+	s := &r.slots[i&r.mask]
+	s.seq.Store(2*i + 1)
+	s.ts.Store(ts)
+	s.meta.Store(uint64(kind) | uint64(layer)<<8)
+	s.arg.Store(arg)
+	s.seq.Store(2 * (i + 1))
+}
+
+// Event is one decoded flight-recorder entry.
+type Event struct {
+	// Seq is the event's logical index: monotonic per ring, so gaps
+	// reveal exactly which events a snapshot lost to overwriting.
+	Seq uint64 `json:"seq"`
+	// TS is the Clock timestamp in nanoseconds.
+	TS int64 `json:"ts"`
+	// Kind indexes the pre-registered event table.
+	Kind EventKind `json:"kind"`
+	// Layer is the recording layer's index (meaningful for layer and
+	// batch events; zero otherwise).
+	Layer uint8 `json:"layer"`
+	// Arg is the kind-specific payload (batch size, DropReason, ...).
+	Arg int64 `json:"arg"`
+}
+
+// Snapshot returns the ring's retained events oldest-first. It is safe
+// against concurrent writers: each slot is validated by its sequence
+// lock before and after the payload loads, so a slot being overwritten
+// mid-read is skipped rather than returned torn. The result slice is
+// freshly allocated (snapshotting is not a hot-path operation).
+func (r *Ring) Snapshot() []Event {
+	pos := r.pos.Load()
+	capacity := uint64(len(r.slots))
+	lo := uint64(0)
+	if pos > capacity {
+		lo = pos - capacity
+	}
+	out := make([]Event, 0, pos-lo)
+	for i := lo; i < pos; i++ {
+		s := &r.slots[i&r.mask]
+		want := 2 * (i + 1)
+		if s.seq.Load() != want {
+			continue // mid-write, or already overwritten by a later lap
+		}
+		ts := s.ts.Load()
+		meta := s.meta.Load()
+		arg := s.arg.Load()
+		if s.seq.Load() != want {
+			continue // overwritten while we read the payload
+		}
+		out = append(out, Event{
+			Seq:   i,
+			TS:    ts,
+			Kind:  EventKind(meta & 0xff),
+			Layer: uint8(meta >> 8),
+			Arg:   arg,
+		})
+	}
+	return out
+}

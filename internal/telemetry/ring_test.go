@@ -1,0 +1,247 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingCapacityRounding(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{-1, DefaultRingCap},
+		{0, DefaultRingCap},
+		{1, 2},
+		{2, 2},
+		{3, 4},
+		{1000, 1024},
+		{1024, 1024},
+		{1025, 2048},
+	}
+	for _, c := range cases {
+		if got := NewRing(c.in).Cap(); got != c.want {
+			t.Errorf("NewRing(%d).Cap() = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRingRecordAndSnapshot(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 5; i++ {
+		r.Record(int64(100+i), EvBatchFormed, 2, int64(i))
+	}
+	evs := r.Snapshot()
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i) {
+			t.Errorf("event %d: Seq = %d, want %d", i, ev.Seq, i)
+		}
+		if ev.TS != int64(100+i) || ev.Kind != EvBatchFormed || ev.Layer != 2 || ev.Arg != int64(i) {
+			t.Errorf("event %d decoded wrong: %+v", i, ev)
+		}
+	}
+}
+
+// TestRingWraparound overfills a small ring several times over and
+// checks the snapshot retains exactly the newest capacity-many events,
+// oldest-first and contiguous.
+func TestRingWraparound(t *testing.T) {
+	const capacity = 16
+	r := NewRing(capacity)
+	total := 3 * capacity
+	for i := 0; i < total; i++ {
+		r.Record(int64(i), EvLayerEnter, uint8(i%7), int64(i*10))
+	}
+	if got := r.Recorded(); got != uint64(total) {
+		t.Fatalf("Recorded() = %d, want %d", got, total)
+	}
+	evs := r.Snapshot()
+	if len(evs) != capacity {
+		t.Fatalf("snapshot retained %d events, want %d", len(evs), capacity)
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(total - capacity + i)
+		if ev.Seq != wantSeq {
+			t.Fatalf("event %d: Seq = %d, want %d (not the newest contiguous tail)", i, ev.Seq, wantSeq)
+		}
+		if ev.TS != int64(wantSeq) || ev.Arg != int64(wantSeq*10) || ev.Layer != uint8(wantSeq%7) {
+			t.Errorf("event %d payload inconsistent with its seq: %+v", i, ev)
+		}
+	}
+}
+
+// TestRingTornReadSafety hammers a small ring from writers while
+// concurrent readers snapshot it. Every event a snapshot returns must
+// be internally consistent (payload derived from one recording, never a
+// mix of two) — the per-slot sequence lock is what guarantees this, and
+// the all-atomic slot fields are what make it clean under -race.
+func TestRingTornReadSafety(t *testing.T) {
+	const (
+		writers   = 4
+		readers   = 4
+		perWriter = 20000
+	)
+	r := NewRing(32) // small: maximizes overwrite pressure
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Encode a checkable invariant: arg == ts*3 and the layer
+				// is ts mod 251, for whatever ts the writer stamps.
+				ts := int64(i)
+				r.Record(ts, EvDrop, uint8(ts%251), ts*3)
+			}
+		}()
+	}
+
+	errc := make(chan string, readers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				evs := r.Snapshot()
+				lastSeq := uint64(0)
+				for i, ev := range evs {
+					if ev.Arg != ev.TS*3 || ev.Layer != uint8(ev.TS%251) || ev.Kind != EvDrop {
+						errc <- "torn event: payload fields from different recordings"
+						return
+					}
+					if i > 0 && ev.Seq <= lastSeq {
+						errc <- "snapshot not in increasing Seq order"
+						return
+					}
+					lastSeq = ev.Seq
+				}
+			}
+		}()
+	}
+
+	// Let writers finish, then stop readers.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	writersDone := make(chan struct{})
+	go func() {
+		// Writers have no stop channel; wait for their counts.
+		for r.Recorded() < uint64(writers*perWriter) {
+		}
+		close(writersDone)
+	}()
+	<-writersDone
+	close(stop)
+	<-done
+	select {
+	case msg := <-errc:
+		t.Fatal(msg)
+	default:
+	}
+
+	// Post-quiescence snapshot is exact: full capacity, all consistent.
+	evs := r.Snapshot()
+	if len(evs) != r.Cap() {
+		t.Fatalf("quiescent snapshot has %d events, want full capacity %d", len(evs), r.Cap())
+	}
+}
+
+func TestRingSnapshotEmptyRing(t *testing.T) {
+	if evs := NewRing(8).Snapshot(); len(evs) != 0 {
+		t.Fatalf("empty ring snapshot returned %d events", len(evs))
+	}
+}
+
+func TestEnableGate(t *testing.T) {
+	d := NewDomain("gate", func() int64 { return 42 })
+	tr := d.Tracer("shard0", 8)
+	h := d.Hist("x")
+
+	prev := Enable(false)
+	defer Enable(prev)
+	tr.Event(EvBatchFormed, 0, 9)
+	h.Observe(9)
+	if got := tr.Ring().Recorded(); got != 0 {
+		t.Errorf("disabled tracer recorded %d events", got)
+	}
+	if got := h.Count(); got != 0 {
+		t.Errorf("disabled hist observed %d samples", got)
+	}
+
+	Enable(true)
+	tr.Event(EvBatchFormed, 0, 9)
+	h.Observe(9)
+	if got := tr.Ring().Recorded(); got != 1 {
+		t.Errorf("enabled tracer recorded %d events, want 1", got)
+	}
+	if got := h.Count(); got != 1 {
+		t.Errorf("enabled hist observed %d samples, want 1", got)
+	}
+	evs := tr.Ring().Snapshot()
+	if len(evs) != 1 || evs[0].TS != 42 {
+		t.Errorf("event not stamped by domain clock: %+v", evs)
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Event(EvDrop, 1, 2) // must not panic
+	tr.EventAt(5, EvDrop, 1, 2)
+	tr.RegisterLayer(0, "x")
+	if tr.Now() != 0 {
+		t.Error("nil tracer Now() != 0")
+	}
+	if got := tr.LayerName(3); got != "L3" {
+		t.Errorf("nil tracer LayerName = %q", got)
+	}
+}
+
+func TestRecordAllocFree(t *testing.T) {
+	r := NewRing(64)
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(1, EvBatchFormed, 0, 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("Ring.Record allocates %v/op, want 0", allocs)
+	}
+	d := NewDomain("a", func() int64 { return 7 })
+	tr := d.Tracer("s0", 64)
+	allocs = testing.AllocsPerRun(1000, func() {
+		tr.Event(EvLayerEnter, 1, 3)
+	})
+	if allocs != 0 {
+		t.Fatalf("Tracer.Event allocates %v/op, want 0", allocs)
+	}
+	h := d.Hist("h")
+	allocs = testing.AllocsPerRun(1000, func() {
+		h.Observe(11)
+	})
+	if allocs != 0 {
+		t.Fatalf("Hist.Observe allocates %v/op, want 0", allocs)
+	}
+}
+
+func BenchmarkRingRecord(b *testing.B) {
+	r := NewRing(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record(int64(i), EvBatchFormed, 3, 17)
+	}
+}
+
+func BenchmarkTracerEventDisabled(b *testing.B) {
+	d := NewDomain("bench", func() int64 { return 0 })
+	tr := d.Tracer("s0", 1024)
+	prev := Enable(false)
+	defer Enable(prev)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Event(EvBatchFormed, 3, 17)
+	}
+}

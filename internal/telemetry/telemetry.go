@@ -1,0 +1,225 @@
+// Package telemetry is the repository's always-on flight recorder: the
+// observability substrate the paper itself argues for. §2 of the paper
+// exists because Blackwell *traced* the receive path — nobody could see
+// where small-message cycles went until the path was instrumented — and
+// this package makes that kind of visibility a permanent, near-free
+// property of the engine instead of a one-off experiment.
+//
+// Three pieces, layered:
+//
+//   - Per-shard ring-buffer event traces (Ring, Tracer): fixed-size
+//     flight recorders holding the most recent scheduling events — batch
+//     formed, layer entered/exited, drop, retransmit, fault verdict —
+//     recorded through a pre-registered event table with zero
+//     allocations and no locks on the record path. Each record is an
+//     atomic fetch-add plus a handful of atomic stores guarded by a
+//     per-slot sequence lock, so concurrent readers can snapshot a live
+//     ring and discard torn slots instead of blocking writers.
+//
+//   - Lock-free power-of-two-bucket histograms (Hist): batch-size and
+//     latency distributions with mergeable snapshots, replacing ad-hoc
+//     max/mean counters. Observe is a few atomic adds; snapshots merge
+//     bucket-wise, so per-shard histograms aggregate exactly.
+//
+//   - A snapshot/export layer (Domain.Snapshot, ChromeTrace): stable
+//     JSON for dashboards and the Chrome trace_event format for
+//     Perfetto/chrome://tracing, which makes the §3 online batching rule
+//     directly visible as per-shard, per-layer spans.
+//
+// Recording is gated by one global flag (Enable/Enabled, default on:
+// "flight recorder" means always-on). The disabled path is a couple of
+// branches — no clock read, no ring write — which is what lets the hot
+// path keep the gate permanently compiled in. Timestamps come from a
+// caller-supplied Clock, never from the wall clock directly: simulated
+// components (sim, netstack under an explicitly pumped Net) thread their
+// simulated time, so traces replay bit-identically per seed, while
+// real-time drivers (cmd/ldlptrace) pass a monotonic wall clock.
+package telemetry
+
+import "sync/atomic"
+
+// enabled is the global record gate. Default on: the whole point of a
+// flight recorder is that it is already running when something goes
+// wrong. Disabling turns every record function into a couple of
+// branches.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// Enable turns recording on or off process-wide and returns the previous
+// state (convenient for benchmarks restoring the prior setting).
+func Enable(on bool) bool { return enabled.Swap(on) }
+
+// Enabled reports whether recording is on.
+//
+//ldlp:hotpath
+func Enabled() bool { return enabled.Load() }
+
+// Clock supplies event timestamps in nanoseconds on whatever timeline
+// its owner runs: simulated time for the explicitly pumped Net and the
+// sim engine, a monotonic wall clock for real-time drivers. Keeping the
+// clock injected (rather than calling time.Now here) is what lets the
+// determinism analyzer enforce that sim-driven traces depend on the
+// seed alone.
+type Clock func() int64
+
+// EventKind identifies one entry of the pre-registered event table.
+// Kinds are registered at compile time — recording refers to them by
+// index, so the record path never touches a string or a map.
+type EventKind uint8
+
+const (
+	// EvNone marks an empty slot; it is never recorded.
+	EvNone EventKind = iota
+	// EvBatchFormed records one LDLP batch forming at the bottom layer;
+	// Arg is the batch size (the §3 online batching rule, observed).
+	EvBatchFormed
+	// EvLayerEnter/EvLayerExit bracket one run-to-completion pass of a
+	// layer's input queue. Layer is the layer index; Arg is the number
+	// of messages the pass will/did process.
+	EvLayerEnter
+	EvLayerExit
+	// EvDrop records a message dying mid-path; Arg is a DropReason.
+	EvDrop
+	// EvRetransmit records a transport retransmission; Arg is the
+	// sequence number (or retry ordinal) being re-sent.
+	EvRetransmit
+	// EvFaultVerdict records a link-fault verdict applied to an arriving
+	// frame; Arg is a VerdictBits mask.
+	EvFaultVerdict
+	// EvTxFlush records a transmit-side LDLP flush; Arg is the number of
+	// frames that left in the batch.
+	EvTxFlush
+
+	numEventKinds
+)
+
+// KindInfo is one row of the event table: the stable export name and the
+// Chrome trace_event phase the kind maps to ('B'/'E' span brackets, 'I'
+// instants, 'C' counters).
+type KindInfo struct {
+	Name  string
+	Phase byte
+}
+
+// kindTable is the pre-registered event table. Indexed by EventKind;
+// recording validates kinds in tests, not on the hot path.
+var kindTable = [numEventKinds]KindInfo{
+	EvNone:         {Name: "none", Phase: 'I'},
+	EvBatchFormed:  {Name: "batch", Phase: 'C'},
+	EvLayerEnter:   {Name: "layer", Phase: 'B'},
+	EvLayerExit:    {Name: "layer", Phase: 'E'},
+	EvDrop:         {Name: "drop", Phase: 'I'},
+	EvRetransmit:   {Name: "retransmit", Phase: 'I'},
+	EvFaultVerdict: {Name: "fault", Phase: 'I'},
+	EvTxFlush:      {Name: "txflush", Phase: 'C'},
+}
+
+// Kind returns the table row for k (the zero row for out-of-range kinds,
+// which only a corrupted snapshot could produce).
+func (k EventKind) Kind() KindInfo {
+	if k >= numEventKinds {
+		return KindInfo{Name: "invalid", Phase: 'I'}
+	}
+	return kindTable[k]
+}
+
+// String returns the kind's registered export name.
+func (k EventKind) String() string { return k.Kind().Name }
+
+// DropReason attributes an EvDrop event. The codes mirror the netstack's
+// per-layer error counters so a trace can be reconciled against them.
+type DropReason int64
+
+const (
+	DropUnknown DropReason = iota
+	DropBadEther
+	DropBadIP
+	DropBadTCP
+	DropBadUDP
+	DropBadICMP
+	DropNoSocket
+	DropListenOverflow
+	DropSockBuffer
+	DropStackFull
+
+	numDropReasons
+)
+
+// dropNames is indexed by DropReason (an array, not a map: the export
+// path iterates nothing nondeterministic).
+var dropNames = [numDropReasons]string{
+	"unknown", "bad-ether", "bad-ip", "bad-tcp", "bad-udp",
+	"bad-icmp", "no-socket", "listen-overflow", "sock-buffer", "stack-full",
+}
+
+// String names the reason for export.
+func (r DropReason) String() string {
+	if r < 0 || r >= numDropReasons {
+		return "invalid"
+	}
+	return dropNames[r]
+}
+
+// VerdictBits encode a fault injector's verdict in an EvFaultVerdict
+// event's Arg: any subset of the mutation bits, or VerdictDrop alone.
+type VerdictBits int64
+
+const (
+	VerdictDrop VerdictBits = 1 << iota
+	VerdictDuplicate
+	VerdictCorrupt
+	VerdictDelay
+	VerdictReorder
+
+	// VerdictDeliver is the explicit "no impairment" verdict, so clean
+	// deliveries are distinguishable from unrecorded frames.
+	VerdictDeliver VerdictBits = 0
+)
+
+// String renders the verdict mask compactly ("drop", "dup+corrupt",
+// "deliver").
+func (v VerdictBits) String() string {
+	if v == VerdictDeliver {
+		return "deliver"
+	}
+	// Fixed probe order keeps the rendering deterministic.
+	var s string
+	appendBit := func(bit VerdictBits, name string) {
+		if v&bit == 0 {
+			return
+		}
+		if s != "" {
+			s += "+"
+		}
+		s += name
+	}
+	appendBit(VerdictDrop, "drop")
+	appendBit(VerdictDuplicate, "dup")
+	appendBit(VerdictCorrupt, "corrupt")
+	appendBit(VerdictDelay, "delay")
+	appendBit(VerdictReorder, "reorder")
+	return s
+}
+
+// Counter is a lock-free monotonic counter whose increment is hot-path
+// safe: the telemetry-native replacement for ad-hoc atomic.Int64 fields
+// scattered through the substrates.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+//
+//ldlp:hotpath
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+//
+//ldlp:hotpath
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Store overwrites the value (test hygiene / pool resets; not a
+// hot-path operation).
+func (c *Counter) Store(v int64) { c.v.Store(v) }

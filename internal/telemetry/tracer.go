@@ -1,0 +1,183 @@
+package telemetry
+
+import "sync"
+
+// Tracer is one shard's flight recorder: a ring plus the shard's
+// identity and registered layer names. Record methods are lock- and
+// allocation-free; registration happens on the setup path.
+type Tracer struct {
+	clock Clock
+	ring  *Ring
+	label string
+	shard int
+
+	// layers maps layer index -> registered name for export. Sized at
+	// registration; the record path never touches it.
+	layers []string
+}
+
+// Label returns the tracer's registration label.
+func (t *Tracer) Label() string { return t.label }
+
+// Shard returns the tracer's shard index within its domain.
+func (t *Tracer) Shard() int { return t.shard }
+
+// Ring exposes the underlying ring (tests, direct snapshotting).
+func (t *Tracer) Ring() *Ring { return t.ring }
+
+// RegisterLayer names a layer index for export. Setup path only.
+func (t *Tracer) RegisterLayer(index int, name string) {
+	if t == nil || index < 0 {
+		return
+	}
+	for len(t.layers) <= index {
+		t.layers = append(t.layers, "")
+	}
+	t.layers[index] = name
+}
+
+// LayerName resolves a registered layer name ("L<i>"-style fallback for
+// unregistered indices).
+func (t *Tracer) LayerName(index int) string {
+	if t != nil && index >= 0 && index < len(t.layers) && t.layers[index] != "" {
+		return t.layers[index]
+	}
+	return "L" + itoa(index)
+}
+
+// Event records one flight-recorder event with the domain clock's
+// current timestamp. Nil-safe and gated on the global enable flag, so
+// call sites stay branch-cheap whether or not telemetry is wired or on.
+//
+//ldlp:hotpath
+func (t *Tracer) Event(kind EventKind, layer int, arg int64) {
+	if t == nil || !enabled.Load() {
+		return
+	}
+	t.ring.Record(t.clock(), kind, uint8(layer), arg)
+}
+
+// EventAt records one event with an explicit timestamp (callers that
+// already read the clock for their own bookkeeping avoid a second
+// read).
+//
+//ldlp:hotpath
+func (t *Tracer) EventAt(ts int64, kind EventKind, layer int, arg int64) {
+	if t == nil || !enabled.Load() {
+		return
+	}
+	t.ring.Record(ts, kind, uint8(layer), arg)
+}
+
+// Now reads the tracer's clock (0 for a nil tracer).
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.clock()
+}
+
+// itoa is a minimal non-negative integer formatter so LayerName does
+// not pull fmt into the package (export path, but keep it lean).
+func itoa(n int) string {
+	if n < 0 {
+		return "?"
+	}
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Domain is one component's telemetry namespace — a host, a sim engine
+// — owning its per-shard tracers and named histograms and snapshotting
+// them together. Registration (Tracer, Hist) is mutex-guarded; the
+// record paths those return are not.
+type Domain struct {
+	name  string
+	clock Clock
+
+	mu      sync.Mutex
+	tracers []*Tracer
+	// hists is insertion-ordered (snapshots and exports must not depend
+	// on map iteration order); index is the lookup side.
+	hists []namedHist
+	index map[string]*Hist
+}
+
+type namedHist struct {
+	name string
+	h    *Hist
+}
+
+// NewDomain creates a telemetry domain whose events are stamped by
+// clock. A nil clock stamps zero (histograms still work, spans
+// degenerate to instants).
+func NewDomain(name string, clock Clock) *Domain {
+	if clock == nil {
+		clock = func() int64 { return 0 }
+	}
+	return &Domain{name: name, clock: clock, index: map[string]*Hist{}}
+}
+
+// Name returns the domain name.
+func (d *Domain) Name() string { return d.name }
+
+// Tracer registers a new per-shard tracer with a ring of ringCap events
+// (<= 0 selects DefaultRingCap). The shard index is the registration
+// order.
+func (d *Domain) Tracer(label string, ringCap int) *Tracer {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t := &Tracer{clock: d.clock, ring: NewRing(ringCap), label: label, shard: len(d.tracers)}
+	d.tracers = append(d.tracers, t)
+	return t
+}
+
+// Hist returns the named histogram, creating it on first use. Names are
+// stable export keys ("rx-batch", "latency-ns").
+func (d *Domain) Hist(name string) *Hist {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if h, ok := d.index[name]; ok {
+		return h
+	}
+	h := &Hist{}
+	d.index[name] = h
+	d.hists = append(d.hists, namedHist{name: name, h: h})
+	return h
+}
+
+// Snapshot captures every tracer's retained events and every
+// histogram's state. Safe concurrently with recording (rings are
+// seqlocked, histograms atomic); exact when writers are quiescent.
+func (d *Domain) Snapshot() Snapshot {
+	d.mu.Lock()
+	tracers := append([]*Tracer(nil), d.tracers...)
+	hists := append([]namedHist(nil), d.hists...)
+	d.mu.Unlock()
+
+	s := Snapshot{Domain: d.name, Now: d.clock()}
+	for _, t := range tracers {
+		ts := TracerSnapshot{
+			Label:    t.label,
+			Shard:    t.shard,
+			Layers:   append([]string(nil), t.layers...),
+			Events:   t.ring.Snapshot(),
+			Recorded: t.ring.Recorded(),
+		}
+		ts.Lost = ts.Recorded - uint64(len(ts.Events))
+		s.Tracers = append(s.Tracers, ts)
+	}
+	for _, nh := range hists {
+		s.Hists = append(s.Hists, HistEntry{Name: nh.name, Hist: nh.h.Snapshot()})
+	}
+	return s
+}
