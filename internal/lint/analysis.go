@@ -1,9 +1,10 @@
-// Package lint is the repo's custom static-analysis suite: five
+// Package lint is the repo's custom static-analysis suite: six
 // analyzers (mbufown, hotpathalloc, atomiccounter, lockorder,
-// determinism) that mechanically enforce the hot-path invariants the
-// soak suites otherwise catch only at runtime — balanced mbuf
-// ownership, the zero-allocation receive path, atomics-only counter
-// access, the declared lock order, and per-seed replay determinism.
+// shardaffinity, determinism) that mechanically enforce the hot-path
+// invariants the soak suites otherwise catch only at runtime — balanced
+// mbuf ownership, the zero-allocation receive path, atomics-only
+// counter access, the declared lock order, per-connection shard
+// ownership of transport state, and per-seed replay determinism.
 //
 // The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
 // Reportf, testdata fixtures with `// want` expectations) but is built

@@ -1,11 +1,13 @@
 package lint
 
-// DefaultAnalyzers returns the five analyzers configured for this
+// DefaultAnalyzers returns the six analyzers configured for this
 // repository's invariants. The qualified names below are load-bearing:
 // hotpathalloc.Required doubles as the regression guard for the
 // BenchmarkHotPathInject zero-alloc path (renaming or untagging one of
-// those functions fails `make lint`), and the lockorder classes declare
-// the repo-wide acquisition order.
+// those functions fails `make lint`), the lockorder classes declare the
+// repo-wide acquisition order, and the shardaffinity hand-off list IS
+// the transport path's declared cross-shard surface — extending it is a
+// design decision, not a lint chore.
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		NewMbufOwn(MbufOwnConfig{
@@ -34,10 +36,14 @@ func DefaultAnalyzers() []*Analyzer {
 				"ldlp/internal/netstack.rxPath.ipInput",
 				"ldlp/internal/netstack.rxPath.tcpInput",
 				"ldlp/internal/netstack.rxPath.sockInput",
+				"ldlp/internal/netstack.rxPath.freeChain",
 				"ldlp/internal/mbuf.PoolShard.get",
 				"ldlp/internal/mbuf.PoolShard.FromBytes",
 				"ldlp/internal/mbuf.Mbuf.Free",
 				"ldlp/internal/mbuf.Mbuf.FreeChain",
+				"ldlp/internal/mbuf.Mbuf.release",
+				"ldlp/internal/mbuf.FreeQueue.Free",
+				"ldlp/internal/mbuf.FreeQueue.FreeChain",
 				"ldlp/internal/mbuf.Mbuf.Prepend",
 				"ldlp/internal/core.Stack.Inject",
 				"ldlp/internal/core.Stack.callThrough",
@@ -69,14 +75,17 @@ func DefaultAnalyzers() []*Analyzer {
 			QuiescentReadTypes: []string{"ldlp/internal/netstack.Counters"},
 		}),
 		NewLockOrder(LockOrderConfig{
+			// The per-host receive lock is gone: transport state is sharded
+			// by flow hash and touched lock-free on its owning shard. What
+			// remains are the narrow fan-in locks (UDP socket queue, TCP
+			// listener backlog, ICMP reply list), each held only for an
+			// append/pop — never across an emit, a send, or another lock.
 			Classes: []LockClass{
-				{Path: "ldlp/internal/netstack.Host.mu", Rank: 10},
+				{Path: "ldlp/internal/netstack.UDPSock.mu", Rank: 14},
+				{Path: "ldlp/internal/netstack.TCPListener.mu", Rank: 16},
+				{Path: "ldlp/internal/netstack.Host.icmpMu", Rank: 18},
 				{Path: "ldlp/internal/netstack.expvarMu", Rank: 20},
 				{Path: "ldlp/internal/mbuf.PoolShard.mu", Rank: 30},
-			},
-			Wrappers: []LockWrapper{
-				{Fn: "ldlp/internal/netstack.Host.lockRx", Class: "ldlp/internal/netstack.Host.mu"},
-				{Fn: "ldlp/internal/netstack.Host.unlockRx", Class: "ldlp/internal/netstack.Host.mu", Release: true},
 			},
 			Sinks: []string{
 				"ldlp/internal/core.ShardedStack.Drain",
@@ -86,6 +95,51 @@ func DefaultAnalyzers() []*Analyzer {
 				"ldlp/internal/netstack.Net.Tick",
 			},
 			EmitTypes: []string{"ldlp/internal/core.Emit"},
+		}),
+		NewShardAffinity(ShardAffinityConfig{
+			// The transport path's ownership proof: PCBs, transport shards
+			// and reassembly state are owned by the shard the RSS flow hash
+			// routes their traffic to.
+			OwnedTypes: []string{
+				"ldlp/internal/netstack.tcpPCB",
+				"ldlp/internal/netstack.transportShard",
+				"ldlp/internal/netstack.fragState",
+			},
+			// Shard context: receive-path methods run on the owning worker;
+			// owned types' own methods run wherever a caller already proved
+			// affinity.
+			ShardContext: []string{
+				"ldlp/internal/netstack.rxPath",
+				"ldlp/internal/netstack.transportShard",
+				"ldlp/internal/netstack.tcpPCB",
+			},
+			// The declared cross-shard surface. Three families: host setup,
+			// the pump's at-quiescence walks (after ShardedStack.Drain, no
+			// worker is running), and the public socket API, whose safety
+			// while workers run rests on the TCPListener lock + the PCB's
+			// atomic estab flag (Accept) or on quiescence (everything else,
+			// as documented on each method).
+			Handoffs: []string{
+				"ldlp/internal/netstack.newHost",
+				"ldlp/internal/netstack.Host.tupleShard",
+				"ldlp/internal/netstack.Host.pumpShard",
+				"ldlp/internal/netstack.Host.flushTx",
+				"ldlp/internal/netstack.Host.tcpTick",
+				"ldlp/internal/netstack.Host.fragTick",
+				"ldlp/internal/netstack.Host.DialTCP",
+				"ldlp/internal/netstack.Host.ShardTransportStats",
+				"ldlp/internal/netstack.Net.Close",
+				"ldlp/internal/netstack.Host.Ping",
+				"ldlp/internal/netstack.UDPSock.SendTo",
+				"ldlp/internal/netstack.TCPListener.Accept",
+				"ldlp/internal/netstack.TCPSock.Established",
+				"ldlp/internal/netstack.TCPSock.State",
+				"ldlp/internal/netstack.TCPSock.Err",
+				"ldlp/internal/netstack.TCPSock.Send",
+				"ldlp/internal/netstack.TCPSock.Recv",
+				"ldlp/internal/netstack.TCPSock.Buffered",
+				"ldlp/internal/netstack.TCPSock.Close",
+			},
 		}),
 		NewDeterminism(DeterminismConfig{
 			Packages: []string{

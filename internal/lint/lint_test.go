@@ -102,6 +102,14 @@ func TestLockOrder(t *testing.T) {
 	})})
 }
 
+func TestShardAffinity(t *testing.T) {
+	runFixture(t, "shardaffinity", []*Analyzer{NewShardAffinity(ShardAffinityConfig{
+		OwnedTypes:   []string{"shardaffinity.pcb", "shardaffinity.shard"},
+		ShardContext: []string{"shardaffinity.rx", "shardaffinity.shard", "shardaffinity.pcb"},
+		Handoffs:     []string{"shardaffinity.tick", "shardaffinity.host.dial"},
+	})})
+}
+
 func TestDeterminism(t *testing.T) {
 	runFixture(t, "determinism", []*Analyzer{NewDeterminism(DeterminismConfig{
 		Packages: []string{"determinism"},
@@ -149,7 +157,7 @@ func TestDefaultAnalyzers(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"mbufown", "hotpathalloc", "atomiccounter", "lockorder", "determinism"} {
+	for _, want := range []string{"mbufown", "hotpathalloc", "atomiccounter", "lockorder", "determinism", "shardaffinity"} {
 		if !names[want] {
 			t.Errorf("DefaultAnalyzers is missing %q", want)
 		}

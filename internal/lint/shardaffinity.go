@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ShardAffinityConfig parameterizes the shardaffinity analyzer.
+type ShardAffinityConfig struct {
+	// OwnedTypes are qualified type names (MatchQName patterns) whose
+	// state is owned by one shard: their fields may be read or written,
+	// and their methods invoked, only from shard context or a declared
+	// hand-off.
+	OwnedTypes []string
+	// ShardContext are qualified type names whose methods constitute
+	// shard context: they run either on the owning shard's worker or on
+	// the pump while that shard is quiescent. An owned type is implicitly
+	// its own context (its methods run wherever a caller already proved
+	// affinity), so it normally appears in both lists.
+	ShardContext []string
+	// Handoffs are qualified function names declared as cross-shard
+	// hand-off points: setup, pump-at-quiescence walks, and the
+	// lock-or-atomic-mediated public API. These may touch owned state
+	// from outside shard context.
+	Handoffs []string
+}
+
+// NewShardAffinity builds the shardaffinity analyzer, the static half of
+// the sharded transport path's ownership proof: every field access on —
+// and method call to — a shard-owned type happens inside a shard-context
+// method or one of the declared hand-off points, so no undeclared code
+// path can reach a PCB, a transport shard, or reassembly state from the
+// wrong goroutine. What stays dynamic is that the declared contexts
+// really do run on the owning shard (the flow hash and the pump's
+// drain barrier); the differential equivalence suite and -race carry
+// that half.
+//
+// Test files are exempt: tests inspect shard state while the network is
+// quiescent, which is exactly the condition the hand-off points rely on.
+func NewShardAffinity(cfg ShardAffinityConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "shardaffinity",
+		Doc:  "shard-owned state is touched only from its shard context or a declared hand-off point",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || pass.IsTestFile(fd.Pos()) {
+					continue
+				}
+				if recv := recvTypeQName(pass, fd); recv != "" && MatchQName(recv, cfg.ShardContext) {
+					continue
+				}
+				if MatchQName(FuncQName(pass.PkgPath, fd), cfg.Handoffs) {
+					continue
+				}
+				checkAffinity(pass, cfg, fd)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// recvTypeQName names a method's receiver type as "pkgpath.Type", or ""
+// for plain functions.
+func recvTypeQName(pass *Pass, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	return namedTypeQName(t)
+}
+
+// namedTypeQName resolves a (possibly pointer) type to "pkgpath.Name",
+// or "" for unnamed types.
+func namedTypeQName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		if alias, isAlias := t.(*types.Alias); isAlias {
+			named, ok = types.Unalias(alias).(*types.Named)
+		}
+		if !ok {
+			return ""
+		}
+	}
+	obj := named.Origin().Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// checkAffinity reports every selection that reaches into an owned type
+// from a function that is neither shard context nor a hand-off.
+// Function literals are checked too: a closure does not change which
+// goroutine the access runs on at best, and at worst defers it to an
+// arbitrary one.
+func checkAffinity(pass *Pass, cfg ShardAffinityConfig, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := info.Selections[sel]
+		if s == nil {
+			return true
+		}
+		recv := namedTypeQName(s.Recv())
+		if recv == "" || !MatchQName(recv, cfg.OwnedTypes) {
+			return true
+		}
+		switch s.Kind() {
+		case types.FieldVal:
+			pass.Reportf(sel.Sel.Pos(),
+				"field %s.%s is shard-owned state touched outside its shard context (declare this function as a hand-off point or move the access onto the shard)",
+				recv, sel.Sel.Name)
+		case types.MethodVal, types.MethodExpr:
+			pass.Reportf(sel.Sel.Pos(),
+				"method %s.%s runs on shard-owned state but is called outside its shard context (declare this function as a hand-off point or move the call onto the shard)",
+				recv, sel.Sel.Name)
+		}
+		return false
+	})
+}

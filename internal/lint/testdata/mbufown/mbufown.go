@@ -10,6 +10,12 @@ func (m *Mbuf) Prepend(n int) *Mbuf { return m }
 func transmit(m *Mbuf)              {}
 func alloc() *Mbuf                  { return &Mbuf{} }
 
+// freeQueue mimics the real pool's batched cross-shard return queue: a
+// hand-off site that consumes ownership exactly like a direct Free.
+type freeQueue struct{ batch []*Mbuf }
+
+func (q *freeQueue) Free(m *Mbuf) { q.batch = append(q.batch, m) }
+
 // The pre-fix pattern: an error path returns before the chain is freed.
 func leakErrorPath(fail bool) {
 	m := alloc()
@@ -69,6 +75,23 @@ func okMethodChain() *Mbuf {
 func okDeferredFree() {
 	m := alloc()
 	defer m.Free()
+}
+
+// Parking a chain in a free queue is a hand-off: the queue owns it until
+// its flush returns it to the allocating shard.
+func okQueuedFree(q *freeQueue) {
+	m := alloc()
+	q.Free(m)
+}
+
+// ...but allocating and then forgetting the chain on a path that skips
+// the queue is still a leak.
+func leakPastQueue(q *freeQueue, skip bool) {
+	m := alloc()
+	if skip {
+		return // want `error path misses Free`
+	}
+	q.Free(m)
 }
 
 // Conditional ownership is beyond the tracker: it must stay silent, not

@@ -1,0 +1,85 @@
+// Fixture for the shardaffinity analyzer. The test declares pcb and
+// shard as owned types, rx/shard/pcb as shard context, and tick and
+// host.dial as hand-off points — the same shape the netstack config
+// gives the real transport path.
+package shardaffinity
+
+type pcb struct {
+	state int
+	owner *shard
+}
+
+func (p *pcb) retransmit() {}
+
+type shard struct {
+	pcbs map[int]*pcb
+	segs int64
+}
+
+type rx struct{ ts *shard }
+
+type host struct{ shards []*shard }
+
+// Shard context: an rx method may touch its shard's state and the PCBs
+// in it freely.
+func (r *rx) input(p *pcb) {
+	r.ts.segs++
+	p.state = 1
+	p.retransmit()
+}
+
+// Owned types are their own context: a pcb method touching itself and
+// its owner shard is the normal case.
+func (p *pcb) send() {
+	p.state = 2
+	p.owner.segs++
+}
+
+// A declared hand-off (the pump at quiescence) may walk every shard.
+func tick(h *host) {
+	for _, s := range h.shards {
+		for _, p := range s.pcbs {
+			p.retransmit()
+		}
+	}
+}
+
+// A declared hand-off method may plant a PCB on its shard.
+func (h *host) dial(s *shard, p *pcb) {
+	p.owner = s
+	s.pcbs[0] = p
+}
+
+// An undeclared plain function reaching into owned state is the bug the
+// analyzer exists for.
+func rogueRead(p *pcb) int {
+	return p.state // want `field shardaffinity.pcb.state is shard-owned state`
+}
+
+func rogueWrite(s *shard) {
+	s.segs++ // want `field shardaffinity.shard.segs is shard-owned state`
+}
+
+func rogueCall(p *pcb) {
+	p.retransmit() // want `method shardaffinity.pcb.retransmit runs on shard-owned state`
+}
+
+// An undeclared method on an unrelated type gets no pass either.
+func (h *host) rogueWalk() {
+	for _, s := range h.shards {
+		_ = s.pcbs // want `field shardaffinity.shard.pcbs is shard-owned state`
+	}
+}
+
+// Closures do not launder affinity: the access still runs off-shard.
+func rogueClosure(p *pcb) func() int {
+	return func() int {
+		return p.state // want `field shardaffinity.pcb.state is shard-owned state`
+	}
+}
+
+// A justified suppression survives, documented in place.
+func declaredElsewhere(p *pcb) int {
+	//lint:ignore shardaffinity fixture: this runs under an external barrier the config cannot see
+	return p.state
+}

@@ -1,0 +1,217 @@
+package mbuf
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFreeQueueBalancesAndReturnsToOwner checks the batched cross-shard
+// free path: buffers parked in a FreeQueue are counted only at flush,
+// land on their owning shard's freelist, and the pool balances exactly
+// afterwards.
+func TestFreeQueueBalancesAndReturnsToOwner(t *testing.T) {
+	pool := NewPool(2)
+	a, b := pool.Shard(0), pool.Shard(1)
+	var q FreeQueue
+
+	var ms []*Mbuf
+	for i := 0; i < 5; i++ {
+		ms = append(ms, a.Get(), b.GetCluster())
+	}
+	for _, m := range ms {
+		q.Free(m)
+	}
+	// Nothing flushed yet: the 10 buffers are parked, so they still count
+	// as in use even though they are marked freed.
+	if st := pool.Stats(); st.InUse != 10 {
+		t.Fatalf("parked buffers should count as in use: %+v", st)
+	}
+	q.Flush()
+	st := pool.Stats()
+	if st.InUse != 0 || st.Clusters != 0 {
+		t.Fatalf("pool unbalanced after flush: %+v", st)
+	}
+	if len(a.small) != 5 || len(b.clust) != 5 {
+		t.Fatalf("freelists a.small=%d b.clust=%d, want 5,5", len(a.small), len(b.clust))
+	}
+}
+
+// TestFreeQueueAutoFlushAndDoubleFree checks that a full batch flushes by
+// itself and that a parked buffer still trips the double-free panic.
+func TestFreeQueueAutoFlushAndDoubleFree(t *testing.T) {
+	pool := NewPool(1)
+	ps := pool.Shard(0)
+	var q FreeQueue
+	for i := 0; i < freeQueueBatch; i++ {
+		q.Free(ps.Get())
+	}
+	// The batch boundary flushed without an explicit Flush call.
+	if st := pool.Stats(); st.InUse != 0 {
+		t.Fatalf("full batch did not auto-flush: %+v", st)
+	}
+
+	m := ps.Get()
+	q.Free(m)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free of a parked mbuf did not panic")
+		}
+		q.Flush()
+	}()
+	m.Free()
+}
+
+// TestFreeQueueChainAndOwnerOverflow frees a chain spanning shards and
+// more distinct owners than the queue has slots; the extras take the
+// direct path and everything still balances.
+func TestFreeQueueChainAndOwnerOverflow(t *testing.T) {
+	pool := NewPool(freeQueueOwners + 4)
+	var q FreeQueue
+	var head, tail *Mbuf
+	for i := 0; i < pool.NumShards(); i++ {
+		m := pool.Shard(i).Get()
+		if head == nil {
+			head, tail = m, m
+		} else {
+			tail.next = m
+			tail = m
+		}
+	}
+	q.FreeChain(head)
+	q.Flush()
+	if st := pool.Stats(); st.InUse != 0 {
+		t.Fatalf("pool unbalanced after chain free: %+v", st)
+	}
+}
+
+// TestShardedPoolBeatsGlobalMutexAt4Workers is the regression guard for
+// the BENCH_2.json scaling anomaly: the sharded pool's per-op atomic
+// counter updates made it slower than the old global-mutex allocator at
+// workers=4. With accounting folded into the freelist critical section
+// the sharded pool must win (or at worst tie within noise) — it does the
+// same two lock RMWs per op but on four private locks instead of one
+// shared one.
+func TestShardedPoolBeatsGlobalMutexAt4Workers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison; skipped in -short runs")
+	}
+	const (
+		workers = 4
+		iters   = 50000
+		tries   = 5
+	)
+	// The property under test is contention behaviour: four workers on
+	// four cores serialize on the legacy mutex while sharded workers never
+	// meet. Timesliced onto fewer cores there is no contention to measure,
+	// only scheduler noise, and the comparison flaps either way.
+	if runtime.NumCPU() < workers {
+		t.Skipf("need %d CPUs for a real contention comparison, have %d", workers, runtime.NumCPU())
+	}
+	prev := runtime.GOMAXPROCS(workers)
+	defer runtime.GOMAXPROCS(prev)
+
+	runWorkers := func(loop func(w, n int)) time.Duration {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				loop(w, iters)
+			}(w)
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+
+	legacy := &legacyPool{}
+	legacyRun := func() time.Duration {
+		return runWorkers(func(w, n int) {
+			var batch [benchBatch]*Mbuf
+			for i := 0; i < n; i += benchBatch {
+				for j := range batch {
+					batch[j] = legacy.get()
+				}
+				for j := range batch {
+					legacy.put(batch[j])
+				}
+			}
+		})
+	}
+	sharded := NewPool(workers)
+	shardedRun := func() time.Duration {
+		return runWorkers(func(w, n int) {
+			ps := sharded.Shard(w)
+			var batch [benchBatch]*Mbuf
+			for i := 0; i < n; i += benchBatch {
+				for j := range batch {
+					batch[j] = ps.Get()
+				}
+				for j := range batch {
+					batch[j].Free()
+				}
+			}
+		})
+	}
+
+	// Interleave the two configurations and compare best-of-N: the min is
+	// robust against scheduler noise on loaded CI machines, and a single
+	// win is enough to prove the sharded fast path is not paying the old
+	// per-op atomic tax.
+	best := func(run func() time.Duration) time.Duration {
+		m := run()
+		for i := 1; i < tries; i++ {
+			if d := run(); d < m {
+				m = d
+			}
+		}
+		return m
+	}
+	legacyBest := best(legacyRun)
+	shardedBest := best(shardedRun)
+	t.Logf("workers=%d: global-mutex %v, sharded %v", workers, legacyBest, shardedBest)
+	// Allow a hair of noise headroom, but a return to the old regression
+	// (sharded ~29%% slower) fails loudly.
+	if float64(shardedBest) > float64(legacyBest)*1.10 {
+		t.Fatalf("sharded pool regressed vs global mutex at workers=%d: sharded %v > global %v",
+			workers, shardedBest, legacyBest)
+	}
+	if st := sharded.Stats(); st.InUse != 0 {
+		t.Fatalf("sharded pool leaked: %+v", st)
+	}
+}
+
+// BenchmarkPoolCrossShardFree measures retiring frames another shard
+// allocated — the receive path's pattern — via direct Free (bouncing the
+// owner's lock per buffer) versus a FreeQueue (one lock per batch).
+func BenchmarkPoolCrossShardFree(b *testing.B) {
+	for _, mode := range []string{"direct", "queued"} {
+		b.Run(mode, func(b *testing.B) {
+			pool := NewPool(2)
+			owner := pool.Shard(0)
+			var q FreeQueue
+			var batch [benchBatch]*Mbuf
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += benchBatch {
+				for j := range batch {
+					batch[j] = owner.Get()
+				}
+				for j := range batch {
+					if mode == "direct" {
+						batch[j].Free()
+					} else {
+						q.Free(batch[j])
+					}
+				}
+			}
+			b.StopTimer()
+			q.Flush()
+			if st := pool.Stats(); st.InUse != 0 {
+				b.Fatalf("pool leaked: %+v", st)
+			}
+		})
+	}
+}

@@ -14,12 +14,20 @@
 // a TryLock'd per-shard freelist that never blocks — on the rare
 // contention miss, or when a shard's freelist over/underflows, the
 // allocation falls through to a pool-wide sync.Pool, which is per-P and
-// scales with cores. Counters are per-shard atomics aggregated on read.
+// scales with cores. Accounting piggybacks on the freelist critical
+// section (plain adds under the already-held shard lock); only the
+// TryLock-miss slow paths pay an atomic, so the fast path costs the same
+// two lock RMWs the old global-mutex allocator paid — without sharing
+// them.
 //
 // Every mbuf remembers its owning shard: Free returns it there no matter
 // which goroutine frees it, so a chain handed across the stack (or across
 // hosts, LDLP's §3.2 ownership transfer) drains back to the pool that
-// allocated it and each shard's freelist stays hot.
+// allocated it and each shard's freelist stays hot. When the freeing
+// goroutine is not the owner — a receive shard retiring frames another
+// host's transmit shard allocated — a FreeQueue batches the returns so
+// the owner's lock and counters are touched once per batch instead of
+// once per buffer (see freequeue.go).
 //
 // The pool is safe for concurrent use; individual mbuf chains are not (a
 // chain belongs to one layer at a time — exactly the hand-off discipline
@@ -69,26 +77,36 @@ type Stats struct {
 // contention-free fast path by giving each worker its own shard.
 type PoolShard struct {
 	pool *Pool
-	// mu guards the freelists. It is only ever TryLock'd on the alloc/free
-	// fast path (never blocks); Reset takes it for real.
+	// mu guards the freelists and the fast-path counters. It is only ever
+	// TryLock'd on the alloc/free fast path (never blocks); Stats and
+	// Reset take it for real.
 	mu    sync.Mutex
 	small []*Mbuf
 	clust []*Mbuf
 
-	// InUse is derived as allocs-frees rather than kept as a third
-	// counter: one fewer atomic on every Get and Free. These are
-	// telemetry counters (lock-free, hot-path tagged) rather than bare
-	// atomics so the allocator's accounting rides the same lint-enforced
-	// substrate as the rest of the flight recorder.
-	allocs       telemetry.Counter
-	frees        telemetry.Counter
-	clusters     telemetry.Counter
+	// Fast-path accounting, guarded by mu. Counting inside the freelist
+	// critical section costs plain adds on a line the lock already made
+	// exclusive — the per-op atomic RMWs these replace were what pushed
+	// the sharded allocator behind the old global-mutex pool on
+	// BenchmarkPoolAllocFree at workers=4. InUse is derived as
+	// allocs-frees rather than kept as a third counter.
+	fastAllocs   int64
+	fastFrees    int64
+	fastClusters int64
+
+	// Slow-path accounting, taken only when TryLock misses (so mu cannot
+	// protect it). These are telemetry counters (lock-free, hot-path
+	// tagged) rather than bare atomics so this accounting rides the same
+	// lint-enforced substrate as the rest of the flight recorder.
+	slowAllocs   telemetry.Counter
+	slowFrees    telemetry.Counter
+	slowClusters telemetry.Counter
 	heapAllocs   telemetry.Counter
 	overflowGets telemetry.Counter
 	overflowPuts telemetry.Counter
 
-	// Keep shards off each other's cache lines: the counters above are
-	// the write-hot fields.
+	// Keep shards off each other's cache lines: the freelists and
+	// counters above are the write-hot fields.
 	_ [64]byte
 }
 
@@ -130,13 +148,22 @@ func (p *Pool) Shard(i int) *PoolShard {
 	return p.shards[i%len(p.shards)]
 }
 
-// Stats returns the pool's aggregated allocation counters.
+// Stats returns the pool's aggregated allocation counters. It takes each
+// shard's lock briefly to read the fast-path counters, so concurrent
+// allocators momentarily divert to their slow path; totals stay exact
+// because both paths feed the same sums. Buffers parked in a FreeQueue
+// count as in use until the queue is flushed.
 func (p *Pool) Stats() Stats {
 	var s Stats
 	for _, ps := range p.shards {
-		s.Allocs += ps.allocs.Load()
-		s.Frees += ps.frees.Load()
-		s.Clusters += ps.clusters.Load()
+		ps.mu.Lock()
+		s.Allocs += ps.fastAllocs
+		s.Frees += ps.fastFrees
+		s.Clusters += ps.fastClusters
+		ps.mu.Unlock()
+		s.Allocs += ps.slowAllocs.Load()
+		s.Frees += ps.slowFrees.Load()
+		s.Clusters += ps.slowClusters.Load()
 		s.HeapAllocs += ps.heapAllocs.Load()
 		s.OverflowGets += ps.overflowGets.Load()
 		s.OverflowPuts += ps.overflowPuts.Load()
@@ -152,10 +179,13 @@ func (p *Pool) Reset() {
 		ps.mu.Lock()
 		ps.small = nil
 		ps.clust = nil
+		ps.fastAllocs = 0
+		ps.fastFrees = 0
+		ps.fastClusters = 0
 		ps.mu.Unlock()
-		ps.allocs.Store(0)
-		ps.frees.Store(0)
-		ps.clusters.Store(0)
+		ps.slowAllocs.Store(0)
+		ps.slowFrees.Store(0)
+		ps.slowClusters.Store(0)
 		ps.heapAllocs.Store(0)
 		ps.overflowGets.Store(0)
 		ps.overflowPuts.Store(0)
@@ -216,18 +246,30 @@ func (ps *PoolShard) GetCluster() *Mbuf { return ps.get(true) }
 //ldlp:hotpath
 func (ps *PoolShard) get(cluster bool) *Mbuf {
 	var m *Mbuf
+	counted := false
 	// Fast path: this shard's freelist, if the lock is free right now.
+	// The alloc is counted inside the critical section (plain adds under
+	// the already-held lock) so the fast path pays no extra atomics.
 	if ps.mu.TryLock() {
 		if cluster {
 			if n := len(ps.clust); n > 0 {
 				m, ps.clust = ps.clust[n-1], ps.clust[:n-1]
 			}
+			ps.fastClusters++
 		} else {
 			if n := len(ps.small); n > 0 {
 				m, ps.small = ps.small[n-1], ps.small[:n-1]
 			}
 		}
+		ps.fastAllocs++
+		counted = true
 		ps.mu.Unlock()
+	}
+	if !counted {
+		ps.slowAllocs.Inc()
+		if cluster {
+			ps.slowClusters.Add(1)
+		}
 	}
 	if m == nil {
 		// Overflow tier (per-P, scalable), then the heap.
@@ -240,10 +282,6 @@ func (ps *PoolShard) get(cluster bool) *Mbuf {
 		if m != nil {
 			ps.overflowGets.Inc()
 		}
-	}
-	ps.allocs.Inc()
-	if cluster {
-		ps.clusters.Inc()
 	}
 	if m == nil {
 		ps.heapAllocs.Inc()
@@ -283,13 +321,23 @@ func (m *Mbuf) Free() *Mbuf {
 	next := m.next
 	m.freed = true
 	m.next = nil
+	m.release()
+	return next
+}
+
+// release pushes an already-marked-freed mbuf back to its owning shard
+// and records the free on whichever counter set matches the path taken
+// (fast counters under the shard lock, slow atomics on a TryLock miss).
+//
+//ldlp:hotpath
+func (m *Mbuf) release() {
 	ps := m.owner
-	ps.frees.Inc()
-	if m.cluster {
-		ps.clusters.Add(-1)
-	}
-	pushed := false
 	if ps.mu.TryLock() {
+		ps.fastFrees++
+		if m.cluster {
+			ps.fastClusters--
+		}
+		pushed := false
 		if m.cluster {
 			if len(ps.clust) < shardFreeCap {
 				//lint:ignore hotpathalloc freelist is capped at shardFreeCap, so growth is bounded and amortized
@@ -304,17 +352,22 @@ func (m *Mbuf) Free() *Mbuf {
 			}
 		}
 		ps.mu.Unlock()
-	}
-	if !pushed {
-		ov := ps.pool.overflow.Load()
-		ps.overflowPuts.Inc()
+		if pushed {
+			return
+		}
+	} else {
+		ps.slowFrees.Inc()
 		if m.cluster {
-			ov.clust.Put(m)
-		} else {
-			ov.small.Put(m)
+			ps.slowClusters.Add(-1)
 		}
 	}
-	return next
+	ov := ps.pool.overflow.Load()
+	ps.overflowPuts.Inc()
+	if m.cluster {
+		ov.clust.Put(m)
+	} else {
+		ov.small.Put(m)
+	}
 }
 
 // FreeChain releases every mbuf in the chain.

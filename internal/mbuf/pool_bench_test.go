@@ -87,10 +87,11 @@ const benchBatch = 8
 // The separation appears with real cores: 4 workers on 4+ CPUs serialize
 // completely on the legacy mutex (its ns/op grows with the worker count)
 // while the sharded pool's per-worker shards never meet, so its ns/op
-// stays flat. On a single-CPU host the workers timeshare and the two are
-// within a handful of ns/op of each other — the sharded fast path pays
-// one extra atomic (the owner-shard counters) and wins nothing back,
-// because no two workers ever truly contend.
+// stays flat. Both allocators now count inside their lock's critical
+// section, so per op each pays exactly one lock/unlock pair — the sharded
+// pool's earlier per-op atomic counters made it trail the global mutex
+// here (the BENCH_2.json regression); TestShardedPoolBeatsGlobalMutexAt4Workers
+// guards against that coming back.
 func BenchmarkPoolAllocFree(b *testing.B) {
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("global-mutex/workers=%d", workers), func(b *testing.B) {

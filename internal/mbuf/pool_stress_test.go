@@ -81,10 +81,12 @@ func TestCrossShardFreeReturnsToOwner(t *testing.T) {
 	}
 	// Free from "b's side": ownership, not the caller, decides the shard.
 	m.Free()
-	if got := a.allocs.Load() - a.frees.Load(); got != 0 {
+	shardAllocs := func(ps *PoolShard) int64 { return ps.fastAllocs + ps.slowAllocs.Load() }
+	shardFrees := func(ps *PoolShard) int64 { return ps.fastFrees + ps.slowFrees.Load() }
+	if got := shardAllocs(a) - shardFrees(a); got != 0 {
 		t.Fatalf("shard 0 unbalanced: %d in use", got)
 	}
-	if got := b.allocs.Load() + b.frees.Load(); got != 0 {
+	if got := shardAllocs(b) + shardFrees(b); got != 0 {
 		t.Fatalf("shard 1 saw traffic it never had: allocs+frees=%d", got)
 	}
 	// The freed buffer must be on a's freelist, not b's.

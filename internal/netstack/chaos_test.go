@@ -11,6 +11,7 @@ package netstack
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -208,7 +209,7 @@ func runChaosScenario(t *testing.T, cfg faults.Config, combo chaosCombo) {
 	if h := n.HeldFrames(); h != 0 {
 		t.Errorf("%d frames still held by delay impairment after flush", h)
 	}
-	if fr := len(b.frags); fr != 0 {
+	if fr := b.numFrags(); fr != 0 {
 		t.Errorf("%d partial datagrams survived the reassembly timeout", fr)
 	}
 
@@ -302,7 +303,7 @@ func TestChaosPartitionTimesOutTCP(t *testing.T) {
 	if err := cli.Send([]byte("more")); err != ErrTimeout {
 		t.Errorf("Send after timeout = %v, want ErrTimeout", err)
 	}
-	if got := len(a.pcbs); got != 0 {
+	if got := a.numPCBs(); got != 0 {
 		t.Errorf("timed-out connection still pins %d PCBs", got)
 	}
 	if got := a.Counters.TimeoutDrops; got != 1 {
@@ -326,14 +327,14 @@ func TestChaosFragStateCapAndEviction(t *testing.T) {
 		b.deliver(chaosFrame(ipA, ipB, layers.ProtoUDP, uint16(i+1), 0x1, 0,
 			bytes.Repeat([]byte{byte(i)}, 64)))
 	}
-	if got := len(b.frags); got != maxFragStates {
+	if got := b.numFrags(); got != maxFragStates {
 		t.Errorf("fragment state grew to %d entries, want cap %d", got, maxFragStates)
 	}
 	if got := b.Counters.ReassemblyTimeouts; got != flood-maxFragStates {
 		t.Errorf("evictions counted as %d reassembly timeouts, want %d", got, flood-maxFragStates)
 	}
 	n.Tick(fragTimeout + 1)
-	if got := len(b.frags); got != 0 {
+	if got := b.numFrags(); got != 0 {
 		t.Errorf("%d partial datagrams survived the timeout", got)
 	}
 	if got := b.Counters.ReassemblyTimeouts; got != flood {
@@ -364,7 +365,7 @@ func TestChaosMalformedFragmentDropsAlone(t *testing.T) {
 
 	const id = 7
 	b.deliver(chaosFrame(ipA, ipB, layers.ProtoUDP, id, 0x1, 0, whole[:576]))
-	if len(b.frags) != 1 {
+	if b.numFrags() != 1 {
 		t.Fatal("first fragment did not open reassembly state")
 	}
 	// Spoofed fragment with the same key, claiming bytes past 64 KB.
@@ -372,7 +373,7 @@ func TestChaosMalformedFragmentDropsAlone(t *testing.T) {
 	if got := b.Counters.BadIP; got != 1 {
 		t.Errorf("malformed fragment not counted: BadIP = %d, want 1", got)
 	}
-	if len(b.frags) != 1 {
+	if b.numFrags() != 1 {
 		t.Fatal("malformed fragment tore down legitimate reassembly state")
 	}
 	b.deliver(chaosFrame(ipA, ipB, layers.ProtoUDP, id, 0, 576, whole[576:]))
@@ -567,8 +568,8 @@ func TestChaosChecksumCorruptionFragments(t *testing.T) {
 	if c.FramesIn != s.Frames {
 		t.Errorf("corruption dropped frames at the link: FramesIn=%d, injector saw %d", c.FramesIn, s.Frames)
 	}
-	if len(b.frags) != 0 {
-		t.Errorf("%d partial datagrams survived expiry", len(b.frags))
+	if b.numFrags() != 0 {
+		t.Errorf("%d partial datagrams survived expiry", b.numFrags())
 	}
 	if missing := N - received; missing != c.ReassemblyTimeouts+c.BadUDP {
 		t.Errorf("datagram ledger broken: %d missing, %d timeouts + %d bad UDP",
@@ -643,6 +644,256 @@ func TestChaosDropCountersSharded(t *testing.T) {
 	}
 	if got, want := us.DroppedCount(), int64(clients*3-us.QueueLimit); got != want {
 		t.Errorf("socket drops = %d, want %d (queue %d, %d datagrams)", got, want, us.QueueLimit, clients*3)
+	}
+	checkNoLeaks(t)
+}
+
+// TestChaosConcurrentAcceptHandoff exercises the accept hand-off while
+// shard workers are actually running: an accept goroutine spins on the
+// listener (the one declared worker-concurrent socket operation) while
+// the pump delivers staggered handshakes into a 4-shard server. The
+// race detector is the assertion here — it proves the backlog lock plus
+// the PCB's atomic estab flag are the only state Accept shares with the
+// shards — and the data exchange afterwards proves every handed-off
+// socket is live.
+func TestChaosConcurrentAcceptHandoff(t *testing.T) {
+	mbuf.ResetPool()
+	n := NewNet()
+	t.Cleanup(n.Close)
+	a := n.AddHost("client", ipA, DefaultOptions(core.LDLP))
+	b := n.AddHost("server", ipB, ShardedOptions(4))
+	l, err := b.ListenTCP(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const conns = 12
+	accepted := make(chan *TCPSock, conns)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		got := 0
+		for got < conns {
+			if s := l.Accept(); s != nil {
+				accepted <- s
+				got++
+				continue
+			}
+			_ = l.DroppedCount()
+			select {
+			case <-done:
+				return
+			default:
+				runtime.Gosched() // share the CPU with the pump on small boxes
+			}
+		}
+	}()
+
+	clis := make([]*TCPSock, conns)
+	for c := range clis {
+		clis[c] = a.DialTCP(ipB, 80)
+		n.Tick(0.01) // stagger: hand-offs happen while later SYNs are in flight
+	}
+	for i := 0; i < 400 && len(accepted) < conns; i++ {
+		n.Tick(0.05)
+	}
+	// Everything is established by now; what may be missing is CPU time
+	// for the accept goroutine (GOMAXPROCS=1 starves a spinning peer).
+	for i := 0; i < 100_000 && len(accepted) < conns; i++ {
+		runtime.Gosched()
+	}
+	close(done)
+	wg.Wait()
+	if len(accepted) != conns {
+		t.Fatalf("accepted %d/%d connections", len(accepted), conns)
+	}
+
+	// Quiescent now: every handed-off socket must carry data both ways.
+	srvs := make([]*TCPSock, 0, conns)
+	for len(accepted) > 0 {
+		srvs = append(srvs, <-accepted)
+	}
+	for i, s := range srvs {
+		if err := s.Send([]byte{byte(i)}); err != nil {
+			t.Fatalf("server socket %d: %v", i, err)
+		}
+	}
+	n.RunUntilIdle()
+	total := 0
+	var buf [4]byte
+	for _, cli := range clis {
+		total += cli.Recv(buf[:])
+	}
+	if total != conns {
+		t.Errorf("clients received %d bytes from handed-off sockets, want %d", total, conns)
+	}
+	checkNoLeaks(t)
+}
+
+// TestChaosCloseDuringRetransmitAcrossShards wedges in-flight data with
+// a full partition, closes the client sockets mid-retransmission, and
+// lets the retry budget run out: every connection must be reaped by the
+// timeout (no PCB survives on any shard), with the loss accounted.
+func TestChaosCloseDuringRetransmitAcrossShards(t *testing.T) {
+	mbuf.ResetPool()
+	n := NewNet()
+	t.Cleanup(n.Close)
+	a := n.AddHost("client", ipA, ShardedOptions(2))
+	b := n.AddHost("server", ipB, ShardedOptions(4))
+	l, err := b.ListenTCP(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const conns = 6
+	clis := make([]*TCPSock, conns)
+	for c := range clis {
+		clis[c] = a.DialTCP(ipB, 80)
+	}
+	srvs := make([]*TCPSock, 0, conns)
+	for i := 0; i < 200 && len(srvs) < conns; i++ {
+		n.Tick(0.05)
+		for s := l.Accept(); s != nil; s = l.Accept() {
+			srvs = append(srvs, s)
+		}
+	}
+	if len(srvs) != conns {
+		t.Fatalf("accepted %d/%d", len(srvs), conns)
+	}
+
+	// Partition everything, then send: the data can only retransmit.
+	n.Loss = func(layers.IPAddr, []byte) bool { return true }
+	for c, cli := range clis {
+		if err := cli.Send([]byte{byte(c), 1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		n.Tick(0.1) // a few RTOs fire; retransmission is in progress
+	}
+	if a.Counters.Retransmits == 0 {
+		t.Fatal("partition produced no retransmits; the test lost its premise")
+	}
+	for _, cli := range clis {
+		cli.Close() // close with unacked data and the wire dead
+	}
+	for i := 0; i < 700 && a.numPCBs() > 0; i++ {
+		n.Tick(0.25)
+	}
+	if got := a.numPCBs(); got != 0 {
+		t.Errorf("%d client PCBs survived close + retry exhaustion", got)
+	}
+	if got := a.Counters.TimeoutDrops; got != conns {
+		t.Errorf("TimeoutDrops = %d, want %d", got, conns)
+	}
+	for _, cli := range clis {
+		if cli.Err() == nil {
+			t.Error("closed-and-timed-out connection reports no error")
+		}
+	}
+	n.Loss = nil
+	checkNoLeaks(t)
+}
+
+// TestChaosListenerTeardownAcrossShards closes a listener while an
+// accept goroutine is spinning and earlier handshakes are still being
+// handed off shard to shard. Connections that made the backlog must
+// survive and carry data; SYNs arriving after the teardown must be
+// counted NoSocket and the orphaned dials must time out rather than
+// wedge.
+func TestChaosListenerTeardownAcrossShards(t *testing.T) {
+	mbuf.ResetPool()
+	n := NewNet()
+	t.Cleanup(n.Close)
+	a := n.AddHost("client", ipA, DefaultOptions(core.LDLP))
+	b := n.AddHost("server", ipB, ShardedOptions(4))
+	l, err := b.ListenTCP(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const early, late = 4, 3
+	accepted := make(chan *TCPSock, early+late)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			if s := l.Accept(); s != nil {
+				accepted <- s
+			}
+			select {
+			case <-done:
+				return
+			default:
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	earlyClis := make([]*TCPSock, early)
+	for c := range earlyClis {
+		earlyClis[c] = a.DialTCP(ipB, 80)
+	}
+	for i := 0; i < 200 && len(accepted) < early; i++ {
+		n.Tick(0.05)
+	}
+	// Teardown between ticks (the listener map is pump-owned state); the
+	// accept goroutine keeps hammering the dead listener's backlog lock.
+	l.Close()
+	lateClis := make([]*TCPSock, late)
+	for c := range lateClis {
+		lateClis[c] = a.DialTCP(ipB, 80)
+	}
+	deadline := 0
+	for ; deadline < 800; deadline++ {
+		n.Tick(0.25)
+		alive := false
+		for _, cli := range lateClis {
+			if cli.Err() == nil {
+				alive = true
+			}
+		}
+		if !alive {
+			break
+		}
+	}
+	for i := 0; i < 100_000 && len(accepted) < early; i++ {
+		runtime.Gosched()
+	}
+	close(done)
+	wg.Wait()
+
+	survivors := len(accepted)
+	if survivors != early {
+		t.Fatalf("accepted %d connections, want the %d pre-teardown ones", survivors, early)
+	}
+	if b.Counters.NoSocket == 0 {
+		t.Error("post-teardown SYNs were not counted NoSocket")
+	}
+	for c, cli := range lateClis {
+		if cli.Err() == nil {
+			t.Errorf("late dial %d never timed out (state %s)", c, cli.State())
+		}
+	}
+	// The survivors still work.
+	for i := 0; i < survivors; i++ {
+		s := <-accepted
+		if err := s.Send([]byte("ok")); err != nil {
+			t.Errorf("pre-teardown socket broken: %v", err)
+		}
+	}
+	n.RunUntilIdle()
+	got := 0
+	buf := make([]byte, 8)
+	for _, cli := range earlyClis {
+		got += cli.Recv(buf)
+	}
+	if got != early*2 {
+		t.Errorf("pre-teardown connections delivered %d bytes, want %d", got, early*2)
 	}
 	checkNoLeaks(t)
 }

@@ -19,7 +19,7 @@ func TestCloseFreesQueuedTx(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.SendTo(ipB, 9, []byte("never pumped"))
-	if len(a.txq) == 0 {
+	if a.queuedTx() == 0 {
 		t.Fatal("expected SendTo under LDLP to queue a tx frame")
 	}
 	n.Close()

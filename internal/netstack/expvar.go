@@ -61,6 +61,7 @@ func (h *Host) expvars() map[string]any {
 		"tcpFastPath": h.Counters.TCPFastPath,
 		"tcpSlowPath": h.Counters.TCPSlowPath,
 		"stackStats":  h.StackStats(),
+		"shards":      h.ShardTransportStats(),
 		"telemetry":   hists,
 	}
 }

@@ -143,14 +143,14 @@ func TestReassemblyTimeoutDropsPartials(t *testing.T) {
 	if _, ok := sb.Recv(); ok {
 		t.Fatal("incomplete datagram delivered")
 	}
-	if len(b.frags) != 1 {
-		t.Fatalf("partial datagrams held = %d, want 1", len(b.frags))
+	if b.numFrags() != 1 {
+		t.Fatalf("partial datagrams held = %d, want 1", b.numFrags())
 	}
 	n.Tick(31) // beyond the 30s reassembly timeout
 	if b.Counters.ReassemblyTimeouts != 1 {
 		t.Errorf("timeouts = %d, want 1", b.Counters.ReassemblyTimeouts)
 	}
-	if len(b.frags) != 0 {
+	if b.numFrags() != 0 {
 		t.Error("expired partial datagram still held")
 	}
 	n.Loss = nil

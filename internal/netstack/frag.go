@@ -46,18 +46,25 @@ const (
 )
 
 // fragmentOutput splits an IP payload into MTU-sized fragments and
-// transmits each. Called by ipOutput when the datagram exceeds the MTU.
-func (h *Host) fragmentOutput(m *mbuf.Mbuf, proto byte, dst layers.IPAddr, mtu int) {
+// transmits each. Called by ipOutput when the datagram exceeds the MTU,
+// so it inherits ipOutput's shard: fragments are built from the calling
+// shard's pool and leave through its transmit queue.
+func (ts *transportShard) fragmentOutput(m *mbuf.Mbuf, proto byte, dst layers.IPAddr, mtu int) {
+	h := ts.h
+	// Contiguous returns a view into the chain's own buffer when it is a
+	// single mbuf, so the chain must stay alive until the last fragment
+	// has been copied out — freeing first hands the cluster back to the
+	// pool, where the first FromBytes below immediately reuses (and
+	// clobbers) it.
 	payload := m.Contiguous()
-	m.FreeChain()
+	defer m.FreeChain()
 	// Per-fragment payload: MTU minus the IP header, rounded down to a
 	// multiple of 8 (fragment offsets are in 8-byte units).
 	per := (mtu - layers.IPv4MinLen) / 8 * 8
 	if per <= 0 {
 		panic("netstack: MTU too small to fragment")
 	}
-	h.ipID++
-	id := h.ipID
+	id := h.nextIPID()
 	for off := 0; off < len(payload); off += per {
 		end := off + per
 		mf := byte(0x1)
@@ -65,7 +72,7 @@ func (h *Host) fragmentOutput(m *mbuf.Mbuf, proto byte, dst layers.IPAddr, mtu i
 			end = len(payload)
 			mf = 0
 		}
-		frag := h.txPool.FromBytes(payload[off:end])
+		frag := ts.pool.FromBytes(payload[off:end])
 		ip := layers.IPv4{
 			TotalLen: layers.IPv4MinLen + (end - off),
 			ID:       id,
@@ -83,15 +90,18 @@ func (h *Host) fragmentOutput(m *mbuf.Mbuf, proto byte, dst layers.IPAddr, mtu i
 		eth.Encode(hdr)
 		inc(&h.Counters.FramesOut)
 		inc(&h.Counters.FragmentsSent)
-		h.transmit(frame{dst: eth.Dst, m: fm})
+		ts.transmit(frame{dst: eth.Dst, m: fm})
 	}
 }
 
 // reassemble folds one received fragment in. It returns the complete
-// payload when the datagram finishes, or nil while holes remain.
-func (h *Host) reassemble(p *Packet) []byte {
-	if h.frags == nil {
-		h.frags = make(map[fragKey]*fragState)
+// payload when the datagram finishes, or nil while holes remain. All
+// fragments of one datagram hash to the same shard (RSS falls back to
+// the IP ID for fragments), so the shard's frags map needs no lock.
+func (ts *transportShard) reassemble(p *Packet) []byte {
+	h := ts.h
+	if ts.frags == nil {
+		ts.frags = make(map[fragKey]*fragState)
 	}
 	key := fragKey{src: p.IP.Src, id: p.IP.ID, proto: p.IP.Protocol}
 	fragPayload := p.M.Contiguous()
@@ -104,13 +114,13 @@ func (h *Host) reassemble(p *Packet) []byte {
 		inc(&h.Counters.BadIP)
 		return nil
 	}
-	st := h.frags[key]
+	st := ts.frags[key]
 	if st == nil {
-		if len(h.frags) >= maxFragStates {
-			h.evictOldestFrag()
+		if len(ts.frags) >= maxFragStates {
+			ts.evictOldestFrag()
 		}
 		st = &fragState{totalLen: -1, deadline: h.net.now + fragTimeout}
-		h.frags[key] = st
+		ts.frags[key] = st
 	}
 	if end > len(st.data) {
 		if end <= cap(st.data) {
@@ -158,7 +168,7 @@ func (h *Host) reassemble(p *Packet) []byte {
 			return nil
 		}
 	}
-	delete(h.frags, key)
+	delete(ts.frags, key)
 	inc(&h.Counters.Reassembled)
 	return st.data[:st.totalLen]
 }
@@ -167,27 +177,30 @@ func (h *Host) reassemble(p *Packet) []byte {
 // (the oldest, since all share one timeout), making room for a new one
 // at the maxFragStates cap. Counted as a reassembly timeout: the
 // datagram is abandoned exactly as if its timer had fired.
-func (h *Host) evictOldestFrag() {
+func (ts *transportShard) evictOldestFrag() {
 	var oldest fragKey
 	best := -1.0
-	for key, st := range h.frags {
+	for key, st := range ts.frags {
 		if best < 0 || st.deadline < best {
 			best = st.deadline
 			oldest = key
 		}
 	}
 	if best >= 0 {
-		delete(h.frags, oldest)
-		inc(&h.Counters.ReassemblyTimeouts)
+		delete(ts.frags, oldest)
+		inc(&ts.h.Counters.ReassemblyTimeouts)
 	}
 }
 
-// fragTick expires stale partial datagrams.
+// fragTick expires stale partial datagrams. Pump-side at quiescence,
+// like tcpTick: a declared hand-off point over every shard's map.
 func (h *Host) fragTick() {
-	for key, st := range h.frags {
-		if h.net.now >= st.deadline {
-			delete(h.frags, key)
-			inc(&h.Counters.ReassemblyTimeouts)
+	for _, ts := range h.tshards {
+		for key, st := range ts.frags {
+			if h.net.now >= st.deadline {
+				delete(ts.frags, key)
+				inc(&h.Counters.ReassemblyTimeouts)
+			}
 		}
 	}
 }

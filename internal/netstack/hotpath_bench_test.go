@@ -1,6 +1,7 @@
 package netstack
 
 import (
+	"fmt"
 	"testing"
 
 	"ldlp/internal/core"
@@ -53,10 +54,7 @@ func BenchmarkHotPathInject(b *testing.B) {
 	if !s.Established() {
 		b.Fatal("handshake did not complete")
 	}
-	var bpcb *tcpPCB
-	for _, pcb := range hb.pcbs {
-		bpcb = pcb
-	}
+	bpcb := hb.findPCB(fourTuple{raddr: ipA, rport: s.pcb.tuple.lport, lport: 80})
 	ack := buildBareAck(bpcb, ipA, ipB)
 
 	// Warm the pools (mbuf freelist, Packet sync.Pool) before measuring.
@@ -102,10 +100,7 @@ func BenchmarkHotPathInjectTelemetryOff(b *testing.B) {
 	if !s.Established() {
 		b.Fatal("handshake did not complete")
 	}
-	var bpcb *tcpPCB
-	for _, pcb := range hb.pcbs {
-		bpcb = pcb
-	}
+	bpcb := hb.findPCB(fourTuple{raddr: ipA, rport: s.pcb.tuple.lport, lport: 80})
 	ack := buildBareAck(bpcb, ipA, ipB)
 
 	for i := 0; i < 64; i++ {
@@ -139,10 +134,7 @@ func BenchmarkHotPathInjectLDLP(b *testing.B) {
 	if !s.Established() {
 		b.Fatal("handshake did not complete")
 	}
-	var bpcb *tcpPCB
-	for _, pcb := range hb.pcbs {
-		bpcb = pcb
-	}
+	bpcb := hb.findPCB(fourTuple{raddr: ipA, rport: s.pcb.tuple.lport, lport: 80})
 	ack := buildBareAck(bpcb, ipA, ipB)
 
 	for i := 0; i < 64; i++ {
@@ -164,5 +156,81 @@ func BenchmarkHotPathInjectLDLP(b *testing.B) {
 	}
 	if st := mbuf.PoolStats(); st.InUse != 0 {
 		b.Fatalf("mbuf leak on hot path: %+v", st)
+	}
+}
+
+// BenchmarkHotPathInjectShards is the scaling smoke for the sharded
+// transport path: the same steady-state fast-path cycle fanned across 8
+// established connections, at RxShards 1, 2 and 4. Flows hash to their
+// owning shards, so the workers touch their PCBs lock-free; the
+// shards-hit metric reports how many shards the 8 flows actually
+// covered. Wall-clock scaling tracks the host's physical core count —
+// on a single-CPU box the workers timeslice and the curve is flat — but
+// the invariants hold at every width: every segment takes the fast
+// path, 0 allocs/op, and nothing leaks.
+func BenchmarkHotPathInjectShards(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("rxshards=%d", shards), func(b *testing.B) {
+			mbuf.ResetPool()
+			n := NewNet()
+			defer n.Close()
+			ha := n.AddHost("a", ipA, DefaultOptions(core.LDLP))
+			opts := DefaultOptions(core.LDLP)
+			if shards > 1 {
+				opts = ShardedOptions(shards)
+			}
+			hb := n.AddHost("b", ipB, opts)
+			if _, err := hb.ListenTCP(80); err != nil {
+				b.Fatal(err)
+			}
+			const conns = 8
+			acks := make([][]byte, conns)
+			for c := range acks {
+				s := ha.DialTCP(ipB, 80)
+				n.RunUntilIdle()
+				if !s.Established() {
+					b.Fatalf("handshake %d did not complete", c)
+				}
+				bpcb := hb.findPCB(fourTuple{raddr: ipA, rport: s.pcb.tuple.lport, lport: 80})
+				acks[c] = buildBareAck(bpcb, ipA, ipB)
+			}
+
+			// Warm every flow's path (mbuf freelists, Packet pool, shard
+			// queues) before measuring.
+			for i := 0; i < 32*conns; i++ {
+				hb.deliver(mbuf.FromBytes(acks[i%conns]))
+			}
+			hb.process()
+			before := hb.Counters.TCPFastPath
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			// Pump cadence: bursts of 64 frames between process() calls,
+			// the way Net's pump interleaves delivery and draining (the
+			// single-threaded engine buffers at most InputLimit frames;
+			// the sharded one backpressures in deliver).
+			for i := 0; i < b.N; i++ {
+				hb.deliver(mbuf.FromBytes(acks[i%conns]))
+				if i&63 == 63 {
+					hb.process()
+				}
+			}
+			hb.process()
+			b.StopTimer()
+
+			if got := hb.Counters.TCPFastPath - before; got != int64(b.N) {
+				b.Fatalf("fast path took %d of %d segments", got, b.N)
+			}
+			hit := 0
+			for _, st := range hb.ShardTransportStats() {
+				if st.TCPSegs > 0 {
+					hit++
+				}
+			}
+			b.ReportMetric(float64(hit), "shards-hit")
+			if st := mbuf.PoolStats(); st.InUse != 0 {
+				b.Fatalf("mbuf leak on hot path: %+v", st)
+			}
+		})
 	}
 }

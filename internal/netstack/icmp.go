@@ -28,20 +28,23 @@ type PingReply struct {
 }
 
 // Ping sends an ICMP echo request. Replies are collected on the host;
-// retrieve them with PingReplies after pumping the network.
+// retrieve them with PingReplies after pumping the network. Pump-side:
+// the request is built on the pump's transport shard.
 func (h *Host) Ping(dst layers.IPAddr, id, seq uint16, payload []byte) {
-	h.sendICMP(dst, icmpEchoRequest, id, seq, payload)
+	h.pumpShard().sendICMP(dst, icmpEchoRequest, id, seq, payload)
 }
 
 // PingReplies drains the received echo replies.
 func (h *Host) PingReplies() []PingReply {
+	h.icmpMu.Lock()
+	defer h.icmpMu.Unlock()
 	out := h.pingReplies
 	h.pingReplies = nil
 	return out
 }
 
-func (h *Host) sendICMP(dst layers.IPAddr, typ byte, id, seq uint16, payload []byte) {
-	m := h.txPool.FromBytes(payload)
+func (ts *transportShard) sendICMP(dst layers.IPAddr, typ byte, id, seq uint16, payload []byte) {
+	m := ts.pool.FromBytes(payload)
 	mm, hdr := m.Prepend(icmpHeaderLen)
 	hdr[0] = typ
 	hdr[1] = 0 // code
@@ -51,13 +54,14 @@ func (h *Host) sendICMP(dst layers.IPAddr, typ byte, id, seq uint16, payload []b
 	acc.Add(hdr)
 	acc.Add(payload)
 	binary.BigEndian.PutUint16(hdr[2:4], acc.Sum16())
-	h.ipOutput(mm, layers.ProtoICMP, dst)
+	ts.ipOutput(mm, layers.ProtoICMP, dst)
 }
 
 // icmpInput is the receive-path ICMP layer: validates the checksum,
-// answers echo requests, records echo replies. The checksum runs
-// lock-free; reply transmission and the reply list are serialized by
-// the host lock (a no-op on the single-threaded path).
+// answers echo requests, records echo replies. Echo replies are sent
+// lock-free on the receiving shard (echo has no connection state); only
+// the host-wide reply list — which fans in from every shard — takes a
+// lock, held just for the append.
 func (rx *rxPath) icmpInput(p *Packet, emit core.Emit[*Packet]) {
 	h := rx.h
 	buf := p.M.Contiguous()
@@ -75,20 +79,19 @@ func (rx *rxPath) icmpInput(p *Packet, emit core.Emit[*Packet]) {
 	id := binary.BigEndian.Uint16(buf[4:6])
 	seq := binary.BigEndian.Uint16(buf[6:8])
 	payload := append([]byte(nil), buf[icmpHeaderLen:]...)
-	h.lockRx()
-	defer h.unlockRx()
 	switch typ {
 	case icmpEchoRequest:
 		inc(&h.Counters.EchoRequests)
-		h.sendICMP(p.IP.Src, icmpEchoReply, id, seq, payload)
+		rx.ts.sendICMP(p.IP.Src, icmpEchoReply, id, seq, payload)
 	case icmpEchoReply:
 		inc(&h.Counters.EchoReplies)
+		h.icmpMu.Lock()
 		h.pingReplies = append(h.pingReplies, PingReply{From: p.IP.Src, ID: id, Seq: seq, Payload: payload})
+		h.icmpMu.Unlock()
 	default:
 		inc(&h.Counters.BadICMP)
 		rx.reject(p, rx.icmpin, telemetry.DropBadICMP)
 		return
 	}
-	//lint:ignore lockorder emit only enqueues on the shard ring (layers never run inline); mu is a no-op single-threaded
 	emit(rx.sock, p)
 }

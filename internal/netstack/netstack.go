@@ -18,11 +18,21 @@
 // IP ID), so each connection's segments are processed by one shard in
 // arrival order — per-connection TCP ordering is preserved — while
 // distinct flows proceed in parallel, each shard keeping the paper's
-// per-layer code locality. Stateless header processing (Ethernet and IP
-// decode, transport checksums) runs lock-free in parallel; shared
-// transport state (PCBs, sockets, reassembly, the transmit queue) is
-// serialized by a per-host mutex. Public socket calls must not overlap a
-// running pump (drive the Net from one goroutine, as the examples do).
+// per-layer code locality.
+//
+// Transport state is sharded the same way (see transportShard): the flow
+// hash that routes a frame to a worker also owns that flow's PCB,
+// reassembly state, transmit queue and mbuf shard, so a segment touches
+// its connection with no lock at all — there is no per-host transport
+// mutex. The rare cross-shard operations go through explicit hand-off
+// points instead: a reassembled datagram whose flow hashes elsewhere is
+// re-injected through the engine, Accept moves only the socket handle
+// (under the listener's lock, reading an atomic handshake flag), global
+// counters use atomic adds, and the pump (timers, public socket calls,
+// Net.Close) touches shard state only while the workers are quiescent.
+// The shardaffinity analyzer in ldlpvet enforces that discipline
+// statically. Public socket calls must not overlap a running pump (drive
+// the Net from one goroutine, as the examples do).
 package netstack
 
 import (
@@ -270,13 +280,15 @@ func (n *Net) Close() {
 	}
 	n.held = nil
 	for _, h := range n.hosts {
-		// LDLP batches outbound frames in txq until the next pump; frames
-		// queued by a Send with no pump afterwards must be freed here or
-		// they read as leaked mbufs.
-		for _, f := range h.txq {
-			f.m.FreeChain()
+		// LDLP batches outbound frames in the per-shard txqs until the
+		// next pump; frames queued by a Send with no pump afterwards must
+		// be freed here or they read as leaked mbufs.
+		for _, ts := range h.tshards {
+			for _, f := range ts.txq {
+				f.m.FreeChain()
+			}
+			ts.txq = nil
 		}
-		h.txq = nil
 		h.Close()
 	}
 }
@@ -453,16 +465,22 @@ type Host struct {
 	shards  *core.ShardedStack[*Packet]
 	sharded bool
 
-	// mu serializes transport and host state (PCBs, sockets, reassembly,
-	// transmit queue, ICMP replies) among shard workers. Unused — never
-	// locked — on the single-threaded path, so the conventional
-	// call-through schedule cannot self-deadlock.
-	mu sync.Mutex
+	// rxs holds every receive pipeline (one single-threaded, or one per
+	// shard), for pump-side sweeps at quiescence (free-queue flushes).
+	rxs []*rxPath
 
-	// txPool is the mbuf shard every transmit-side allocation (segment
-	// build, fragmentation) draws from; TX callers are serialized (by h.mu
-	// when sharded), so the shard's freelist fast path never contends.
-	// Each receive shard carries its own handle in its rxPath.
+	// tshards is the per-connection-sharded transport state, index-aligned
+	// with the engine's receive shards (exactly one entry when single-
+	// threaded). Touch an entry only from its owning shard worker, or from
+	// the pump while the workers are quiescent — the shardaffinity
+	// analyzer enforces that every access site is one of the declared
+	// hand-off points.
+	tshards []*transportShard
+
+	// txPool is the mbuf shard pump-side transmit allocations (dial SYNs,
+	// UDP sends, pings, retransmissions on shard 0's connections) draw
+	// from; each receive shard's own allocations come from its
+	// transportShard pool.
 	txPool *mbuf.PoolShard
 
 	// pktPool recycles Packet wrappers so the steady-state receive path
@@ -471,24 +489,24 @@ type Host struct {
 
 	Counters Counters
 
-	ipID uint16
+	// ipID feeds outbound datagram IDs; atomic because shard workers and
+	// the pump allocate IDs concurrently. Uniqueness per (src, dst, proto)
+	// is all reassembly needs — ordering across shards is irrelevant.
+	ipID atomic.Uint32
 
-	// Transmit-side batching (LDLP): frames queued during processing,
-	// flushed together.
-	txq []frame
-
-	// ICMP state (icmp.go).
+	// ICMP state (icmp.go). icmpMu guards pingReplies: echo replies from
+	// different sources arrive on different shard workers.
+	icmpMu      sync.Mutex
 	pingReplies []PingReply
 
-	// Reassembly state (frag.go).
-	frags map[fragKey]*fragState
-
-	// TCP state (tcp.go).
-	pcbs      map[fourTuple]*tcpPCB
+	// TCP listeners (tcp.go). The map itself changes only at quiescence
+	// (ListenTCP / Listener.Close are pump-side calls); each listener's
+	// backlog has its own lock for the cross-shard accept hand-off.
 	listeners map[uint16]*TCPListener
-	pcbCache  *tcpPCB
 
-	// UDP state (udp.go).
+	// UDP sockets (udp.go). The map itself changes only at quiescence;
+	// each socket's queue has its own lock (flows from different remotes
+	// hash to different shards but share one bound port).
 	udpSocks map[uint16]*UDPSock
 
 	// tel is the host's telemetry domain: one flight-recorder tracer
@@ -501,21 +519,103 @@ type Host struct {
 	txBatch *telemetry.Hist
 }
 
+// transportShard owns the transport state of every flow whose 4-tuple
+// hash maps to one receive shard: the engine routes a connection's
+// segments to exactly this shard's worker, so the worker reads and
+// writes these fields with no lock at all. The pump goroutine may touch
+// them too, but only while the workers are quiescent (after Drain):
+// timers, public socket calls and flushes are declared hand-off points.
+// A single-threaded host has exactly one transportShard and the pump is
+// the only toucher.
+type transportShard struct {
+	h   *Host
+	idx int
+
+	// pool is this shard's private mbuf allocation domain: segments,
+	// fragments and reassembled datagrams built on behalf of this shard's
+	// flows come from here, so shard workers never meet on an allocator
+	// lock. Aliases Host.txPool on shard 0 / single-threaded hosts.
+	pool *mbuf.PoolShard
+
+	// txq is transmit-side LDLP batching: frames generated while
+	// processing on this shard, flushed to the wire by the pump after
+	// Drain (shard-index order keeps the flush deterministic).
+	txq []frame
+
+	// TCP state (tcp.go): this shard's connections and its single-entry
+	// PCB cache (per-shard, so the cache line stays core-local).
+	pcbs     map[fourTuple]*tcpPCB
+	pcbCache *tcpPCB
+
+	// Reassembly state (frag.go): fragments hash by IP ID, so every
+	// fragment of one datagram lands here.
+	frags map[fragKey]*fragState
+
+	// Per-shard transport tallies. Plain fields, written only by the
+	// owning worker (or the pump at quiescence) and read through
+	// Host.ShardTransportStats — the single-writer analogue of the
+	// atomic-counter discipline the global Counters use.
+	tcpSegs   int64
+	udpDgrams int64
+	txFrames  int64
+	reinjects int64
+}
+
+// ShardTransportStats is one transport shard's view for telemetry and
+// tests: what it carried and what it currently owns. Read while the
+// network is quiescent.
+type ShardTransportStats struct {
+	Shard     int
+	TCPSegs   int64 // TCP segments that reached this shard's TCP layer
+	UDPDgrams int64 // datagrams queued to sockets by this shard
+	TxFrames  int64 // frames this shard queued for transmit
+	Reinjects int64 // reassembled datagrams re-routed to their flow's owner
+	PCBs      int   // connections currently owned
+	Frags     int   // partial reassemblies currently held
+}
+
+// ShardTransportStats reports every transport shard's tallies, index-
+// aligned with the receive shards. Pump-side: call while the network is
+// quiescent.
+func (h *Host) ShardTransportStats() []ShardTransportStats {
+	out := make([]ShardTransportStats, len(h.tshards))
+	for i, ts := range h.tshards {
+		out[i] = ShardTransportStats{
+			Shard: i, TCPSegs: ts.tcpSegs, UDPDgrams: ts.udpDgrams,
+			TxFrames: ts.txFrames, Reinjects: ts.reinjects,
+			PCBs: len(ts.pcbs), Frags: len(ts.frags),
+		}
+	}
+	return out
+}
+
+// pumpShard returns the transport shard pump-originated output (UDP
+// sends, pings) goes through. Any shard would be correct — the pump only
+// runs these between pumps, when every shard is quiescent — shard 0 is
+// simply the conventional home for flow-less traffic.
+func (h *Host) pumpShard() *transportShard { return h.tshards[0] }
+
 // rxPath is one receive pipeline's layers: device -> ether -> ip ->
 // {tcp,udp,icmp} -> socket. The single-threaded engine has one; the
 // sharded engine builds one per shard (layer handlers must emit into
 // their own shard's queues).
 type rxPath struct {
 	h *Host
+	// ts is the transport shard this pipeline owns: the engine's flow
+	// hash routed every packet seen here to this shard, so handlers
+	// touch ts state lock-free.
+	ts *transportShard
 	// tel is this pipeline's shard tracer (drop events on the error
 	// paths; the LDLP engine records batch and layer events through the
 	// same ring). Nil-safe.
 	tel *telemetry.Tracer
-	// pool is this receive pipeline's private mbuf shard: every
-	// allocation the pipeline makes on its own behalf (pull-ups,
-	// reassembled datagrams) comes from here, so shard workers never
-	// meet on an allocator lock.
-	pool   *mbuf.PoolShard
+	// pool aliases ts.pool: the pipeline's private mbuf shard for
+	// pull-ups and reassembled datagrams.
+	pool *mbuf.PoolShard
+	// fq batches frees of frames other shards' pools own (set only on
+	// sharded hosts); flushed by the pump at quiescence. Single-threaded
+	// hosts free directly — same goroutine, nothing to batch.
+	fq     *mbuf.FreeQueue
 	device *core.Layer[*Packet]
 	ether  *core.Layer[*Packet]
 	ipin   *core.Layer[*Packet]
@@ -550,17 +650,21 @@ func (h *Host) buildRxPath(s *core.Stack[*Packet]) *rxPath {
 // hosts' transmit paths do not share an allocator shard.
 var hostSeq atomic.Int64
 
-// newHost wires up the receive path.
+// newHost wires up the receive path and the transport shards.
 func newHost(n *Net, name string, ip layers.IPAddr, opts Options) *Host {
 	h := &Host{
 		net: n, name: name, ip: ip, mac: MACFor(ip), opts: opts,
-		pcbs:      make(map[fourTuple]*tcpPCB),
 		listeners: make(map[uint16]*TCPListener),
 		udpSocks:  make(map[uint16]*UDPSock),
 	}
 	poolBase := int(hostSeq.Add(int64(maxInt(1, opts.RxShards) + 1)))
 	h.id = poolBase
 	h.txPool = mbuf.DefaultShard(poolBase)
+	h.tshards = make([]*transportShard, maxInt(1, opts.RxShards))
+	for i := range h.tshards {
+		h.tshards[i] = &transportShard{h: h, idx: i, pcbs: make(map[fourTuple]*tcpPCB)}
+	}
+	h.tshards[0].pool = h.txPool
 
 	// Telemetry domain: per-shard flight recorders plus the pump tracer.
 	// The default clock is the Net's simulated time in nanoseconds —
@@ -592,19 +696,25 @@ func newHost(n *Net, name string, ip layers.IPAddr, opts Options) *Host {
 			func(p *Packet) uint64 { return rxFlowHash(p.M.Bytes()) },
 			func(i int, st *core.Stack[*Packet]) {
 				rx := h.buildRxPath(st)
+				rx.ts = h.tshards[i]
 				rx.pool = mbuf.DefaultShard(poolBase + 1 + i)
+				rx.ts.pool = rx.pool
+				rx.fq = new(mbuf.FreeQueue)
 				rx.tel = h.tel.Tracer("shard"+fmt.Sprint(i), opts.TelemetryRing)
 				st.SetTelemetry(rx.tel, rxBatch)
+				h.rxs = append(h.rxs, rx)
 			})
 		h.shards.SetSink(h.putPacket)
 		return h
 	}
 	h.stack = core.NewStack[*Packet](engineOpts)
 	h.rx = h.buildRxPath(h.stack)
+	h.rx.ts = h.tshards[0]
 	h.rx.pool = h.txPool
 	h.rx.tel = h.tel.Tracer("shard0", opts.TelemetryRing)
 	h.stack.SetTelemetry(h.rx.tel, rxBatch)
 	h.stack.SetSink(h.putPacket)
+	h.rxs = append(h.rxs, h.rx)
 	return h
 }
 
@@ -636,20 +746,31 @@ func maxInt(a, b int) int {
 	return b
 }
 
-// lockRx serializes shard workers around shared transport state. On the
-// single-threaded path it is a no-op (call-through disciplines would
-// self-deadlock on a real lock: a locked TCP handler synchronously
-// invokes the locked socket handler).
-func (h *Host) lockRx() {
-	if h.sharded {
-		h.mu.Lock()
-	}
-}
+// nextIPID allocates an outbound datagram ID. Atomic: shard workers and
+// the pump send concurrently, and reassembly only needs IDs unique per
+// (src, dst, proto) — interleaving across shards is harmless.
+func (h *Host) nextIPID() uint16 { return uint16(h.ipID.Add(1)) }
 
-func (h *Host) unlockRx() {
-	if h.sharded {
-		h.mu.Unlock()
+// tupleShard maps a connection 4-tuple to its owning transport shard —
+// the control-plane twin of rxFlowHash: it hashes the byte sequence an
+// inbound segment of that connection carries on the wire (peer address,
+// our address, protocol, then the peer's source port and our port in
+// wire order), so the shard DialTCP picks is exactly the shard the
+// engine will route the connection's segments to. FNV-1a consumes bytes
+// one at a time, so hashing the 13 bytes in one buffer here equals
+// rxFlowHash's chunked accumulation.
+func (h *Host) tupleShard(t fourTuple) *transportShard {
+	if len(h.tshards) == 1 {
+		return h.tshards[0]
 	}
+	var b [13]byte
+	copy(b[0:4], t.raddr[:])
+	copy(b[4:8], h.ip[:])
+	b[8] = layers.ProtoTCP
+	b[9], b[10] = byte(t.rport>>8), byte(t.rport)
+	b[11], b[12] = byte(t.lport>>8), byte(t.lport)
+	hash := core.HashBytes(core.HashSeed(), b[:])
+	return h.tshards[int(hash%uint64(len(h.tshards)))]
 }
 
 // rxFlowHash maps a raw frame to its flow: IP src/dst + protocol, plus
@@ -707,11 +828,15 @@ func (h *Host) RxShards() int {
 	return 1
 }
 
-// Close stops the shard workers. No-op for a single-threaded host;
-// required to release goroutines for a sharded one.
+// Close stops the shard workers and returns their batched frees to the
+// pools. No-op for a single-threaded host; required to release
+// goroutines for a sharded one.
 func (h *Host) Close() {
 	if h.sharded {
 		h.shards.Close()
+		for _, rx := range h.rxs {
+			rx.fq.Flush()
+		}
 	}
 }
 
@@ -753,13 +878,17 @@ func (h *Host) deliver(m *mbuf.Mbuf) {
 }
 
 // process drains the receive engine (no-op under conventional, where
-// Inject already ran the stack; a blocking Drain for the sharded engine)
-// and flushes the transmit queue.
+// Inject already ran the stack; a blocking Drain for the sharded engine),
+// returns the shards' batched frees to their pools, and flushes the
+// transmit queues.
 func (h *Host) process() int {
 	if h.sharded {
 		before := h.shards.Stats().Processed
 		h.shards.Drain()
 		n := int(h.shards.Stats().Processed - before)
+		for _, rx := range h.rxs {
+			rx.fq.Flush()
+		}
 		return n + h.flushTx()
 	}
 	n := int(h.stack.Run())
@@ -767,20 +896,25 @@ func (h *Host) process() int {
 }
 
 // transmit hands a frame to the wire — immediately under conventional
-// processing, queued for a batched flush under LDLP. Callers on the
-// sharded path hold h.mu.
-func (h *Host) transmit(f frame) {
-	if h.opts.Discipline == core.LDLP {
-		h.txq = append(h.txq, f)
+// processing (single-threaded by construction), queued on this shard for
+// a batched flush under LDLP.
+func (ts *transportShard) transmit(f frame) {
+	ts.txFrames++
+	if ts.h.opts.Discipline == core.LDLP {
+		ts.txq = append(ts.txq, f)
 		return
 	}
-	h.net.send(f)
+	ts.h.net.send(f)
 }
 
-// flushTx drains the transmit queue in one batch. Runs on the pump
+// flushTx drains every shard's transmit queue in one batch, shard-index
+// order (deterministic for a given shard count). Runs on the pump
 // goroutine with the shard workers quiescent (after Drain).
 func (h *Host) flushTx() int {
-	n := len(h.txq)
+	n := 0
+	for _, ts := range h.tshards {
+		n += len(ts.txq)
+	}
 	if n == 0 {
 		return 0
 	}
@@ -790,11 +924,28 @@ func (h *Host) flushTx() int {
 	inc(&h.Counters.TxBatches)
 	h.telPump.Event(telemetry.EvTxFlush, 0, int64(n))
 	h.txBatch.Observe(int64(n))
-	for _, f := range h.txq {
-		h.net.send(f)
+	for _, ts := range h.tshards {
+		for _, f := range ts.txq {
+			h.net.send(f)
+		}
+		ts.txq = ts.txq[:0]
 	}
-	h.txq = h.txq[:0]
 	return n
+}
+
+// freeChain retires a chain this pipeline is done with. On a sharded
+// host the chain's owner is usually another host's transmit shard, so
+// the free goes through this pipeline's FreeQueue — batched, one owner
+// lock per batch instead of per frame; single-threaded hosts free
+// directly.
+//
+//ldlp:hotpath
+func (rx *rxPath) freeChain(m *mbuf.Mbuf) {
+	if rx.fq != nil {
+		rx.fq.FreeChain(m)
+		return
+	}
+	m.FreeChain()
 }
 
 // drop ends a packet's life mid-path: the chain returns to its owner's
@@ -804,7 +955,7 @@ func (h *Host) flushTx() int {
 //
 //ldlp:hotpath
 func (rx *rxPath) drop(p *Packet) {
-	p.M.FreeChain()
+	rx.freeChain(p.M)
 	rx.h.putPacket(p)
 }
 
@@ -897,14 +1048,19 @@ func (rx *rxPath) ipInput(p *Packet, emit core.Emit[*Packet]) {
 	if p.IP.IsFragment() {
 		// The slow path the paper's traced fast path never sees: hold the
 		// fragment until the datagram completes, then continue the demux
-		// with the reassembled payload.
+		// with the reassembled payload. Fragments hash by IP ID, so the
+		// whole datagram reassembles on this shard lock-free — but the
+		// completed datagram's flow may hash elsewhere, in which case it
+		// is re-injected through the engine to its owning shard.
 		inc(&h.Counters.Fragments)
-		h.lockRx()
-		whole := h.reassemble(p)
-		h.unlockRx()
-		p.M.FreeChain()
+		whole := rx.ts.reassemble(p)
+		rx.freeChain(p.M)
 		if whole == nil {
 			rx.h.putPacket(p)
+			return
+		}
+		if h.sharded {
+			rx.reinjectReassembled(p, whole)
 			return
 		}
 		p.M = rx.pool.FromBytes(whole)
@@ -931,24 +1087,62 @@ func (rx *rxPath) ipInput(p *Packet, emit core.Emit[*Packet]) {
 //
 //ldlp:hotpath
 func (rx *rxPath) sockInput(p *Packet, emit core.Emit[*Packet]) {
-	p.M.FreeChain()
+	rx.freeChain(p.M)
 	p.M = nil
 	emit(nil, p)
 }
 
-// ipOutput wraps a transport segment in IP + Ethernet and transmits,
-// fragmenting datagrams that exceed the link MTU. Callers on the sharded
-// receive path hold h.mu (ipID, txq).
-func (h *Host) ipOutput(m *mbuf.Mbuf, proto byte, dst layers.IPAddr) {
+// reinjectReassembled hands a datagram completed on this shard to the
+// shard owning its flow: reassembly partitions by IP ID, transport by
+// port pair, and the two can disagree. The datagram is rebuilt as a
+// plain (non-fragment) frame and re-injected through the engine, whose
+// flow hash routes it exactly like a frame off the wire — an explicit
+// cross-shard hand-off through the same message-passing the wire uses,
+// rather than a lock. Runs on the worker, so on overflow it must drop
+// (only the pump may block on Drain); the bounded-intake drop matches
+// the engine's drop-tail contract. The caller's packet p is recycled;
+// its chain was already freed.
+func (rx *rxPath) reinjectReassembled(p *Packet, whole []byte) {
+	h := rx.h
+	ip := layers.IPv4{
+		TotalLen: layers.IPv4MinLen + len(whole),
+		ID:       p.IP.ID,
+		TTL:      64,
+		Protocol: p.IP.Protocol,
+		Src:      p.IP.Src,
+		Dst:      p.IP.Dst,
+	}
+	m := rx.pool.FromBytes(whole)
+	m, hdr := m.Prepend(layers.IPv4MinLen)
+	ip.Encode(hdr)
+	eth := layers.Ethernet{Dst: h.mac, Src: MACFor(p.IP.Src), EtherType: layers.EtherTypeIPv4}
+	m, hdr = m.Prepend(layers.EthernetLen)
+	eth.Encode(hdr)
+	rx.ts.reinjects++
+	np := h.getPacket()
+	np.M = m
+	if err := h.shards.Inject(np); err != nil {
+		rx.tel.Event(telemetry.EvDrop, rx.ipin.Index(), int64(telemetry.DropStackFull))
+		np.M.FreeChain()
+		h.putPacket(np)
+	}
+	h.putPacket(p)
+}
+
+// ipOutput wraps a transport segment in IP + Ethernet and transmits on
+// this shard's queue, fragmenting datagrams that exceed the link MTU.
+// Runs on the owning shard's worker, or on the pump at quiescence (the
+// timer and public-socket hand-off points).
+func (ts *transportShard) ipOutput(m *mbuf.Mbuf, proto byte, dst layers.IPAddr) {
+	h := ts.h
 	mtu := h.opts.mtu()
 	if layers.IPv4MinLen+m.PktLen() > mtu {
-		h.fragmentOutput(m, proto, dst, mtu)
+		ts.fragmentOutput(m, proto, dst, mtu)
 		return
 	}
-	h.ipID++
 	ip := layers.IPv4{
 		TotalLen: layers.IPv4MinLen + m.PktLen(),
-		ID:       h.ipID,
+		ID:       h.nextIPID(),
 		TTL:      64,
 		Protocol: proto,
 		Src:      h.ip,
@@ -962,7 +1156,7 @@ func (h *Host) ipOutput(m *mbuf.Mbuf, proto byte, dst layers.IPAddr) {
 	inc(&h.Counters.FramesOut)
 	// Hand the chain itself to the wire — no copy. Ownership transfers to
 	// the receiving host's stack, which frees it when done.
-	h.transmit(frame{dst: eth.Dst, m: m})
+	ts.transmit(frame{dst: eth.Dst, m: m})
 }
 
 // tick fires host timers (TCP retransmit / delayed ACK, reassembly

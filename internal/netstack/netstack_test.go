@@ -275,7 +275,7 @@ func TestRetransmissionOnLoss(t *testing.T) {
 	if nr := cli.pcb.host.name; nr == "" {
 		t.Fatal("unreachable")
 	}
-	srv := b.pcbs[fourTuple{raddr: ipA, rport: cli.pcb.tuple.lport, lport: 80}]
+	srv := b.findPCB(fourTuple{raddr: ipA, rport: cli.pcb.tuple.lport, lport: 80})
 	if srv == nil {
 		t.Fatal("server pcb missing")
 	}

@@ -3,6 +3,7 @@ package netstack
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"ldlp/internal/core"
@@ -78,9 +79,17 @@ type unackedSeg struct {
 }
 
 type tcpPCB struct {
-	host  *Host
+	host *Host
+	// owner is the transport shard this connection lives on (the shard
+	// the 4-tuple flow hash routes its segments to). Every touch of the
+	// PCB happens on the owner's worker, or on the pump at quiescence.
+	owner *transportShard
 	tuple fourTuple
 	state tcpState
+	// estab mirrors "state reached ESTABLISHED" with atomic semantics:
+	// the one PCB field the cross-shard accept hand-off reads while the
+	// owning worker may be writing state. Set once, never cleared.
+	estab atomic.Bool
 
 	iss, irs       uint32
 	sndUna, sndNxt uint32
@@ -112,12 +121,16 @@ type TCPSock struct {
 
 // TCPListener accepts inbound connections on a port.
 type TCPListener struct {
-	host    *Host
-	port    uint16
+	host *Host
+	port uint16
+	// mu guards backlog: SYNs from different remotes arrive on different
+	// shard workers, and Accept may run concurrently with all of them —
+	// the accept hand-off moves only the *TCPSock handle across shards,
+	// never the PCB itself, which stays on its owning shard.
+	mu      sync.Mutex
 	backlog []*TCPSock
 	// Dropped counts SYNs discarded because the backlog was full.
-	// Updated with atomic adds — SYNs from different remotes hash to
-	// different shard workers — like the host Counters; read while the
+	// Updated with atomic adds, like the host Counters; read while the
 	// network is quiescent, or via DroppedCount.
 	Dropped int64
 }
@@ -153,10 +166,17 @@ func (h *Host) ListenTCP(port uint16) (*TCPListener, error) {
 }
 
 // Accept returns a pending inbound connection, or nil if none has
-// completed the handshake yet.
+// completed the handshake yet. This is the declared cross-shard
+// hand-off: it is safe to call while shard workers run — the backlog is
+// locked and readiness is read through the PCB's atomic estab flag, so
+// only the socket handle crosses goroutines here. The PCB stays owned
+// by its shard; use the returned socket's other methods only while the
+// network is quiescent.
 func (l *TCPListener) Accept() *TCPSock {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for i, s := range l.backlog {
-		if s.pcb.state == stEstablished {
+		if s.pcb.estab.Load() {
 			l.backlog = append(l.backlog[:i], l.backlog[i+1:]...)
 			return s
 		}
@@ -170,7 +190,10 @@ func (l *TCPListener) Close() { delete(l.host.listeners, l.port) }
 var ephemeral uint16 = 32768
 
 // DialTCP initiates a connection; the handshake completes as the network
-// is pumped (check Established or poll Accept on the peer).
+// is pumped (check Established or poll Accept on the peer). Pump-side
+// hand-off point: the new PCB is planted directly on the shard the
+// connection's inbound segments will hash to, so from the first SYN-ACK
+// onward only that shard's worker touches it.
 func (h *Host) DialTCP(dst layers.IPAddr, port uint16) *TCPSock {
 	ephemeral++
 	pcb := &tcpPCB{
@@ -182,7 +205,8 @@ func (h *Host) DialTCP(dst layers.IPAddr, port uint16) *TCPSock {
 	pcb.sndUna, pcb.sndNxt = pcb.iss, pcb.iss
 	pcb.sndWnd = tcpWindow
 	pcb.sock = &TCPSock{pcb: pcb}
-	h.pcbs[pcb.tuple] = pcb
+	pcb.owner = h.tupleShard(pcb.tuple)
+	pcb.owner.pcbs[pcb.tuple] = pcb
 	pcb.sendSegment(layers.TCPSyn, nil, true)
 	return pcb.sock
 }
@@ -263,31 +287,35 @@ func (pcb *tcpPCB) timeout() {
 }
 
 func (pcb *tcpPCB) teardown() {
-	if pcb.host.pcbCache == pcb {
-		pcb.host.pcbCache = nil
+	if pcb.owner.pcbCache == pcb {
+		pcb.owner.pcbCache = nil
 	}
-	delete(pcb.host.pcbs, pcb.tuple)
+	delete(pcb.owner.pcbs, pcb.tuple)
 	pcb.state = stClosed
 }
 
-// lookupPCB finds the PCB for a tuple through the single-entry cache §2's
-// trace mentions ("the single-entry PCB cache hits").
-func (h *Host) lookupPCB(t fourTuple) *tcpPCB {
-	if c := h.pcbCache; c != nil && c.tuple == t {
+// lookupPCB finds the PCB for a tuple through the shard's single-entry
+// cache, the one §2's trace mentions ("the single-entry PCB cache
+// hits") — per shard, so the cache entry stays core-local and two flows
+// on different shards cannot evict each other.
+func (ts *transportShard) lookupPCB(t fourTuple) *tcpPCB {
+	h := ts.h
+	if c := ts.pcbCache; c != nil && c.tuple == t {
 		inc(&h.Counters.PCBCacheHits)
 		return c
 	}
 	inc(&h.Counters.PCBCacheMisses)
-	pcb := h.pcbs[t]
+	pcb := ts.pcbs[t]
 	if pcb != nil {
-		h.pcbCache = pcb
+		ts.pcbCache = pcb
 	}
 	return pcb
 }
 
-// tcpInput is the receive-path TCP layer. The checksum-heavy decode runs
-// lock-free; connection state is mutated under the host lock (a no-op on
-// the single-threaded path).
+// tcpInput is the receive-path TCP layer. No lock protects connection
+// state: RSS hashes a connection's segments to one shard, and the PCB
+// lives on that shard, so the worker running here is the only goroutine
+// that ever touches it.
 //
 //ldlp:hotpath
 func (rx *rxPath) tcpInput(p *Packet, emit core.Emit[*Packet]) {
@@ -303,9 +331,8 @@ func (rx *rxPath) tcpInput(p *Packet, emit core.Emit[*Packet]) {
 	th := &p.TCP
 	tuple := fourTuple{raddr: p.IP.Src, rport: th.SrcPort, lport: th.DstPort}
 
-	h.lockRx()
-	defer h.unlockRx()
-	pcb := h.lookupPCB(tuple)
+	rx.ts.tcpSegs++
+	pcb := rx.ts.lookupPCB(tuple)
 
 	if pcb == nil {
 		rx.tcpPassiveOpen(tuple, th)
@@ -324,7 +351,6 @@ func (rx *rxPath) tcpInput(p *Packet, emit core.Emit[*Packet]) {
 		if len(payload) > 0 {
 			pcb.acceptData(payload)
 			inc(&h.Counters.DataSegsIn)
-			//lint:ignore lockorder emit only enqueues on the shard ring (layers never run inline); mu is a no-op single-threaded
 			emit(rx.sock, p)
 			return
 		}
@@ -339,8 +365,11 @@ func (rx *rxPath) tcpInput(p *Packet, emit core.Emit[*Packet]) {
 // tcpPassiveOpen handles a segment with no matching PCB: a SYN to a
 // listener creates the connection, anything else bumps NoSocket.
 // Connection setup runs once per connection, not per segment, so its
-// allocations live here rather than in the hot-tagged tcpInput. Called
-// with the host lock held (when sharded); the caller recycles p.
+// allocations live here rather than in the hot-tagged tcpInput. The new
+// PCB lands in rx's own shard map — the flow hash that routed this SYN
+// here routes the rest of the connection here too. Only the backlog
+// append crosses shards (other remotes' SYNs hash elsewhere), so just
+// that step takes the listener lock. The caller recycles p.
 func (rx *rxPath) tcpPassiveOpen(tuple fourTuple, th *layers.TCP) {
 	h := rx.h
 	if th.Flags&layers.TCPSyn == 0 || th.Flags&layers.TCPAck != 0 {
@@ -354,25 +383,28 @@ func (rx *rxPath) tcpPassiveOpen(tuple fourTuple, th *layers.TCP) {
 		rx.tel.Event(telemetry.EvDrop, rx.tcpin.Index(), int64(telemetry.DropNoSocket))
 		return
 	}
-	if len(l.backlog) >= tcpBacklog {
-		inc(&l.Dropped)
-		rx.tel.Event(telemetry.EvDrop, rx.tcpin.Index(), int64(telemetry.DropListenOverflow))
-		return
-	}
 	pcb := &tcpPCB{
-		host: h, tuple: tuple, state: stSynRcvd,
+		host: h, owner: rx.ts, tuple: tuple, state: stSynRcvd,
 		iss: nextISS(), irs: th.Seq,
 		rcvNxt: th.Seq + 1, sndWnd: int(th.Window),
 	}
 	pcb.sndUna, pcb.sndNxt = pcb.iss, pcb.iss
 	pcb.sock = &TCPSock{pcb: pcb}
-	h.pcbs[tuple] = pcb
+	l.mu.Lock()
+	if len(l.backlog) >= tcpBacklog {
+		l.mu.Unlock()
+		atomic.AddInt64(&l.Dropped, 1)
+		rx.tel.Event(telemetry.EvDrop, rx.tcpin.Index(), int64(telemetry.DropListenOverflow))
+		return
+	}
 	l.backlog = append(l.backlog, pcb.sock)
+	l.mu.Unlock()
+	rx.ts.pcbs[tuple] = pcb
 	pcb.sendSegment(layers.TCPSyn|layers.TCPAck, nil, true)
 }
 
-// tcpSlowPath handles everything header prediction does not. Called with
-// the host lock held (when sharded).
+// tcpSlowPath handles everything header prediction does not. Like
+// tcpInput it runs lock-free on the PCB's owning shard.
 func (rx *rxPath) tcpSlowPath(pcb *tcpPCB, th *layers.TCP, payload []byte, p *Packet, emit core.Emit[*Packet]) {
 	h := rx.h
 	if th.Flags&layers.TCPRst != 0 {
@@ -391,6 +423,7 @@ func (rx *rxPath) tcpSlowPath(pcb *tcpPCB, th *layers.TCP, payload []byte, p *Pa
 			pcb.sndNxt = th.Ack
 			pcb.sndWnd = int(th.Window)
 			pcb.state = stEstablished
+			pcb.estab.Store(true)
 			pcb.dropAcked(th.Ack)
 			pcb.sendAck()
 			pcb.trySend()
@@ -403,6 +436,7 @@ func (rx *rxPath) tcpSlowPath(pcb *tcpPCB, th *layers.TCP, payload []byte, p *Pa
 			pcb.sndNxt = th.Ack
 			pcb.sndWnd = int(th.Window)
 			pcb.state = stEstablished
+			pcb.estab.Store(true)
 			pcb.dropAcked(th.Ack)
 		}
 		// Fall through: the ACK completing the handshake may carry data.
@@ -414,8 +448,16 @@ func (rx *rxPath) tcpSlowPath(pcb *tcpPCB, th *layers.TCP, payload []byte, p *Pa
 
 	if th.Seq != pcb.rcvNxt {
 		// Out of order (or duplicate): this lite stack does not reassemble;
-		// re-ACK what we expect so the peer retransmits.
-		pcb.sendAck()
+		// re-ACK what we expect so the peer retransmits. Only segments
+		// that carry something (data, SYN, FIN) get the re-ACK: a pure
+		// ACK's Seq rides at the sender's sndNxt, so when both directions
+		// have data in flight each side's dup-ACK looks out-of-order to
+		// the other and re-ACKing it back livelocks the link in an ACK
+		// war. Its cumulative ACK and window were already processed above;
+		// dropping it silently loses nothing.
+		if len(payload) > 0 || th.Flags&(layers.TCPSyn|layers.TCPFin) != 0 {
+			pcb.sendAck()
+		}
 		rx.drop(p)
 		return
 	}
@@ -533,7 +575,8 @@ func (pcb *tcpPCB) sendAck() {
 }
 
 // sendSegment builds and transmits one segment; track=true records it for
-// retransmission (SYN/FIN/data).
+// retransmission (SYN/FIN/data). Output goes through the owning shard's
+// pool and transmit queue, so segment emission never crosses shards.
 func (pcb *tcpPCB) sendSegment(flags byte, payload []byte, track bool) {
 	h := pcb.host
 	th := layers.TCP{
@@ -547,7 +590,7 @@ func (pcb *tcpPCB) sendSegment(flags byte, payload []byte, track bool) {
 	}
 	th.Flags = flags
 
-	m := h.txPool.FromBytes(payload)
+	m := pcb.owner.pool.FromBytes(payload)
 	mm, hdr := m.Prepend(layers.TCPMinLen)
 	th.Encode(hdr, payload, h.ip, pcb.tuple.raddr)
 
@@ -564,13 +607,22 @@ func (pcb *tcpPCB) sendSegment(flags byte, payload []byte, track bool) {
 		})
 		pcb.sndNxt += consumed
 	}
-	h.ipOutput(mm, layers.ProtoTCP, pcb.tuple.raddr)
+	pcb.owner.ipOutput(mm, layers.ProtoTCP, pcb.tuple.raddr)
 }
 
 // tcpTick fires retransmission, delayed-ACK, persist and TIME-WAIT
-// timers.
+// timers. It runs on the pump between Drain and the next deliver, when
+// every shard worker is parked — a declared hand-off point that may walk
+// all shards' PCB maps.
 func (h *Host) tcpTick() {
-	for _, pcb := range h.pcbs {
+	for _, ts := range h.tshards {
+		ts.tcpTickShard()
+	}
+}
+
+func (ts *transportShard) tcpTickShard() {
+	h := ts.h
+	for _, pcb := range ts.pcbs {
 		if pcb.state == stTimeWait {
 			if h.net.now >= pcb.timeWaitAt {
 				pcb.teardown()
@@ -643,8 +695,8 @@ func (pcb *tcpPCB) retransmit(u *unackedSeg, flags byte) {
 	if pcb.state != stSynSent {
 		th.Ack = pcb.rcvNxt
 	}
-	m := h.txPool.FromBytes(u.data)
+	m := pcb.owner.pool.FromBytes(u.data)
 	mm, hdr := m.Prepend(layers.TCPMinLen)
 	th.Encode(hdr, u.data, h.ip, pcb.tuple.raddr)
-	h.ipOutput(mm, layers.ProtoTCP, pcb.tuple.raddr)
+	pcb.owner.ipOutput(mm, layers.ProtoTCP, pcb.tuple.raddr)
 }

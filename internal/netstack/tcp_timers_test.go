@@ -75,7 +75,7 @@ func TestTimeWaitHoldsThenReaps(t *testing.T) {
 	if cli.State() != "time-wait" {
 		t.Fatalf("active closer state = %s, want time-wait", cli.State())
 	}
-	if _, held := a.pcbs[cli.pcb.tuple]; !held {
+	if a.findPCB(cli.pcb.tuple) == nil {
 		t.Fatal("TIME-WAIT pcb should still be tracked")
 	}
 	// Before 2MSL: still present. After: reaped.
@@ -87,7 +87,7 @@ func TestTimeWaitHoldsThenReaps(t *testing.T) {
 	if cli.State() != "closed" {
 		t.Errorf("state after 2MSL = %s, want closed", cli.State())
 	}
-	if _, held := a.pcbs[cli.pcb.tuple]; held {
+	if a.findPCB(cli.pcb.tuple) != nil {
 		t.Error("pcb not reaped after 2MSL")
 	}
 }
@@ -209,8 +209,8 @@ func TestSimultaneousClose(t *testing.T) {
 	if cli.State() != "closed" || srv.State() != "closed" {
 		t.Errorf("final states: %s / %s", cli.State(), srv.State())
 	}
-	if len(a.pcbs) != 0 || len(b.pcbs) != 0 {
-		t.Errorf("pcbs leaked: %d / %d", len(a.pcbs), len(b.pcbs))
+	if a.numPCBs() != 0 || b.numPCBs() != 0 {
+		t.Errorf("pcbs leaked: %d / %d", a.numPCBs(), b.numPCBs())
 	}
 	checkNoLeaks(t)
 }

@@ -1,0 +1,43 @@
+package netstack
+
+// Test-side views over the per-shard transport state. Production code
+// never sums across shards outside the declared hand-off points, but
+// tests assert on whole-host totals (PCBs leaked, partial datagrams
+// held, frames queued) regardless of which shard holds them.
+
+// numPCBs counts live PCBs across all transport shards.
+func (h *Host) numPCBs() int {
+	n := 0
+	for _, ts := range h.tshards {
+		n += len(ts.pcbs)
+	}
+	return n
+}
+
+// numFrags counts partial datagrams held across all transport shards.
+func (h *Host) numFrags() int {
+	n := 0
+	for _, ts := range h.tshards {
+		n += len(ts.frags)
+	}
+	return n
+}
+
+// findPCB locates a tuple's PCB on whichever shard owns it.
+func (h *Host) findPCB(t fourTuple) *tcpPCB {
+	for _, ts := range h.tshards {
+		if pcb := ts.pcbs[t]; pcb != nil {
+			return pcb
+		}
+	}
+	return nil
+}
+
+// queuedTx counts frames parked in transmit queues across all shards.
+func (h *Host) queuedTx() int {
+	n := 0
+	for _, ts := range h.tshards {
+		n += len(ts.txq)
+	}
+	return n
+}

@@ -2,6 +2,7 @@ package netstack
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"ldlp/internal/core"
@@ -18,8 +19,13 @@ type Datagram struct {
 
 // UDPSock is an unconnected datagram socket bound to a local port.
 type UDPSock struct {
-	host  *Host
-	port  uint16
+	host *Host
+	port uint16
+	// mu guards queue. Unlike TCP, one UDP socket fans in from many
+	// remotes, so its datagrams hash to different shards by design —
+	// the queue is the declared cross-shard meeting point, and the lock
+	// is held only for the append/pop, never across an emit or a send.
+	mu    sync.Mutex
 	queue []Datagram
 	// QueueLimit bounds buffered datagrams (drop-tail beyond it).
 	QueueLimit int
@@ -47,18 +53,22 @@ func (h *Host) UDPSocket(port uint16) (*UDPSock, error) {
 // Close unbinds the socket.
 func (s *UDPSock) Close() { delete(s.host.udpSocks, s.port) }
 
-// SendTo transmits one datagram.
+// SendTo transmits one datagram. Pump-side: the frame is built from and
+// queued on the pump's transport shard.
 func (s *UDPSock) SendTo(dst layers.IPAddr, port uint16, payload []byte) {
+	ts := s.host.pumpShard()
 	uh := layers.UDP{SrcPort: s.port, DstPort: port}
-	m := s.host.txPool.FromBytes(payload)
+	m := ts.pool.FromBytes(payload)
 	mm, hdr := m.Prepend(layers.UDPLen)
 	uh.Encode(hdr, payload, s.host.ip, dst)
-	s.host.ipOutput(mm, layers.ProtoUDP, dst)
+	ts.ipOutput(mm, layers.ProtoUDP, dst)
 }
 
 // Recv pops the next datagram, reporting ok=false when the queue is
 // empty.
 func (s *UDPSock) Recv() (Datagram, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.queue) == 0 {
 		return Datagram{}, false
 	}
@@ -68,11 +78,15 @@ func (s *UDPSock) Recv() (Datagram, bool) {
 }
 
 // Pending reports queued datagrams.
-func (s *UDPSock) Pending() int { return len(s.queue) }
+func (s *UDPSock) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
 
-// udpInput is the receive-path UDP layer. The checksum runs lock-free;
-// the socket queue is mutated under the host lock (a no-op on the
-// single-threaded path).
+// udpInput is the receive-path UDP layer. The checksum and the payload
+// copy run lock-free; only the queue append takes the socket lock,
+// because one socket receives from remotes spread across every shard.
 func (rx *rxPath) udpInput(p *Packet, emit core.Emit[*Packet]) {
 	h := rx.h
 	buf := p.M.Contiguous()
@@ -82,21 +96,24 @@ func (rx *rxPath) udpInput(p *Packet, emit core.Emit[*Packet]) {
 		rx.reject(p, rx.udpin, telemetry.DropBadUDP)
 		return
 	}
-	h.lockRx()
-	defer h.unlockRx()
+	rx.ts.udpDgrams++
+	// The socket map itself only changes while the network is quiescent
+	// (UDPSocket/Close are pump-side), so the lookup needs no lock.
 	sock, ok := h.udpSocks[p.UDP.DstPort]
 	if !ok {
 		inc(&h.Counters.NoSocket)
 		rx.reject(p, rx.udpin, telemetry.DropNoSocket)
 		return
 	}
+	payload := append([]byte(nil), buf[n:p.UDP.Length]...)
+	sock.mu.Lock()
 	if len(sock.queue) >= sock.QueueLimit {
-		inc(&sock.Dropped)
+		sock.mu.Unlock()
+		atomic.AddInt64(&sock.Dropped, 1)
 		rx.reject(p, rx.udpin, telemetry.DropSockBuffer)
 		return
 	}
-	payload := append([]byte(nil), buf[n:p.UDP.Length]...)
 	sock.queue = append(sock.queue, Datagram{Src: p.IP.Src, SrcPort: p.UDP.SrcPort, Data: payload})
-	//lint:ignore lockorder emit only enqueues on the shard ring (layers never run inline); mu is a no-op single-threaded
+	sock.mu.Unlock()
 	emit(rx.sock, p)
 }
