@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short test-race chaos chaos-smoke fuzz bench bench-full trace-smoke report examples clean
+.PHONY: all build vet lint test test-short test-race chaos chaos-smoke fuzz bench bench-scale bench-full trace-smoke report examples clean
 
 all: build lint test
 
@@ -45,21 +45,32 @@ chaos-smoke:
 	$(GO) run ./cmd/chaos -mix all -shards 4
 
 # Short fuzzing pass over every FuzzXxx target (graph parser, DNS codec,
-# mbuf chain ops).
+# mbuf chain ops, flow table + eviction cache differential).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParseGraph -fuzztime=10s ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/dns
 	$(GO) test -run=^$$ -fuzz=FuzzEncodeName -fuzztime=10s ./internal/dns
 	$(GO) test -run=^$$ -fuzz=FuzzChainOps -fuzztime=10s ./internal/mbuf
+	$(GO) test -run=^$$ -fuzz=FuzzFlowTable -fuzztime=10s ./internal/flowtable
 
 # CI smoke: one iteration of the allocation-sensitive hot-path benchmarks
 # (enough for -benchmem to report allocs/op), summarized to BENCH_2.json.
 # allocs/op for BenchmarkHotPathInject must stay 0 — that is the PR's
 # steady-state guarantee, and a regression shows up here first.
+# BenchmarkAcceptScale runs its -short shape here (10k flows): same
+# machinery as the million-flow run, sized for every push.
 bench:
-	$(GO) test -run=NONE -bench='BenchmarkHotPathInject|BenchmarkPoolAllocFree|BenchmarkPrependHeader|BenchmarkAllocFreeCluster|BenchmarkSimPoisson' \
-		-benchmem -benchtime=1x ./internal/netstack ./internal/mbuf . \
+	$(GO) test -run=NONE -bench='BenchmarkHotPathInject|BenchmarkPoolAllocFree|BenchmarkPrependHeader|BenchmarkAllocFreeCluster|BenchmarkSimPoisson|BenchmarkAcceptScale' \
+		-benchmem -benchtime=1x -short ./internal/netstack ./internal/mbuf . \
 		| $(GO) run ./cmd/benchjson -out BENCH_2.json
+
+# The full accept-path scale run: SYN-flood to one million established
+# connections, then steady-state small-message echo. Asserts 0 allocs/op
+# and bounded p99 probe depth at full population.
+bench-scale:
+	$(GO) test -run=NONE -bench=BenchmarkAcceptScale -benchmem -benchtime=1x \
+		-timeout=30m ./internal/netstack \
+		| $(GO) run ./cmd/benchjson -out BENCH_SCALE.json
 
 # Flight-recorder smoke: run a short Poisson workload through
 # cmd/ldlptrace at both load points and validate the emitted Chrome

@@ -35,21 +35,26 @@ type Result struct {
 
 // TelemetrySummary holds the histogram quantiles benchmarks report via
 // b.ReportMetric from the telemetry package's snapshots: LDLP batch
-// sizes and end-to-end message latency.
+// sizes, end-to-end message latency, and the flow-table scale metrics
+// (destination-cache hit rate, p99 open-addressing probe depth).
 type TelemetrySummary struct {
-	BatchP50     *float64 `json:"batch_p50,omitempty"`
-	BatchP99     *float64 `json:"batch_p99,omitempty"`
-	LatencyP50NS *float64 `json:"latency_p50_ns,omitempty"`
-	LatencyP99NS *float64 `json:"latency_p99_ns,omitempty"`
+	BatchP50         *float64 `json:"batch_p50,omitempty"`
+	BatchP99         *float64 `json:"batch_p99,omitempty"`
+	LatencyP50NS     *float64 `json:"latency_p50_ns,omitempty"`
+	LatencyP99NS     *float64 `json:"latency_p99_ns,omitempty"`
+	FlowCacheHitRate *float64 `json:"flowcache_hit_rate,omitempty"`
+	ProbeDepthP99    *float64 `json:"probe_depth_p99,omitempty"`
 }
 
 // telemetryUnits maps a ReportMetric unit to the TelemetrySummary
 // field it fills.
 var telemetryUnits = map[string]func(*TelemetrySummary, float64){
-	"p50-batch":      func(t *TelemetrySummary, v float64) { t.BatchP50 = &v },
-	"p99-batch":      func(t *TelemetrySummary, v float64) { t.BatchP99 = &v },
-	"p50-latency-ns": func(t *TelemetrySummary, v float64) { t.LatencyP50NS = &v },
-	"p99-latency-ns": func(t *TelemetrySummary, v float64) { t.LatencyP99NS = &v },
+	"p50-batch":          func(t *TelemetrySummary, v float64) { t.BatchP50 = &v },
+	"p99-batch":          func(t *TelemetrySummary, v float64) { t.BatchP99 = &v },
+	"p50-latency-ns":     func(t *TelemetrySummary, v float64) { t.LatencyP50NS = &v },
+	"p99-latency-ns":     func(t *TelemetrySummary, v float64) { t.LatencyP99NS = &v },
+	"flowcache-hit-rate": func(t *TelemetrySummary, v float64) { t.FlowCacheHitRate = &v },
+	"p99-probe-depth":    func(t *TelemetrySummary, v float64) { t.ProbeDepthP99 = &v },
 }
 
 // Summary is the emitted document.

@@ -62,6 +62,49 @@ func TestParseBenchLineLiftsTelemetryQuantiles(t *testing.T) {
 	}
 }
 
+func TestParseBenchLineLiftsFlowTableMetrics(t *testing.T) {
+	line := "BenchmarkAcceptScale 	       1	      2615 ns/op	         0.2628 flowcache-hit-rate	   1000000 flows	         1.990 p99-probe-depth	       0 B/op	       0 allocs/op"
+	r, ok := parseBenchLine(line)
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	tel := r.Telemetry
+	if tel == nil {
+		t.Fatal("flow-table metrics not lifted")
+	}
+	if tel.FlowCacheHitRate == nil || *tel.FlowCacheHitRate != 0.2628 {
+		t.Errorf("flowcache_hit_rate = %v, want 0.2628", tel.FlowCacheHitRate)
+	}
+	if tel.ProbeDepthP99 == nil || *tel.ProbeDepthP99 != 1.990 {
+		t.Errorf("probe_depth_p99 = %v, want 1.990", tel.ProbeDepthP99)
+	}
+	if _, dup := r.Extra["flowcache-hit-rate"]; dup {
+		t.Error("flowcache-hit-rate duplicated in Extra")
+	}
+	if v := r.Extra["flows"]; v != 1000000 {
+		t.Errorf("flows = %v, want 1000000 in Extra", v)
+	}
+	if r.AllocsOp == nil || *r.AllocsOp != 0 {
+		t.Errorf("allocs_per_op not parsed: %+v", r)
+	}
+
+	doc, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(doc, &back); err != nil {
+		t.Fatal(err)
+	}
+	telMap, ok := back["telemetry"].(map[string]any)
+	if !ok {
+		t.Fatalf("no telemetry object in JSON: %s", doc)
+	}
+	if telMap["flowcache_hit_rate"].(float64) != 0.2628 || telMap["probe_depth_p99"].(float64) != 1.99 {
+		t.Errorf("telemetry JSON = %v", telMap)
+	}
+}
+
 func TestParseBenchLineRejectsNonBench(t *testing.T) {
 	for _, line := range []string{
 		"ok  \tldlp/internal/core\t0.5s",

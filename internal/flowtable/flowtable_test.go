@@ -1,0 +1,297 @@
+package flowtable
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ident(k uint64) uint64 { return Mix64(k) }
+
+// awfulHash collapses every key into four groups, forcing maximal
+// collision pressure: displacement-bounded probing and grow-on-probe
+// must still keep every key findable.
+func awfulHash(k uint64) uint64 { return (k % 4) * 8 }
+
+func TestTableBasic(t *testing.T) {
+	tab := New[uint64, int](0, ident)
+	if _, ok := tab.Lookup(1); ok {
+		t.Fatal("lookup in empty table hit")
+	}
+	for i := uint64(0); i < 100; i++ {
+		tab.Insert(i, int(i)*10)
+	}
+	if got := tab.Len(); got != 100 {
+		t.Fatalf("Len = %d, want 100", got)
+	}
+	for i := uint64(0); i < 100; i++ {
+		v, ok := tab.Lookup(i)
+		if !ok || v != int(i)*10 {
+			t.Fatalf("Lookup(%d) = %d,%v; want %d,true", i, v, ok, i*10)
+		}
+	}
+	// Update in place.
+	tab.Insert(7, 777)
+	if v, _ := tab.Lookup(7); v != 777 {
+		t.Fatalf("after update Lookup(7) = %d, want 777", v)
+	}
+	if got := tab.Len(); got != 100 {
+		t.Fatalf("update changed Len to %d", got)
+	}
+	// Delete half.
+	for i := uint64(0); i < 100; i += 2 {
+		if !tab.Delete(i) {
+			t.Fatalf("Delete(%d) missed", i)
+		}
+	}
+	if tab.Delete(2) {
+		t.Fatal("double Delete reported present")
+	}
+	if got := tab.Len(); got != 50 {
+		t.Fatalf("Len after deletes = %d, want 50", got)
+	}
+	for i := uint64(0); i < 100; i++ {
+		_, ok := tab.Lookup(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Lookup(%d) present=%v, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestTableGrowthKeepsEverything(t *testing.T) {
+	const n = 200_000
+	tab := New[uint64, uint64](0, ident)
+	for i := uint64(0); i < n; i++ {
+		tab.Insert(i, i^0xabcdef)
+	}
+	if tab.Len() != n {
+		t.Fatalf("Len = %d, want %d", tab.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok := tab.Lookup(i)
+		if !ok || v != i^0xabcdef {
+			t.Fatalf("Lookup(%d) = %d,%v after growth", i, v, ok)
+		}
+	}
+	st := tab.Stats()
+	if st.Lookups < n || st.Hits < n {
+		t.Fatalf("stats did not count lookups: %+v", st)
+	}
+	hist := tab.DepthHist()
+	if hist.Count != st.Lookups || hist.Max != st.ProbeMax {
+		t.Fatalf("DepthHist disagrees with Stats: %+v vs %+v", hist, st)
+	}
+	if p99 := hist.Quantile(0.99); p99 > 8 {
+		t.Fatalf("p99 probe depth %v exceeds the displacement bound", p99)
+	}
+}
+
+func TestTablePreSizedNeverMigrates(t *testing.T) {
+	// The reassembly table is built with hint == its population cap and
+	// must never start a migration, even under insert/delete churn that
+	// accumulates tombstones (a grow purging tombstones resolves at the
+	// same size, via finishMigration on the next grow — but the cheap
+	// invariant worth pinning is that lookups stay correct throughout).
+	tab := New[uint64, int](64, ident)
+	for round := 0; round < 200; round++ {
+		for i := uint64(0); i < 64; i++ {
+			tab.Insert(uint64(round)<<8|i, round)
+		}
+		for i := uint64(0); i < 64; i++ {
+			if !tab.Delete(uint64(round)<<8 | i) {
+				t.Fatalf("round %d: Delete(%d) missed", round, i)
+			}
+		}
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("Len = %d after churn, want 0", tab.Len())
+	}
+}
+
+func TestTableAdversarialHash(t *testing.T) {
+	tab := New[uint64, int](0, awfulHash)
+	const n = 4096
+	for i := uint64(0); i < n; i++ {
+		tab.Insert(i, int(i))
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok := tab.Lookup(i)
+		if !ok || v != int(i) {
+			t.Fatalf("adversarial hash lost key %d (=%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestTableRangeWithDelete(t *testing.T) {
+	tab := New[uint64, int](0, ident)
+	const n = 10_000
+	for i := uint64(0); i < n; i++ {
+		tab.Insert(i, int(i))
+	}
+	seen := map[uint64]bool{}
+	tab.Range(func(k uint64, v int) bool {
+		if seen[k] {
+			t.Fatalf("Range visited %d twice", k)
+		}
+		seen[k] = true
+		if k%3 == 0 {
+			tab.Delete(k) // delete-during-Range is the tcpTickShard pattern
+		}
+		return true
+	})
+	if len(seen) != n {
+		t.Fatalf("Range visited %d entries, want %d", len(seen), n)
+	}
+	want := 0
+	for i := uint64(0); i < n; i++ {
+		if i%3 != 0 {
+			want++
+		}
+	}
+	if tab.Len() != want {
+		t.Fatalf("Len after Range deletes = %d, want %d", tab.Len(), want)
+	}
+}
+
+func TestTableRangeMidMigration(t *testing.T) {
+	// Arrange for an in-flight migration (old array non-empty), then
+	// verify Range still sees every entry exactly once.
+	tab := New[uint64, int](0, ident)
+	n := 0
+	for tab.old.groups == 0 || n < 50 {
+		tab.Insert(uint64(n), n)
+		n++
+		if n > 1_000_000 {
+			t.Fatal("never entered migration")
+		}
+	}
+	if tab.old.groups == 0 {
+		// The last inserts may have drained it; push until mid-flight.
+		for tab.old.groups == 0 {
+			tab.Insert(uint64(n), n)
+			n++
+		}
+	}
+	seen := map[uint64]bool{}
+	tab.Range(func(k uint64, v int) bool {
+		if seen[k] {
+			t.Fatalf("mid-migration Range visited %d twice", k)
+		}
+		seen[k] = true
+		return true
+	})
+	if len(seen) != n {
+		t.Fatalf("mid-migration Range saw %d entries, want %d", len(seen), n)
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	c := NewCache[int, string](3, PolicyLRU, 1)
+	c.Insert(1, "a")
+	c.Insert(2, "b")
+	c.Insert(3, "c")
+	c.Lookup(1) // refresh 1: order 1,3,2
+	c.Insert(4, "d")
+	// 2 was least recent: evicted.
+	if _, ok := c.Lookup(2); ok {
+		t.Fatal("LRU kept the least-recently-used entry")
+	}
+	for _, k := range []int{1, 3, 4} {
+		if _, ok := c.Lookup(k); !ok {
+			t.Fatalf("LRU evicted the wrong entry (%d gone)", k)
+		}
+	}
+}
+
+func TestCacheFIFOOrder(t *testing.T) {
+	c := NewCache[int, string](3, PolicyFIFO, 1)
+	c.Insert(1, "a")
+	c.Insert(2, "b")
+	c.Insert(3, "c")
+	c.Lookup(1) // FIFO: hit must NOT refresh
+	c.Insert(4, "d")
+	// 1 was the oldest insertion: evicted despite the recent hit.
+	if _, ok := c.Lookup(1); ok {
+		t.Fatal("FIFO refreshed on hit")
+	}
+	for _, k := range []int{2, 3, 4} {
+		if _, ok := c.Lookup(k); !ok {
+			t.Fatalf("FIFO evicted the wrong entry (%d gone)", k)
+		}
+	}
+}
+
+func TestCacheRandomDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) []int {
+		c := NewCache[int, int](4, PolicyRandom, seed)
+		for i := 0; i < 64; i++ {
+			c.Insert(i, i)
+		}
+		return c.Keys()
+	}
+	a, b := run(7), run(7)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	if fmt.Sprint(run(7)) == fmt.Sprint(run(8)) {
+		t.Fatal("different seeds produced identical eviction patterns (suspicious)")
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	for _, p := range Policies() {
+		c := NewCache[int, int](4, p, 3)
+		for i := 1; i <= 4; i++ {
+			c.Insert(i, i)
+		}
+		c.Invalidate(2)
+		if _, ok := c.Lookup(2); ok {
+			t.Fatalf("%v: Invalidate left the entry", p)
+		}
+		if c.Len() != 3 {
+			t.Fatalf("%v: Len = %d after Invalidate, want 3", p, c.Len())
+		}
+		c.Invalidate(99) // absent: no-op
+		if c.Len() != 3 {
+			t.Fatalf("%v: Invalidate(absent) changed Len", p)
+		}
+		// The freed slot is reused without eviction.
+		evBefore := c.Stats().Evictions
+		c.Insert(5, 5)
+		if c.Stats().Evictions != evBefore {
+			t.Fatalf("%v: insert into freed slot evicted", p)
+		}
+	}
+}
+
+func TestCacheStatsAndHitRate(t *testing.T) {
+	c := NewCache[int, int](2, PolicyLRU, 1)
+	c.Insert(1, 1)
+	c.Lookup(1)
+	c.Lookup(1)
+	c.Lookup(2)
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits 1 miss", s)
+	}
+	if got := s.HitRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("HitRate = %v, want 2/3", got)
+	}
+	if (CacheStats{}).HitRate() != 0 {
+		t.Fatal("empty HitRate not 0")
+	}
+	if NewCache[int, int](0, PolicyLRU, 0).Cap() != DefaultCacheSize {
+		t.Fatal("default capacity not applied")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	want := map[Policy]string{PolicyLRU: "lru", PolicyFIFO: "fifo", PolicyRandom: "random"}
+	for p, s := range want {
+		if p.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", p, p.String(), s)
+		}
+	}
+	if Policy(99).String() != "unknown" {
+		t.Fatal("unknown policy name")
+	}
+}

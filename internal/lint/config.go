@@ -37,6 +37,16 @@ func DefaultAnalyzers() []*Analyzer {
 				"ldlp/internal/netstack.rxPath.tcpInput",
 				"ldlp/internal/netstack.rxPath.sockInput",
 				"ldlp/internal/netstack.rxPath.freeChain",
+				// The million-flow PCB lookup path: the flow cache and the
+				// open-addressed table must stay allocation-free per lookup
+				// (growth allocates, but only in the untagged cold grow()).
+				"ldlp/internal/netstack.transportShard.lookupPCB",
+				"ldlp/internal/flowtable.Table.Lookup",
+				"ldlp/internal/flowtable.Table.Insert",
+				"ldlp/internal/flowtable.arr.find",
+				"ldlp/internal/flowtable.arr.insert",
+				"ldlp/internal/flowtable.Cache.Lookup",
+				"ldlp/internal/flowtable.Cache.Insert",
 				"ldlp/internal/mbuf.PoolShard.get",
 				"ldlp/internal/mbuf.PoolShard.FromBytes",
 				"ldlp/internal/mbuf.Mbuf.Free",
@@ -104,6 +114,12 @@ func DefaultAnalyzers() []*Analyzer {
 				"ldlp/internal/netstack.tcpPCB",
 				"ldlp/internal/netstack.transportShard",
 				"ldlp/internal/netstack.fragState",
+				// The flow table, the flow cache and the padded tally slot
+				// inherit their shard's ownership: single-writer structures
+				// touched only from the owning worker or at quiescence.
+				"ldlp/internal/netstack.shardTally",
+				"ldlp/internal/flowtable.Table",
+				"ldlp/internal/flowtable.Cache",
 			},
 			// Shard context: receive-path methods run on the owning worker;
 			// owned types' own methods run wherever a caller already proved
@@ -112,6 +128,8 @@ func DefaultAnalyzers() []*Analyzer {
 				"ldlp/internal/netstack.rxPath",
 				"ldlp/internal/netstack.transportShard",
 				"ldlp/internal/netstack.tcpPCB",
+				"ldlp/internal/flowtable.Table",
+				"ldlp/internal/flowtable.Cache",
 			},
 			// The declared cross-shard surface. Three families: host setup,
 			// the pump's at-quiescence walks (after ShardedStack.Drain, no
@@ -128,6 +146,11 @@ func DefaultAnalyzers() []*Analyzer {
 				"ldlp/internal/netstack.Host.fragTick",
 				"ldlp/internal/netstack.Host.DialTCP",
 				"ldlp/internal/netstack.Host.ShardTransportStats",
+				"ldlp/internal/netstack.Host.FlowStats",
+				// Construction hands a fresh (never-shared) value to its
+				// owner-to-be.
+				"ldlp/internal/flowtable.New",
+				"ldlp/internal/flowtable.NewCache",
 				"ldlp/internal/netstack.Net.Close",
 				"ldlp/internal/netstack.Host.Ping",
 				"ldlp/internal/netstack.UDPSock.SendTo",
@@ -150,6 +173,9 @@ func DefaultAnalyzers() []*Analyzer {
 				// sim-driven traces depend on the seed alone; time.Now
 				// anywhere in the package would silently break replay.
 				"ldlp/internal/telemetry",
+				// The flow table promises deterministic iteration and seeded
+				// eviction — no map ranging, no global rand, no clock.
+				"ldlp/internal/flowtable",
 			},
 		}),
 	}

@@ -27,6 +27,7 @@ import (
 
 	"ldlp/internal/core"
 	"ldlp/internal/faults"
+	"ldlp/internal/flowtable"
 	"ldlp/internal/layers"
 	"ldlp/internal/mbuf"
 )
@@ -156,8 +157,10 @@ func ledgerFor(name string, c *Counters) map[string]int64 {
 // runEquivWorkload replays script against a server at the given shard
 // count. cfg impairs both directions when non-nil (fault runs compare
 // stream contents only — injector draws depend on frame order, which
-// legitimately differs across shard counts).
-func runEquivWorkload(t *testing.T, script *equivScript, shards int, cfg *faults.Config) *equivRun {
+// legitimately differs across shard counts). mutate, when non-nil,
+// adjusts the server's Options before the host is built (the eviction-
+// policy runs use it to sweep FlowCachePolicy).
+func runEquivWorkload(t *testing.T, script *equivScript, shards int, cfg *faults.Config, mutate func(*Options)) *equivRun {
 	t.Helper()
 	mbuf.ResetPool()
 	n := NewNet()
@@ -170,6 +173,9 @@ func runEquivWorkload(t *testing.T, script *equivScript, shards int, cfg *faults
 			o = DefaultOptions(core.LDLP)
 		}
 		o.MTU = 600 // big TCP segments and big datagrams must fragment
+		if mutate != nil {
+			mutate(&o)
+		}
 		return o
 	}
 	a := n.AddHost("client", ipA, mkOpts(1))
@@ -408,12 +414,12 @@ func TestDifferentialShardEquivalence(t *testing.T) {
 	for _, seed := range []int64{1, 2, 3} {
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			script := genEquivScript(seed, 512)
-			base := runEquivWorkload(t, script, 1, nil)
+			base := runEquivWorkload(t, script, 1, nil, nil)
 			if base.reinjects != 0 {
 				t.Errorf("single-threaded run reinjected %d datagrams, want 0", base.reinjects)
 			}
 			for _, shards := range []int{2, 4} {
-				got := runEquivWorkload(t, script, shards, nil)
+				got := runEquivWorkload(t, script, shards, nil, nil)
 				compareStreams(t, script, base, got, shards)
 				for f := range got.udpSeqs {
 					if got.udpSeqs[f] != base.udpSeqs[f] {
@@ -467,10 +473,45 @@ func TestDifferentialEquivalenceUnderFaults(t *testing.T) {
 			// Over-MTU messages: fragmented TCP segments cross shards through
 			// the reassembly reinject, the one path the ledger runs scope out.
 			script := genEquivScript(7, 1000)
-			base := runEquivWorkload(t, script, 1, &cfg)
+			base := runEquivWorkload(t, script, 1, &cfg, nil)
 			for _, shards := range []int{4} {
-				got := runEquivWorkload(t, script, shards, &cfg)
+				got := runEquivWorkload(t, script, shards, &cfg, nil)
 				compareStreams(t, script, base, got, shards)
+			}
+		})
+	}
+}
+
+// TestDifferentialEquivalenceEvictionPolicies pins the flow cache's
+// "policy never changes lookup results" contract end to end: the same
+// workload through every eviction policy, at one shard and several,
+// must produce the identical streams, datagram sequences and ledger as
+// the single-shard LRU baseline. The policy only decides which entries
+// stay warm — a divergence here means a cache hit returned a different
+// PCB than the table would have.
+func TestDifferentialEquivalenceEvictionPolicies(t *testing.T) {
+	script := genEquivScript(11, 512)
+	base := runEquivWorkload(t, script, 1, nil, nil)
+	for _, policy := range flowtable.Policies() {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			mutate := func(o *Options) {
+				o.FlowCachePolicy = policy
+				o.FlowCacheSize = 4 // small enough that eviction actually happens
+			}
+			for _, shards := range []int{1, 2, 4} {
+				got := runEquivWorkload(t, script, shards, nil, mutate)
+				compareStreams(t, script, base, got, shards)
+				for f := range got.udpSeqs {
+					if got.udpSeqs[f] != base.udpSeqs[f] {
+						t.Errorf("policy=%v shards=%d: UDP flow %d sequence differs", policy, shards, f)
+					}
+				}
+				for k, v := range base.ledger {
+					if got.ledger[k] != v {
+						t.Errorf("policy=%v shards=%d: ledger[%s] = %d, want %d", policy, shards, k, got.ledger[k], v)
+					}
+				}
 			}
 		})
 	}

@@ -62,6 +62,7 @@ func (h *Host) expvars() map[string]any {
 		"tcpSlowPath": h.Counters.TCPSlowPath,
 		"stackStats":  h.StackStats(),
 		"shards":      h.ShardTransportStats(),
+		"flows":       h.FlowStats(),
 		"telemetry":   hists,
 	}
 }

@@ -1,6 +1,7 @@
 package netstack
 
 import (
+	"ldlp/internal/flowtable"
 	"ldlp/internal/layers"
 	"ldlp/internal/mbuf"
 )
@@ -16,6 +17,26 @@ type fragKey struct {
 	src   layers.IPAddr
 	id    uint16
 	proto byte
+}
+
+// pack serializes the key (4 address bytes + 2 ID bytes + protocol = 7
+// bytes) into one word for the flow-table hash.
+func (k fragKey) pack() uint64 {
+	return uint64(k.src[0])<<48 | uint64(k.src[1])<<40 |
+		uint64(k.src[2])<<32 | uint64(k.src[3])<<24 |
+		uint64(k.id)<<8 | uint64(k.proto)
+}
+
+func fragHash(k fragKey) uint64 { return flowtable.Mix64(k.pack()) }
+
+// fragQEntry is one slot of a shard's frag insertion-order queue. The
+// state pointer disambiguates key reuse: if the datagram completed (or
+// timed out) and a new reassembly later claimed the same key, the
+// stale queue entry must not evict the newcomer — the pointer
+// comparison in evictOldestFrag skips it.
+type fragQEntry struct {
+	key fragKey
+	st  *fragState
 }
 
 // fragState tracks received byte ranges of one datagram. data and have
@@ -101,7 +122,9 @@ func (ts *transportShard) fragmentOutput(m *mbuf.Mbuf, proto byte, dst layers.IP
 func (ts *transportShard) reassemble(p *Packet) []byte {
 	h := ts.h
 	if ts.frags == nil {
-		ts.frags = make(map[fragKey]*fragState)
+		// Lazily built, pre-sized for the cap: the table never needs to
+		// grow, so reassembly never migrates.
+		ts.frags = flowtable.New[fragKey, *fragState](maxFragStates, fragHash)
 	}
 	key := fragKey{src: p.IP.Src, id: p.IP.ID, proto: p.IP.Protocol}
 	fragPayload := p.M.Contiguous()
@@ -114,13 +137,17 @@ func (ts *transportShard) reassemble(p *Packet) []byte {
 		inc(&h.Counters.BadIP)
 		return nil
 	}
-	st := ts.frags[key]
+	st, _ := ts.frags.Lookup(key)
 	if st == nil {
-		if len(ts.frags) >= maxFragStates {
+		if ts.frags.Len() >= maxFragStates {
 			ts.evictOldestFrag()
 		}
 		st = &fragState{totalLen: -1, deadline: h.net.now + fragTimeout}
-		ts.frags[key] = st
+		ts.frags.Insert(key, st)
+		// All partial datagrams share one timeout, so appending here
+		// keeps fragq in deadline order — the O(1) eviction depends on
+		// it.
+		ts.fragq = append(ts.fragq, fragQEntry{key: key, st: st})
 	}
 	if end > len(st.data) {
 		if end <= cap(st.data) {
@@ -168,39 +195,57 @@ func (ts *transportShard) reassemble(p *Packet) []byte {
 			return nil
 		}
 	}
-	delete(ts.frags, key)
+	ts.frags.Delete(key)
 	inc(&h.Counters.Reassembled)
 	return st.data[:st.totalLen]
 }
 
-// evictOldestFrag reclaims the partial datagram closest to expiry
-// (the oldest, since all share one timeout), making room for a new one
-// at the maxFragStates cap. Counted as a reassembly timeout: the
-// datagram is abandoned exactly as if its timer had fired.
-func (ts *transportShard) evictOldestFrag() {
-	var oldest fragKey
-	best := -1.0
-	for key, st := range ts.frags {
-		if best < 0 || st.deadline < best {
-			best = st.deadline
-			oldest = key
-		}
+// fragsLen reports live partial reassemblies (nil-safe: the table is
+// built lazily on the first fragment).
+func (ts *transportShard) fragsLen() int {
+	if ts.frags == nil {
+		return 0
 	}
-	if best >= 0 {
-		delete(ts.frags, oldest)
-		inc(&ts.h.Counters.ReassemblyTimeouts)
+	return ts.frags.Len()
+}
+
+// evictOldestFrag reclaims the partial datagram closest to expiry (the
+// oldest, since all share one timeout), making room for a new one at
+// the maxFragStates cap. Counted as a reassembly timeout: the datagram
+// is abandoned exactly as if its timer had fired. O(1) amortized: the
+// fragq queue is in insertion == deadline order, and each entry is
+// examined at most once ever — entries whose datagram already
+// completed, expired, or was evicted are recognized by the state
+// pointer no longer being the table's and skipped.
+func (ts *transportShard) evictOldestFrag() {
+	for len(ts.fragq) > 0 {
+		e := ts.fragq[0]
+		ts.fragq = ts.fragq[1:]
+		if cur, ok := ts.frags.Lookup(e.key); ok && cur == e.st {
+			ts.frags.Delete(e.key)
+			inc(&ts.h.Counters.ReassemblyTimeouts)
+			return
+		}
 	}
 }
 
 // fragTick expires stale partial datagrams. Pump-side at quiescence,
-// like tcpTick: a declared hand-off point over every shard's map.
+// like tcpTick: a declared hand-off point over every shard's table
+// (Range tolerates the deletes; nothing here inserts).
 func (h *Host) fragTick() {
 	for _, ts := range h.tshards {
-		for key, st := range ts.frags {
+		if ts.frags == nil {
+			continue
+		}
+		ts.frags.Range(func(key fragKey, st *fragState) bool {
 			if h.net.now >= st.deadline {
-				delete(ts.frags, key)
+				ts.frags.Delete(key)
 				inc(&h.Counters.ReassemblyTimeouts)
 			}
+			return true
+		})
+		if ts.frags.Len() == 0 {
+			ts.fragq = ts.fragq[:0]
 		}
 	}
 }

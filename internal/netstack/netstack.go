@@ -43,6 +43,7 @@ import (
 
 	"ldlp/internal/core"
 	"ldlp/internal/faults"
+	"ldlp/internal/flowtable"
 	"ldlp/internal/layers"
 	"ldlp/internal/mbuf"
 	"ldlp/internal/telemetry"
@@ -131,6 +132,15 @@ type Options struct {
 	// TelemetryRing sizes each shard's flight-recorder ring (<= 0 uses
 	// the telemetry default).
 	TelemetryRing int
+	// FlowCacheSize sets each transport shard's recently-active flow
+	// cache capacity — the N-entry generalization of the paper's
+	// single-entry PCB cache. <= 0 uses flowtable.DefaultCacheSize (8).
+	FlowCacheSize int
+	// FlowCachePolicy selects the flow cache's eviction policy (LRU,
+	// FIFO or random — the DEC-TR-592 comparison). The policy changes
+	// only which entries stay warm, never lookup results, so any choice
+	// preserves wire-level behaviour. Zero value is LRU.
+	FlowCachePolicy flowtable.Policy
 }
 
 // DefaultOptions mirror the paper's LDLP setup bounded by a 500-packet
@@ -542,23 +552,41 @@ type transportShard struct {
 	// Drain (shard-index order keeps the flush deterministic).
 	txq []frame
 
-	// TCP state (tcp.go): this shard's connections and its single-entry
-	// PCB cache (per-shard, so the cache line stays core-local).
-	pcbs     map[fourTuple]*tcpPCB
-	pcbCache *tcpPCB
+	// TCP state (tcp.go): this shard's connections in an open-addressed
+	// flow table, fronted by the N-entry recently-active flow cache —
+	// the paper's single-entry PCB cache generalized per DEC-TR-592
+	// (per-shard, so the cached lines stay core-local and two flows on
+	// different shards cannot evict each other).
+	pcbs     *flowtable.Table[fourTuple, *tcpPCB]
+	pcbCache *flowtable.Cache[fourTuple, *tcpPCB]
 
 	// Reassembly state (frag.go): fragments hash by IP ID, so every
-	// fragment of one datagram lands here.
-	frags map[fragKey]*fragState
+	// fragment of one datagram lands here. fragq remembers insertion
+	// order (oldest first) so the maxFragStates eviction is O(1) — all
+	// partial datagrams share one timeout, so insertion order is
+	// deadline order.
+	frags *flowtable.Table[fragKey, *fragState]
+	fragq []fragQEntry
 
-	// Per-shard transport tallies. Plain fields, written only by the
-	// owning worker (or the pump at quiescence) and read through
-	// Host.ShardTransportStats — the single-writer analogue of the
-	// atomic-counter discipline the global Counters use.
+	// tally points at this shard's slot in the host's padded tally
+	// array. Plain fields, written only by the owning worker (or the
+	// pump at quiescence) and read through Host.ShardTransportStats —
+	// the single-writer analogue of the atomic-counter discipline the
+	// global Counters use.
+	tally *shardTally
+}
+
+// shardTally is one transport shard's hot counters, padded to exactly
+// one 64-byte cache line so adjacent shards' counter updates never
+// false-share a line (each shard's worker bumps these on every frame;
+// before the padding, shard i's tcpSegs and shard i+1's txFrames could
+// land on one line and ping-pong between cores).
+type shardTally struct {
 	tcpSegs   int64
 	udpDgrams int64
 	txFrames  int64
 	reinjects int64
+	_         [32]byte
 }
 
 // ShardTransportStats is one transport shard's view for telemetry and
@@ -581,11 +609,60 @@ func (h *Host) ShardTransportStats() []ShardTransportStats {
 	out := make([]ShardTransportStats, len(h.tshards))
 	for i, ts := range h.tshards {
 		out[i] = ShardTransportStats{
-			Shard: i, TCPSegs: ts.tcpSegs, UDPDgrams: ts.udpDgrams,
-			TxFrames: ts.txFrames, Reinjects: ts.reinjects,
-			PCBs: len(ts.pcbs), Frags: len(ts.frags),
+			Shard: i, TCPSegs: ts.tally.tcpSegs, UDPDgrams: ts.tally.udpDgrams,
+			TxFrames: ts.tally.txFrames, Reinjects: ts.tally.reinjects,
+			PCBs: ts.pcbs.Len(), Frags: ts.fragsLen(),
 		}
 	}
+	return out
+}
+
+// FlowStats aggregates the flow-table and flow-cache effectiveness
+// counters across every transport shard: cache hit rate per the
+// configured eviction policy, and the flow table's probe-depth
+// distribution (groups touched per lookup — p99 near 1 means lookups
+// stay within one or two cache lines even at millions of flows).
+// Pump-side: call while the network is quiescent.
+type FlowStats struct {
+	Policy         string  `json:"policy"`
+	CacheHits      int64   `json:"cacheHits"`
+	CacheMisses    int64   `json:"cacheMisses"`
+	CacheEvictions int64   `json:"cacheEvictions"`
+	CacheHitRate   float64 `json:"cacheHitRate"`
+	TableLookups   int64   `json:"tableLookups"`
+	TableHits      int64   `json:"tableHits"`
+	PCBs           int     `json:"pcbs"`
+	Capacity       int     `json:"capacity"`
+	ProbeDepthP50  float64 `json:"probeDepthP50"`
+	ProbeDepthP99  float64 `json:"probeDepthP99"`
+	ProbeDepthMax  int64   `json:"probeDepthMax"`
+}
+
+// FlowStats reports the merged flow-table/flow-cache statistics. A
+// declared pump-at-quiescence hand-off point: it reads every shard's
+// single-writer stats.
+func (h *Host) FlowStats() FlowStats {
+	var out FlowStats
+	var depth telemetry.HistSnapshot
+	var cs flowtable.CacheStats
+	for _, ts := range h.tshards {
+		c := ts.pcbCache.Stats()
+		cs.Hits += c.Hits
+		cs.Misses += c.Misses
+		cs.Evictions += c.Evictions
+		st := ts.pcbs.Stats()
+		out.TableLookups += st.Lookups
+		out.TableHits += st.Hits
+		out.PCBs += st.Live
+		out.Capacity += st.Capacity
+		depth.Merge(ts.pcbs.DepthHist())
+	}
+	out.Policy = h.opts.FlowCachePolicy.String()
+	out.CacheHits, out.CacheMisses, out.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
+	out.CacheHitRate = cs.HitRate()
+	out.ProbeDepthP50 = depth.Quantile(0.50)
+	out.ProbeDepthP99 = depth.Quantile(0.99)
+	out.ProbeDepthMax = depth.Max
 	return out
 }
 
@@ -661,8 +738,21 @@ func newHost(n *Net, name string, ip layers.IPAddr, opts Options) *Host {
 	h.id = poolBase
 	h.txPool = mbuf.DefaultShard(poolBase)
 	h.tshards = make([]*transportShard, maxInt(1, opts.RxShards))
+	// One contiguous padded array: each shard's tally owns a full cache
+	// line, and the slots are adjacent so the pump's stats sweep streams
+	// through them.
+	tallies := make([]shardTally, len(h.tshards))
 	for i := range h.tshards {
-		h.tshards[i] = &transportShard{h: h, idx: i, pcbs: make(map[fourTuple]*tcpPCB)}
+		// Distinct hash seeds per shard keep the tables' probe sequences
+		// independent; the seed feeds the key mix, not shard routing, so
+		// it has no behavioural effect beyond slot placement.
+		seed := uint64(poolBase)<<16 | uint64(i)
+		h.tshards[i] = &transportShard{
+			h: h, idx: i,
+			pcbs:     flowtable.New[fourTuple, *tcpPCB](0, pcbHasher(seed)),
+			pcbCache: flowtable.NewCache[fourTuple, *tcpPCB](opts.FlowCacheSize, opts.FlowCachePolicy, seed|1),
+			tally:    &tallies[i],
+		}
 	}
 	h.tshards[0].pool = h.txPool
 
@@ -899,7 +989,7 @@ func (h *Host) process() int {
 // processing (single-threaded by construction), queued on this shard for
 // a batched flush under LDLP.
 func (ts *transportShard) transmit(f frame) {
-	ts.txFrames++
+	ts.tally.txFrames++
 	if ts.h.opts.Discipline == core.LDLP {
 		ts.txq = append(ts.txq, f)
 		return
@@ -1118,7 +1208,7 @@ func (rx *rxPath) reinjectReassembled(p *Packet, whole []byte) {
 	eth := layers.Ethernet{Dst: h.mac, Src: MACFor(p.IP.Src), EtherType: layers.EtherTypeIPv4}
 	m, hdr = m.Prepend(layers.EthernetLen)
 	eth.Encode(hdr)
-	rx.ts.reinjects++
+	rx.ts.tally.reinjects++
 	np := h.getPacket()
 	np.M = m
 	if err := h.shards.Inject(np); err != nil {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"ldlp/internal/core"
+	"ldlp/internal/flowtable"
 	"ldlp/internal/layers"
 	"ldlp/internal/telemetry"
 )
@@ -66,6 +67,21 @@ type fourTuple struct {
 	raddr layers.IPAddr
 	rport uint16
 	lport uint16
+}
+
+// pack serializes the tuple into one word (4 address bytes + 2 ports =
+// exactly 8 bytes), so the flow-table hash is a pack plus one mix —
+// no byte loop on the lookup fast path.
+func (t fourTuple) pack() uint64 {
+	return uint64(t.raddr[0])<<56 | uint64(t.raddr[1])<<48 |
+		uint64(t.raddr[2])<<40 | uint64(t.raddr[3])<<32 |
+		uint64(t.rport)<<16 | uint64(t.lport)
+}
+
+// pcbHasher builds the per-shard PCB flow-table hash: seeded so
+// distinct shards (and hosts) probe independently.
+func pcbHasher(seed uint64) func(fourTuple) uint64 {
+	return func(t fourTuple) uint64 { return flowtable.Mix64(t.pack() ^ seed) }
 }
 
 type unackedSeg struct {
@@ -206,7 +222,7 @@ func (h *Host) DialTCP(dst layers.IPAddr, port uint16) *TCPSock {
 	pcb.sndWnd = tcpWindow
 	pcb.sock = &TCPSock{pcb: pcb}
 	pcb.owner = h.tupleShard(pcb.tuple)
-	pcb.owner.pcbs[pcb.tuple] = pcb
+	pcb.owner.pcbs.Insert(pcb.tuple, pcb)
 	pcb.sendSegment(layers.TCPSyn, nil, true)
 	return pcb.sock
 }
@@ -287,28 +303,31 @@ func (pcb *tcpPCB) timeout() {
 }
 
 func (pcb *tcpPCB) teardown() {
-	if pcb.owner.pcbCache == pcb {
-		pcb.owner.pcbCache = nil
-	}
-	delete(pcb.owner.pcbs, pcb.tuple)
+	pcb.owner.pcbCache.Invalidate(pcb.tuple)
+	pcb.owner.pcbs.Delete(pcb.tuple)
 	pcb.state = stClosed
 }
 
-// lookupPCB finds the PCB for a tuple through the shard's single-entry
-// cache, the one §2's trace mentions ("the single-entry PCB cache
-// hits") — per shard, so the cache entry stays core-local and two flows
-// on different shards cannot evict each other.
+// lookupPCB finds the PCB for a tuple: first the shard's N-entry
+// recently-active flow cache (the generalization of the single-entry
+// PCB cache §2's trace mentions — per shard, so the cached lines stay
+// core-local and two flows on different shards cannot evict each
+// other; DEC-TR-592's destination locality is why a handful of entries
+// absorb most traffic), then the shard's open-addressed flow table.
+//
+//ldlp:hotpath
 func (ts *transportShard) lookupPCB(t fourTuple) *tcpPCB {
 	h := ts.h
-	if c := ts.pcbCache; c != nil && c.tuple == t {
+	if pcb, ok := ts.pcbCache.Lookup(t); ok {
 		inc(&h.Counters.PCBCacheHits)
-		return c
+		return pcb
 	}
 	inc(&h.Counters.PCBCacheMisses)
-	pcb := ts.pcbs[t]
-	if pcb != nil {
-		ts.pcbCache = pcb
+	pcb, ok := ts.pcbs.Lookup(t)
+	if !ok {
+		return nil
 	}
+	ts.pcbCache.Insert(t, pcb)
 	return pcb
 }
 
@@ -331,7 +350,7 @@ func (rx *rxPath) tcpInput(p *Packet, emit core.Emit[*Packet]) {
 	th := &p.TCP
 	tuple := fourTuple{raddr: p.IP.Src, rport: th.SrcPort, lport: th.DstPort}
 
-	rx.ts.tcpSegs++
+	rx.ts.tally.tcpSegs++
 	pcb := rx.ts.lookupPCB(tuple)
 
 	if pcb == nil {
@@ -399,7 +418,7 @@ func (rx *rxPath) tcpPassiveOpen(tuple fourTuple, th *layers.TCP) {
 	}
 	l.backlog = append(l.backlog, pcb.sock)
 	l.mu.Unlock()
-	rx.ts.pcbs[tuple] = pcb
+	rx.ts.pcbs.Insert(tuple, pcb)
 	pcb.sendSegment(layers.TCPSyn|layers.TCPAck, nil, true)
 }
 
@@ -622,12 +641,14 @@ func (h *Host) tcpTick() {
 
 func (ts *transportShard) tcpTickShard() {
 	h := ts.h
-	for _, pcb := range ts.pcbs {
+	// Range tolerates the deletes teardown/timeout perform mid-walk
+	// (flow-table deletes never relocate entries); nothing here inserts.
+	ts.pcbs.Range(func(_ fourTuple, pcb *tcpPCB) bool {
 		if pcb.state == stTimeWait {
 			if h.net.now >= pcb.timeWaitAt {
 				pcb.teardown()
 			}
-			continue
+			return true
 		}
 		if pcb.delAckPending > 0 {
 			inc(&h.Counters.DelayedAcks)
@@ -645,7 +666,7 @@ func (ts *transportShard) tcpTickShard() {
 			pcb.sendSegment(layers.TCPAck|layers.TCPPsh, chunk, true)
 		}
 		if len(pcb.unacked) == 0 {
-			continue
+			return true
 		}
 		u := &pcb.unacked[0]
 		if h.net.now-u.sentAt >= u.backoff {
@@ -655,7 +676,7 @@ func (ts *transportShard) tcpTickShard() {
 				// the socket so the application sees the failure, free
 				// everything queued, and reap the connection.
 				pcb.timeout()
-				continue
+				return true
 			}
 			u.tries++
 			inc(&h.Counters.Retransmits)
@@ -679,7 +700,8 @@ func (ts *transportShard) tcpTickShard() {
 			}
 			pcb.retransmit(u, flags)
 		}
-	}
+		return true
+	})
 }
 
 // retransmit re-emits one tracked segment without re-tracking it.

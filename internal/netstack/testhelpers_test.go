@@ -9,7 +9,7 @@ package netstack
 func (h *Host) numPCBs() int {
 	n := 0
 	for _, ts := range h.tshards {
-		n += len(ts.pcbs)
+		n += ts.pcbs.Len()
 	}
 	return n
 }
@@ -18,7 +18,7 @@ func (h *Host) numPCBs() int {
 func (h *Host) numFrags() int {
 	n := 0
 	for _, ts := range h.tshards {
-		n += len(ts.frags)
+		n += ts.fragsLen()
 	}
 	return n
 }
@@ -26,7 +26,7 @@ func (h *Host) numFrags() int {
 // findPCB locates a tuple's PCB on whichever shard owns it.
 func (h *Host) findPCB(t fourTuple) *tcpPCB {
 	for _, ts := range h.tshards {
-		if pcb := ts.pcbs[t]; pcb != nil {
+		if pcb, ok := ts.pcbs.Lookup(t); ok {
 			return pcb
 		}
 	}

@@ -96,7 +96,7 @@ func (rx *rxPath) udpInput(p *Packet, emit core.Emit[*Packet]) {
 		rx.reject(p, rx.udpin, telemetry.DropBadUDP)
 		return
 	}
-	rx.ts.udpDgrams++
+	rx.ts.tally.udpDgrams++
 	// The socket map itself only changes while the network is quiescent
 	// (UDPSocket/Close are pump-side), so the lookup needs no lock.
 	sock, ok := h.udpSocks[p.UDP.DstPort]
