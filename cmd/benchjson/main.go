@@ -23,9 +23,18 @@ import (
 // (ns/op, B/op, allocs/op) land in Extra keyed by their unit, except
 // the telemetry histogram quantiles, which are lifted into Telemetry
 // so CI diffs can key on stable field names.
+//
+// When the same benchmark appears more than once on stdin (a sampled
+// run: `go test -count=N`), the samples are merged into one Result:
+// ns/op, iterations, telemetry and extra metrics come from the
+// fastest sample — min-of-N is the standard noise filter for
+// wall-clock benchmarks on shared CI boxes — while B/op and allocs/op
+// take the maximum, because an allocation regression on any sample is
+// real. Samples records how many lines were folded in.
 type Result struct {
 	Name       string             `json:"name"`
 	Iterations int64              `json:"iterations"`
+	Samples    int64              `json:"samples,omitempty"`
 	NsPerOp    float64            `json:"ns_per_op"`
 	BytesPerOp *float64           `json:"bytes_per_op,omitempty"`
 	AllocsOp   *float64           `json:"allocs_per_op,omitempty"`
@@ -44,6 +53,8 @@ type TelemetrySummary struct {
 	LatencyP99NS     *float64 `json:"latency_p99_ns,omitempty"`
 	FlowCacheHitRate *float64 `json:"flowcache_hit_rate,omitempty"`
 	ProbeDepthP99    *float64 `json:"probe_depth_p99,omitempty"`
+	ShardImbalance   *float64 `json:"shard_imbalance,omitempty"`
+	WaitP99Slots     *float64 `json:"wait_p99_slots,omitempty"`
 }
 
 // telemetryUnits maps a ReportMetric unit to the TelemetrySummary
@@ -55,6 +66,8 @@ var telemetryUnits = map[string]func(*TelemetrySummary, float64){
 	"p99-latency-ns":     func(t *TelemetrySummary, v float64) { t.LatencyP99NS = &v },
 	"flowcache-hit-rate": func(t *TelemetrySummary, v float64) { t.FlowCacheHitRate = &v },
 	"p99-probe-depth":    func(t *TelemetrySummary, v float64) { t.ProbeDepthP99 = &v },
+	"shard-imbalance":    func(t *TelemetrySummary, v float64) { t.ShardImbalance = &v },
+	"p99-wait-slots":     func(t *TelemetrySummary, v float64) { t.WaitP99Slots = &v },
 }
 
 // Summary is the emitted document.
@@ -70,6 +83,7 @@ func main() {
 	flag.Parse()
 
 	var sum Summary
+	seen := map[string]int{} // benchmark name -> index in sum.Benchmarks
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -84,7 +98,13 @@ func main() {
 			sum.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		}
 		if r, ok := parseBenchLine(line); ok {
-			sum.Benchmarks = append(sum.Benchmarks, r)
+			if i, dup := seen[r.Name]; dup {
+				sum.Benchmarks[i] = merge(sum.Benchmarks[i], r)
+			} else {
+				seen[r.Name] = len(sum.Benchmarks)
+				r.Samples = 1
+				sum.Benchmarks = append(sum.Benchmarks, r)
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -104,6 +124,33 @@ func main() {
 		log.Fatalf("benchjson: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(sum.Benchmarks), *out)
+}
+
+// merge folds a repeated sample of the same benchmark into the
+// accumulated Result: min-of-N for the timing-derived fields (ns/op
+// wins as a unit, and the winning sample's iterations, telemetry and
+// extra metrics ride along so the record stays internally consistent),
+// max for the allocation fields.
+func merge(acc, next Result) Result {
+	samples := acc.Samples + 1
+	if next.NsPerOp < acc.NsPerOp {
+		acc.Name, acc.Iterations, acc.NsPerOp = next.Name, next.Iterations, next.NsPerOp
+		acc.Telemetry, acc.Extra = next.Telemetry, next.Extra
+	}
+	acc.BytesPerOp = maxPtr(acc.BytesPerOp, next.BytesPerOp)
+	acc.AllocsOp = maxPtr(acc.AllocsOp, next.AllocsOp)
+	acc.Samples = samples
+	return acc
+}
+
+func maxPtr(a, b *float64) *float64 {
+	if a == nil {
+		return b
+	}
+	if b != nil && *b > *a {
+		return b
+	}
+	return a
 }
 
 // parseBenchLine parses one testing.B output line:

@@ -117,3 +117,63 @@ func TestParseBenchLineRejectsNonBench(t *testing.T) {
 		}
 	}
 }
+
+func TestParseBenchLineLiftsDispatchMetrics(t *testing.T) {
+	line := "BenchmarkDispatchSkewed/loadaware-8  1  5768314 ns/op  5.000 bucket-moves  391.0 p99-wait-slots  1.171 shard-imbalance"
+	r, ok := parseBenchLine(line)
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	tel := r.Telemetry
+	if tel == nil {
+		t.Fatal("dispatch metrics not lifted")
+	}
+	if tel.ShardImbalance == nil || *tel.ShardImbalance != 1.171 {
+		t.Errorf("shard_imbalance = %v, want 1.171", tel.ShardImbalance)
+	}
+	if tel.WaitP99Slots == nil || *tel.WaitP99Slots != 391 {
+		t.Errorf("wait_p99_slots = %v, want 391", tel.WaitP99Slots)
+	}
+	if v := r.Extra["bucket-moves"]; v != 5 {
+		t.Errorf("bucket-moves = %v, want 5 in Extra", v)
+	}
+}
+
+// TestMergeMinOfN: repeated samples of one benchmark (go test -count=N)
+// fold to the fastest run's timing — with its own iterations and
+// metrics — while the allocation fields keep the worst observation.
+func TestMergeMinOfN(t *testing.T) {
+	lines := []string{
+		"BenchmarkHotPathInject-8  900000  420.0 ns/op  14 p50-batch  0 B/op  0 allocs/op",
+		"BenchmarkHotPathInject-8  1100000  359.2 ns/op  13 p50-batch  0 B/op  1 allocs/op",
+		"BenchmarkHotPathInject-8  1000000  401.5 ns/op  15 p50-batch  8 B/op  0 allocs/op",
+	}
+	var acc Result
+	for i, line := range lines {
+		r, ok := parseBenchLine(line)
+		if !ok {
+			t.Fatalf("sample %d did not parse", i)
+		}
+		if i == 0 {
+			r.Samples = 1
+			acc = r
+			continue
+		}
+		acc = merge(acc, r)
+	}
+	if acc.Samples != 3 {
+		t.Errorf("Samples = %d, want 3", acc.Samples)
+	}
+	if acc.NsPerOp != 359.2 || acc.Iterations != 1100000 {
+		t.Errorf("min sample not kept: %.1f ns/op over %d iterations", acc.NsPerOp, acc.Iterations)
+	}
+	if acc.Telemetry == nil || acc.Telemetry.BatchP50 == nil || *acc.Telemetry.BatchP50 != 13 {
+		t.Errorf("metrics should ride with the fastest sample: %+v", acc.Telemetry)
+	}
+	if acc.BytesPerOp == nil || *acc.BytesPerOp != 8 {
+		t.Errorf("B/op should keep the max: %v", acc.BytesPerOp)
+	}
+	if acc.AllocsOp == nil || *acc.AllocsOp != 1 {
+		t.Errorf("allocs/op should keep the max: %v", acc.AllocsOp)
+	}
+}

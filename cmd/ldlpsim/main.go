@@ -29,6 +29,7 @@ func main() {
 		f6        = flag.Bool("figure6", false, "latency vs arrival rate")
 		f7        = flag.Bool("figure7", false, "latency vs CPU clock (self-similar traffic)")
 		ablations = flag.Bool("ablations", false, "batch cap / queue cost / cache size / discipline sweeps")
+		disp      = flag.Bool("dispatch", false, "static vs load-aware dispatch under Zipf flow skew")
 		all       = flag.Bool("all", false, "everything")
 		paper     = flag.Bool("paper", false, "full published methodology (100 seeds x 1s)")
 		runs      = flag.Int("runs", 0, "override: seeds per point")
@@ -36,7 +37,7 @@ func main() {
 		plot      = flag.Bool("plot", false, "render ASCII plots alongside the tables")
 	)
 	flag.Parse()
-	if !(*f5 || *f6 || *f7 || *ablations || *all) {
+	if !(*f5 || *f6 || *f7 || *ablations || *disp || *all) {
 		*all = true
 	}
 
@@ -84,6 +85,11 @@ func main() {
 				fmt.Printf("# self-similar source: Hurst ≈ %.2f (Poisson would be 0.5; Bellcore measures 0.7-0.9)\n", h)
 			}
 			show(sim.Figure7(f7opts), true, "seconds")
+		})
+	}
+	if *all || *disp {
+		timed("dispatch skew", func() {
+			show(sim.FigureDispatchSkew(sim.DefaultDispatchSkew()), false, "imbalance")
 		})
 	}
 	if *all || *ablations {

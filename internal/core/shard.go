@@ -48,8 +48,9 @@ const defaultShardQueue = 4096
 //   - Close shuts the workers down (processing anything still queued);
 //     Inject after Close panics.
 type ShardedStack[M any] struct {
-	opts Options
-	hash func(M) uint64
+	opts  Options
+	hash  func(M) uint64
+	route func(key uint64, shards int) int
 
 	shards []*shard[M]
 	out    chan M
@@ -147,6 +148,13 @@ func (s *ShardedStack[M]) NumShards() int { return len(s.shards) }
 // Must be called before the first Inject.
 func (s *ShardedStack[M]) SetSink(fn Sink[M]) { s.sink = fn }
 
+// SetRoute installs a key-to-shard routing function, replacing the
+// default modulo mapping. fn receives the flow key produced by the hash
+// and the shard count, and must return an index in [0, n). Like SetSink
+// it must be called before the first Inject; fn itself must be safe for
+// concurrent use (Inject may run from many goroutines).
+func (s *ShardedStack[M]) SetRoute(fn func(key uint64, shards int) int) { s.route = fn }
+
 // SetTelemetry wires each shard's private stack to a flight-recorder
 // tracer from d (labelled "shard<i>", one ring of ringCap events per
 // shard, <= 0 selecting the default) plus a shared batch-size histogram
@@ -168,7 +176,12 @@ func (s *ShardedStack[M]) SetTelemetry(d *telemetry.Domain, ringCap int) {
 // is full — drop-tail, matching the single-threaded engine's MaxQueued
 // behaviour. Safe for concurrent use.
 func (s *ShardedStack[M]) Inject(m M) error {
-	sh := s.shards[int(s.hash(m)%uint64(len(s.shards)))]
+	key := s.hash(m)
+	idx := int(key % uint64(len(s.shards)))
+	if s.route != nil {
+		idx = s.route(key, len(s.shards))
+	}
+	sh := s.shards[idx]
 	s.pending.Add(1)
 	select {
 	case sh.in <- m:

@@ -41,6 +41,19 @@ func DefaultAnalyzers() []*Analyzer {
 				// open-addressed table must stay allocation-free per lookup
 				// (growth allocates, but only in the untagged cold grow()).
 				"ldlp/internal/netstack.transportShard.lookupPCB",
+				// The dispatch policies' per-frame surface: every frame pays
+				// Key + Shard before it reaches a shard queue, so all three
+				// policies must key and route without allocating (rebalancing
+				// is pump-side and exempt).
+				"ldlp/internal/dispatch.FrameKey",
+				"ldlp/internal/dispatch.hashByte",
+				"ldlp/internal/dispatch.Static.Key",
+				"ldlp/internal/dispatch.Static.Shard",
+				"ldlp/internal/dispatch.LoadAware.Key",
+				"ldlp/internal/dispatch.LoadAware.Shard",
+				"ldlp/internal/dispatch.RPCDispatch.Key",
+				"ldlp/internal/dispatch.RPCDispatch.Shard",
+				"ldlp/internal/dispatch.RPCDispatch.rpcXID",
 				"ldlp/internal/flowtable.Table.Lookup",
 				"ldlp/internal/flowtable.Table.Insert",
 				"ldlp/internal/flowtable.arr.find",
@@ -144,6 +157,11 @@ func DefaultAnalyzers() []*Analyzer {
 				"ldlp/internal/netstack.Host.flushTx",
 				"ldlp/internal/netstack.Host.tcpTick",
 				"ldlp/internal/netstack.Host.fragTick",
+				// Migration is the dispatch tentpole's declared hand-off: the
+				// pump (at quiescence, workers parked) re-homes the PCBs and
+				// reassembly state of every bucket the policy moved.
+				"ldlp/internal/netstack.Host.dispatchTick",
+				"ldlp/internal/netstack.Host.applyMigration",
 				"ldlp/internal/netstack.Host.DialTCP",
 				"ldlp/internal/netstack.Host.ShardTransportStats",
 				"ldlp/internal/netstack.Host.FlowStats",
@@ -176,6 +194,11 @@ func DefaultAnalyzers() []*Analyzer {
 				// The flow table promises deterministic iteration and seeded
 				// eviction — no map ranging, no global rand, no clock.
 				"ldlp/internal/flowtable",
+				// Dispatch policies must be replay-deterministic: identical
+				// frame sequences and rebalance points yield identical shard
+				// assignments, which the cross-policy equivalence harness
+				// depends on.
+				"ldlp/internal/dispatch",
 			},
 		}),
 	}

@@ -63,6 +63,7 @@ func (h *Host) expvars() map[string]any {
 		"stackStats":  h.StackStats(),
 		"shards":      h.ShardTransportStats(),
 		"flows":       h.FlowStats(),
+		"dispatch":    h.DispatchStats(),
 		"telemetry":   hists,
 	}
 }

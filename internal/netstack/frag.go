@@ -200,6 +200,29 @@ func (ts *transportShard) reassemble(p *Packet) []byte {
 	return st.data[:st.totalLen]
 }
 
+// adoptFrag takes ownership of a partial reassembly migrated from
+// another shard (dispatch rebalancing re-homed its datagram's flow
+// key). Pump-side at quiescence. fragq stays deadline-ordered: the
+// adopted state keeps its original deadline, so it is inserted at its
+// sorted position rather than appended (migrated states are the one
+// source of out-of-order deadlines).
+func (ts *transportShard) adoptFrag(k fragKey, st *fragState) {
+	if ts.frags == nil {
+		ts.frags = flowtable.New[fragKey, *fragState](maxFragStates, fragHash)
+	}
+	if ts.frags.Len() >= maxFragStates {
+		ts.evictOldestFrag()
+	}
+	ts.frags.Insert(k, st)
+	i := len(ts.fragq)
+	ts.fragq = append(ts.fragq, fragQEntry{})
+	for i > 0 && ts.fragq[i-1].st.deadline > st.deadline {
+		ts.fragq[i] = ts.fragq[i-1]
+		i--
+	}
+	ts.fragq[i] = fragQEntry{key: k, st: st}
+}
+
 // fragsLen reports live partial reassemblies (nil-safe: the table is
 // built lazily on the first fragment).
 func (ts *transportShard) fragsLen() int {

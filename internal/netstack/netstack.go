@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 
 	"ldlp/internal/core"
+	"ldlp/internal/dispatch"
 	"ldlp/internal/faults"
 	"ldlp/internal/flowtable"
 	"ldlp/internal/layers"
@@ -57,6 +58,13 @@ type Packet struct {
 	IP  layers.IPv4
 	TCP layers.TCP
 	UDP layers.UDP
+	// reinjected marks a datagram that was reassembled on one shard and
+	// re-injected to the shard owning its flow — the one packet source
+	// that is not the wire. The FIFO-preservation suite keys on it:
+	// cross-shard reinjection re-queues the datagram behind frames the
+	// owning shard already accepted, so its ledger effects may interleave
+	// differently than a single-threaded run's.
+	reinjected bool
 }
 
 // Counters is the per-host accounting the tests and examples inspect.
@@ -83,6 +91,14 @@ type Counters struct {
 	FragmentsSent       int64
 	Reassembled         int64 // datagrams completed from fragments
 	ReassemblyTimeouts  int64
+	// TCPReinjects counts reassembled TCP datagrams that crossed shards
+	// through the reinject hand-off. Such a datagram re-enters the owning
+	// shard's queue behind segments already accepted there, so its ACK
+	// ledger can interleave differently than single-threaded processing —
+	// the equivalence harness asserts this stays 0 in runs it compares
+	// ledgers for (the checked invariant that replaced PR 6's documented
+	// caveat).
+	TCPReinjects int64
 	TxBatches           int64 // transmit-side LDLP: queued-output flushes
 	TxMaxBatch          int   // largest single transmit flush
 	WindowProbes        int64 // zero-window persist probes sent
@@ -141,6 +157,11 @@ type Options struct {
 	// only which entries stay warm, never lookup results, so any choice
 	// preserves wire-level behaviour. Zero value is LRU.
 	FlowCachePolicy flowtable.Policy
+	// Dispatch selects the receive-side dispatch policy mapping frames
+	// to shards (and, for dispatch.LoadAware, rebalancing hot flows at
+	// quiescent points). Nil uses dispatch.Static — the classic flow-hash
+	// modulo mapping. A policy instance must not be shared across hosts.
+	Dispatch dispatch.Policy
 }
 
 // DefaultOptions mirror the paper's LDLP setup bounded by a 500-packet
@@ -519,6 +540,21 @@ type Host struct {
 	// hash to different shards but share one bound port).
 	udpSocks map[uint16]*UDPSock
 
+	// policy maps frames to shards (Options.Dispatch, defaulted to
+	// dispatch.Static). Its Key/Shard run on the hot path; Rebalance
+	// runs from dispatchTick with the workers quiescent.
+	policy dispatch.Policy
+
+	// Dispatch-rebalancing bookkeeping, pump-side only (dispatch.go):
+	// prevShardLoad holds each shard's absolute Processed count at the
+	// last dispatchTick, so the policy sees per-window deltas; the
+	// counters feed DispatchStats.
+	prevShardLoad []int64
+	rebalances    int64
+	bucketMoves   int64
+	flowsMigrated int64
+	fragsMigrated int64
+
 	// tel is the host's telemetry domain: one flight-recorder tracer
 	// per receive shard (wired into the LDLP engine), one pump-side
 	// tracer (telPump) for events that happen outside the receive
@@ -582,11 +618,12 @@ type transportShard struct {
 // before the padding, shard i's tcpSegs and shard i+1's txFrames could
 // land on one line and ping-pong between cores).
 type shardTally struct {
-	tcpSegs   int64
-	udpDgrams int64
-	txFrames  int64
-	reinjects int64
-	_         [32]byte
+	tcpSegs    int64
+	udpDgrams  int64
+	txFrames   int64
+	reinjects  int64
+	reasmLocal int64
+	_          [24]byte
 }
 
 // ShardTransportStats is one transport shard's view for telemetry and
@@ -596,10 +633,11 @@ type ShardTransportStats struct {
 	Shard     int
 	TCPSegs   int64 // TCP segments that reached this shard's TCP layer
 	UDPDgrams int64 // datagrams queued to sockets by this shard
-	TxFrames  int64 // frames this shard queued for transmit
-	Reinjects int64 // reassembled datagrams re-routed to their flow's owner
-	PCBs      int   // connections currently owned
-	Frags     int   // partial reassemblies currently held
+	TxFrames   int64 // frames this shard queued for transmit
+	Reinjects  int64 // reassembled datagrams re-routed to their flow's owner
+	ReasmLocal int64 // reassembled datagrams whose flow this shard already owned
+	PCBs       int   // connections currently owned
+	Frags      int   // partial reassemblies currently held
 }
 
 // ShardTransportStats reports every transport shard's tallies, index-
@@ -611,7 +649,8 @@ func (h *Host) ShardTransportStats() []ShardTransportStats {
 		out[i] = ShardTransportStats{
 			Shard: i, TCPSegs: ts.tally.tcpSegs, UDPDgrams: ts.tally.udpDgrams,
 			TxFrames: ts.tally.txFrames, Reinjects: ts.tally.reinjects,
-			PCBs: ts.pcbs.Len(), Frags: ts.fragsLen(),
+			ReasmLocal: ts.tally.reasmLocal,
+			PCBs:       ts.pcbs.Len(), Frags: ts.fragsLen(),
 		}
 	}
 	return out
@@ -636,6 +675,9 @@ type FlowStats struct {
 	ProbeDepthP50  float64 `json:"probeDepthP50"`
 	ProbeDepthP99  float64 `json:"probeDepthP99"`
 	ProbeDepthMax  int64   `json:"probeDepthMax"`
+	// Migrated counts connections re-homed to another shard by the
+	// dispatch policy's rebalancing (0 under static policies).
+	Migrated int64 `json:"migrated"`
 }
 
 // FlowStats reports the merged flow-table/flow-cache statistics. A
@@ -663,6 +705,7 @@ func (h *Host) FlowStats() FlowStats {
 	out.ProbeDepthP50 = depth.Quantile(0.50)
 	out.ProbeDepthP99 = depth.Quantile(0.99)
 	out.ProbeDepthMax = depth.Max
+	out.Migrated = h.flowsMigrated
 	return out
 }
 
@@ -733,6 +776,10 @@ func newHost(n *Net, name string, ip layers.IPAddr, opts Options) *Host {
 		net: n, name: name, ip: ip, mac: MACFor(ip), opts: opts,
 		listeners: make(map[uint16]*TCPListener),
 		udpSocks:  make(map[uint16]*UDPSock),
+		policy:    opts.Dispatch,
+	}
+	if h.policy == nil {
+		h.policy = dispatch.Static{}
 	}
 	poolBase := int(hostSeq.Add(int64(maxInt(1, opts.RxShards) + 1)))
 	h.id = poolBase
@@ -782,8 +829,9 @@ func newHost(n *Net, name string, ip layers.IPAddr, opts Options) *Host {
 			panic("netstack: RxShards > 1 requires the LDLP discipline")
 		}
 		h.sharded = true
+		h.prevShardLoad = make([]int64, opts.RxShards)
 		h.shards = core.NewShardedStack(engineOpts,
-			func(p *Packet) uint64 { return rxFlowHash(p.M.Bytes()) },
+			func(p *Packet) uint64 { return h.policy.Key(p.M.Bytes()) },
 			func(i int, st *core.Stack[*Packet]) {
 				rx := h.buildRxPath(st)
 				rx.ts = h.tshards[i]
@@ -794,6 +842,7 @@ func newHost(n *Net, name string, ip layers.IPAddr, opts Options) *Host {
 				st.SetTelemetry(rx.tel, rxBatch)
 				h.rxs = append(h.rxs, rx)
 			})
+		h.shards.SetRoute(h.policy.Shard)
 		h.shards.SetSink(h.putPacket)
 		return h
 	}
@@ -841,52 +890,21 @@ func maxInt(a, b int) int {
 // (src, dst, proto) — interleaving across shards is harmless.
 func (h *Host) nextIPID() uint16 { return uint16(h.ipID.Add(1)) }
 
-// tupleShard maps a connection 4-tuple to its owning transport shard —
-// the control-plane twin of rxFlowHash: it hashes the byte sequence an
-// inbound segment of that connection carries on the wire (peer address,
-// our address, protocol, then the peer's source port and our port in
-// wire order), so the shard DialTCP picks is exactly the shard the
-// engine will route the connection's segments to. FNV-1a consumes bytes
-// one at a time, so hashing the 13 bytes in one buffer here equals
-// rxFlowHash's chunked accumulation.
+// tupleShard maps a connection 4-tuple to its owning transport shard by
+// asking the dispatch policy the same question the engine asks per
+// frame: dispatch.TupleKey produces exactly the flow key an inbound
+// segment of that connection yields under dispatch.FrameKey (pinned by
+// TestTupleShardMatchesFrameKey), and policy.Shard maps it through the
+// same routing (including LoadAware's indirection table). So the shard
+// DialTCP picks is exactly the shard the engine routes the connection's
+// segments to — the control plane and data plane share one key builder
+// and one router, and cannot desynchronize.
 func (h *Host) tupleShard(t fourTuple) *transportShard {
 	if len(h.tshards) == 1 {
 		return h.tshards[0]
 	}
-	var b [13]byte
-	copy(b[0:4], t.raddr[:])
-	copy(b[4:8], h.ip[:])
-	b[8] = layers.ProtoTCP
-	b[9], b[10] = byte(t.rport>>8), byte(t.rport)
-	b[11], b[12] = byte(t.lport>>8), byte(t.lport)
-	hash := core.HashBytes(core.HashSeed(), b[:])
-	return h.tshards[int(hash%uint64(len(h.tshards)))]
-}
-
-// rxFlowHash maps a raw frame to its flow: IP src/dst + protocol, plus
-// the TCP/UDP port pair for unfragmented transport segments (so one
-// connection always lands on one shard, preserving segment order) or
-// the IP ID for fragments (so one datagram reassembles on one shard).
-// Malformed frames hash over their bytes; every path through a layer
-// rejects them identically regardless of shard.
-func rxFlowHash(data []byte) uint64 {
-	h := core.HashSeed()
-	if len(data) < layers.EthernetLen+layers.IPv4MinLen {
-		return core.HashBytes(h, data)
-	}
-	ip := data[layers.EthernetLen:]
-	ihl := int(ip[0]&0x0f) * 4
-	proto := ip[9]
-	h = core.HashBytes(h, ip[12:20]) // src + dst address
-	h = core.HashBytes(h, []byte{proto})
-	ff := uint16(ip[6])<<8 | uint16(ip[7])
-	if ff&0x3fff != 0 { // MF bit or nonzero fragment offset
-		return core.HashBytes(h, ip[4:6]) // IP ID
-	}
-	if (proto == layers.ProtoTCP || proto == layers.ProtoUDP) && len(ip) >= ihl+4 && ihl >= layers.IPv4MinLen {
-		return core.HashBytes(h, ip[ihl:ihl+4]) // src + dst port
-	}
-	return h
+	key := dispatch.TupleKey(t.raddr, h.ip, layers.ProtoTCP, t.rport, t.lport)
+	return h.tshards[h.policy.Shard(key, len(h.tshards))]
 }
 
 // Name returns the host's name.
@@ -1149,11 +1167,15 @@ func (rx *rxPath) ipInput(p *Packet, emit core.Emit[*Packet]) {
 			rx.h.putPacket(p)
 			return
 		}
-		if h.sharded {
-			rx.reinjectReassembled(p, whole)
-			return
+		if h.sharded && !rx.continueReassembled(p, whole) {
+			return // handed off to the owning shard
 		}
-		p.M = rx.pool.FromBytes(whole)
+		if !h.sharded {
+			// Single-threaded: the one shard owns every flow, so every
+			// reassembled datagram continues inline.
+			p.M = rx.pool.FromBytes(whole)
+			rx.ts.tally.reasmLocal++
+		}
 		p.IP.TotalLen = layers.IPv4MinLen + len(whole)
 		p.IP.Flags, p.IP.FragOff = 0, 0
 	}
@@ -1182,17 +1204,31 @@ func (rx *rxPath) sockInput(p *Packet, emit core.Emit[*Packet]) {
 	emit(nil, p)
 }
 
-// reinjectReassembled hands a datagram completed on this shard to the
-// shard owning its flow: reassembly partitions by IP ID, transport by
-// port pair, and the two can disagree. The datagram is rebuilt as a
-// plain (non-fragment) frame and re-injected through the engine, whose
-// flow hash routes it exactly like a frame off the wire — an explicit
-// cross-shard hand-off through the same message-passing the wire uses,
-// rather than a lock. Runs on the worker, so on overflow it must drop
-// (only the pump may block on Drain); the bounded-intake drop matches
-// the engine's drop-tail contract. The caller's packet p is recycled;
-// its chain was already freed.
-func (rx *rxPath) reinjectReassembled(p *Packet, whole []byte) {
+// continueReassembled routes a datagram completed on this shard:
+// reassembly partitions by IP ID, transport by the dispatch policy's
+// flow key, and the two can disagree. The datagram is rebuilt as a
+// plain (non-fragment) frame and keyed through the policy exactly like
+// a frame off the wire. When the flow belongs to this very shard — the
+// common case whenever src/dst/proto alone pin both keys, and always
+// possible since the policy is deterministic — the rebuilt chain
+// continues up the pipeline inline: it keeps its arrival position
+// relative to later same-flow segments, so same-shard reassembly is
+// order-exact (this replaces the old behaviour of re-queuing even local
+// datagrams at the tail, which reordered them behind segments that
+// arrived later). The caller then proceeds with the demux; the return
+// is true.
+//
+// When the flow's owner is another shard, the frame is re-injected
+// through the engine — an explicit cross-shard hand-off through the
+// same message-passing the wire uses, rather than a lock — tagged
+// reinjected and counted (Counters.TCPReinjects for TCP: such a
+// datagram queues behind frames its owner already accepted, so ACK
+// ledgers may interleave differently; the equivalence harness keeps
+// that path out of ledger-compared runs). Runs on the worker, so on
+// overflow it must drop (only the pump may block on Drain); the
+// bounded-intake drop matches the engine's drop-tail contract. Returns
+// false; p was recycled.
+func (rx *rxPath) continueReassembled(p *Packet, whole []byte) bool {
 	h := rx.h
 	ip := layers.IPv4{
 		TotalLen: layers.IPv4MinLen + len(whole),
@@ -1208,15 +1244,29 @@ func (rx *rxPath) reinjectReassembled(p *Packet, whole []byte) {
 	eth := layers.Ethernet{Dst: h.mac, Src: MACFor(p.IP.Src), EtherType: layers.EtherTypeIPv4}
 	m, hdr = m.Prepend(layers.EthernetLen)
 	eth.Encode(hdr)
+	key := h.policy.Key(m.Bytes())
+	if h.policy.Shard(key, len(h.tshards)) == rx.ts.idx {
+		// Ours: strip the headers we just rebuilt and continue the demux
+		// inline, in this packet's original arrival position.
+		m.Adj(layers.EthernetLen + layers.IPv4MinLen)
+		p.M = m
+		rx.ts.tally.reasmLocal++
+		return true
+	}
 	rx.ts.tally.reinjects++
+	if p.IP.Protocol == layers.ProtoTCP {
+		inc(&h.Counters.TCPReinjects)
+	}
 	np := h.getPacket()
 	np.M = m
+	np.reinjected = true
 	if err := h.shards.Inject(np); err != nil {
 		rx.tel.Event(telemetry.EvDrop, rx.ipin.Index(), int64(telemetry.DropStackFull))
 		np.M.FreeChain()
 		h.putPacket(np)
 	}
 	h.putPacket(p)
+	return false
 }
 
 // ipOutput wraps a transport segment in IP + Ethernet and transmits on
@@ -1250,10 +1300,12 @@ func (ts *transportShard) ipOutput(m *mbuf.Mbuf, proto byte, dst layers.IPAddr) 
 }
 
 // tick fires host timers (TCP retransmit / delayed ACK, reassembly
-// expiry). Runs on the pump goroutine with shard workers quiescent.
+// expiry) and gives the dispatch policy its rebalance point. Runs on
+// the pump goroutine with shard workers quiescent.
 func (h *Host) tick() {
 	h.tcpTick()
 	h.fragTick()
+	h.dispatchTick()
 }
 
 func min(a, b int) int {

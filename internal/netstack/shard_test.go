@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ldlp/internal/core"
+	"ldlp/internal/dispatch"
 	"ldlp/internal/layers"
 	"ldlp/internal/mbuf"
 )
@@ -262,7 +263,7 @@ func TestShardedMatchesSingleThreadedDelivery(t *testing.T) {
 	}
 }
 
-func TestRxFlowHash(t *testing.T) {
+func TestFrameKeyFlows(t *testing.T) {
 	mkFrame := func(src, dst layers.IPAddr, proto byte, srcPort, dstPort uint16, id uint16, flags byte, fragOff int) []byte {
 		payload := []byte{byte(srcPort >> 8), byte(srcPort), byte(dstPort >> 8), byte(dstPort), 0, 0, 0, 0}
 		ip := layers.IPv4{
@@ -282,30 +283,30 @@ func TestRxFlowHash(t *testing.T) {
 	}
 
 	// Same 4-tuple -> same shard, regardless of payload-free header noise.
-	h1 := rxFlowHash(mkFrame(ipA, ipB, layers.ProtoTCP, 1111, 80, 5, 0, 0))
-	h2 := rxFlowHash(mkFrame(ipA, ipB, layers.ProtoTCP, 1111, 80, 99, 0, 0))
+	h1 := dispatch.FrameKey(mkFrame(ipA, ipB, layers.ProtoTCP, 1111, 80, 5, 0, 0))
+	h2 := dispatch.FrameKey(mkFrame(ipA, ipB, layers.ProtoTCP, 1111, 80, 99, 0, 0))
 	if h1 != h2 {
 		t.Error("same 4-tuple hashed to different flows")
 	}
 	// Different source port -> (almost surely) a different flow.
-	h3 := rxFlowHash(mkFrame(ipA, ipB, layers.ProtoTCP, 2222, 80, 5, 0, 0))
+	h3 := dispatch.FrameKey(mkFrame(ipA, ipB, layers.ProtoTCP, 2222, 80, 5, 0, 0))
 	if h1 == h3 {
 		t.Error("distinct 4-tuples collided (suspicious for FNV on 4 bytes)")
 	}
 	// Fragments of one datagram share a hash with each other...
-	f1 := rxFlowHash(mkFrame(ipA, ipB, layers.ProtoUDP, 1111, 80, 42, 0x1, 0))
-	f2 := rxFlowHash(mkFrame(ipA, ipB, layers.ProtoUDP, 7777, 9999, 42, 0, 1480))
+	f1 := dispatch.FrameKey(mkFrame(ipA, ipB, layers.ProtoUDP, 1111, 80, 42, 0x1, 0))
+	f2 := dispatch.FrameKey(mkFrame(ipA, ipB, layers.ProtoUDP, 7777, 9999, 42, 0, 1480))
 	if f1 != f2 {
 		t.Error("fragments of the same datagram hashed apart")
 	}
 	// ...but not with fragments of a different datagram.
-	f3 := rxFlowHash(mkFrame(ipA, ipB, layers.ProtoUDP, 1111, 80, 43, 0x1, 0))
+	f3 := dispatch.FrameKey(mkFrame(ipA, ipB, layers.ProtoUDP, 1111, 80, 43, 0x1, 0))
 	if f1 == f3 {
 		t.Error("fragments of different datagrams collided")
 	}
 	// Runt frames must not panic.
-	_ = rxFlowHash(nil)
-	_ = rxFlowHash([]byte{1, 2, 3})
+	_ = dispatch.FrameKey(nil)
+	_ = dispatch.FrameKey([]byte{1, 2, 3})
 }
 
 // TestShardedStressManyFlows is the netstack leg of the race suite: a

@@ -1,6 +1,7 @@
 package ldlp
 
 import (
+	"ldlp/internal/dispatch"
 	"ldlp/internal/faults"
 	"ldlp/internal/layers"
 	"ldlp/internal/netstack"
@@ -55,6 +56,46 @@ func DefaultHostOptions(d Discipline) HostOptions { return netstack.DefaultOptio
 // ordering is preserved. Call Net.Close (or Host.Close) to stop the
 // workers when done.
 func ShardedHostOptions(shards int) HostOptions { return netstack.ShardedOptions(shards) }
+
+// --- receive-side dispatch ---
+
+// DispatchPolicy decides which receive shard owns each inbound frame:
+// Key derives the flow key from the raw frame, Shard maps it to a
+// worker, and Rebalance (called only at quiescent pump points) may move
+// key ranges between shards. Set one on HostOptions.Dispatch; the zero
+// value (nil) is the static flow hash. Policy instances carry per-host
+// state — build a fresh one per host.
+type DispatchPolicy = dispatch.Policy
+
+// DispatchMigration is one bucket move returned by a policy's Rebalance:
+// every flow whose key it Covers changes owner at the quiescent point.
+type DispatchMigration = dispatch.Migration
+
+// HostDispatchStats reports a host's dispatch activity: the active
+// policy, per-shard frame totals and imbalance, and how many rebalances,
+// bucket moves, flow migrations and reassembly adoptions have happened.
+// Read it from Host.DispatchStats.
+type HostDispatchStats = netstack.DispatchStats
+
+// StaticDispatch returns the default policy: a pure flow hash, identical
+// to leaving HostOptions.Dispatch nil. Useful as an explicit baseline.
+func StaticDispatch() DispatchPolicy { return dispatch.Static{} }
+
+// LoadAwareDispatch returns a policy that routes through an indirection
+// table of DefaultBuckets hash buckets and, at every quiescent tick,
+// greedily moves hot buckets off overloaded shards — bounded work per
+// tick, per-flow FIFO preserved (migrations happen only while the
+// workers are parked). shards must match HostOptions.RxShards.
+func LoadAwareDispatch(shards int) DispatchPolicy {
+	return dispatch.NewLoadAware(shards, dispatch.DefaultBuckets)
+}
+
+// RPCDispatchByXID returns the paper-motivated UDP RPC policy: requests
+// to port from one host pair are spread across shards by their RPC
+// transaction ID instead of sharing one flow bucket, so a single busy
+// client/server pair can use the whole engine. Non-RPC traffic (and
+// every fragment) falls back to the static flow hash.
+func RPCDispatchByXID(port uint16) DispatchPolicy { return dispatch.NewRPCDispatch(port) }
 
 // --- fault injection ---
 
