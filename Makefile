@@ -17,8 +17,11 @@ vet:
 # which enforces mbuf ownership balance, the zero-alloc //ldlp:hotpath
 # contract, atomics-only counter access, lock ordering, and per-seed
 # determinism. Exits non-zero on any unexplained finding.
+# Extra ldlpvet flags, e.g. `make lint LDLPVET_FLAGS="-v -github"`.
+LDLPVET_FLAGS ?=
+
 lint: vet
-	$(GO) run ./cmd/ldlpvet ./...
+	$(GO) run ./cmd/ldlpvet $(LDLPVET_FLAGS) ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"ldlp/internal/lint"
+)
+
+func sampleDiags() []lint.Diagnostic {
+	return []lint.Diagnostic{
+		{
+			Pos:      token.Position{Filename: "internal/mbuf/pool.go", Line: 42, Column: 7},
+			Analyzer: "hotpathalloc",
+			Message:  "hot-path function reaches an allocation in mbuf.grow",
+			Chain:    []string{"ldlp/internal/mbuf.Pool.Get", "ldlp/internal/mbuf.grow"},
+		},
+		{
+			Pos:      token.Position{Filename: "internal/netstack/tcp.go", Line: 9, Column: 2},
+			Analyzer: "mbufown",
+			Message:  `mbuf "m" is still owned when the function returns`,
+		},
+	}
+}
+
+// TestJSONSchema pins the -json output contract: a JSON array whose
+// elements carry exactly the documented keys, with chain omitted when
+// the finding has none. CI annotators parse this; key renames are
+// breaking changes.
+func TestJSONSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, sampleDiags()); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+	var got []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d findings, want 2", len(got))
+	}
+
+	first := got[0]
+	for _, key := range []string{"file", "line", "col", "analyzer", "message", "chain"} {
+		if _, ok := first[key]; !ok {
+			t.Errorf("finding with a chain is missing key %q: %v", key, first)
+		}
+	}
+	if first["file"] != "internal/mbuf/pool.go" || first["line"] != float64(42) || first["col"] != float64(7) {
+		t.Errorf("position fields wrong: %v", first)
+	}
+	if first["analyzer"] != "hotpathalloc" {
+		t.Errorf("analyzer field wrong: %v", first["analyzer"])
+	}
+	chain, ok := first["chain"].([]any)
+	if !ok || len(chain) != 2 || chain[0] != "ldlp/internal/mbuf.Pool.Get" {
+		t.Errorf("chain field wrong: %v", first["chain"])
+	}
+
+	second := got[1]
+	if _, ok := second["chain"]; ok {
+		t.Errorf("chain must be omitted when empty: %v", second)
+	}
+
+	// Unknown keys would silently break consumers that range over the
+	// object; pin the exact key sets.
+	if len(first) != 6 || len(second) != 5 {
+		t.Errorf("unexpected keys: with-chain %v, without %v", first, second)
+	}
+}
+
+// TestJSONEmpty proves a clean run encodes as [] rather than null, so
+// `jq length` and similar consumers need no special case.
+func TestJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, nil); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty run encodes as %q, want []", got)
+	}
+}
+
+// TestGitHubAnnotations pins the workflow-command format, including the
+// %-encoding GitHub requires for literal % and newlines in the message.
+func TestGitHubAnnotations(t *testing.T) {
+	diags := sampleDiags()
+	diags[1].Message = "50% of paths\nleak"
+	var buf bytes.Buffer
+	writeGitHub(&buf, diags)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d annotation lines, want 2:\n%s", len(lines), buf.String())
+	}
+	want0 := "::error file=internal/mbuf/pool.go,line=42,col=7::hotpathalloc: hot-path function reaches an allocation in mbuf.grow"
+	if lines[0] != want0 {
+		t.Errorf("annotation = %q, want %q", lines[0], want0)
+	}
+	if !strings.Contains(lines[1], "50%25 of paths%0Aleak") {
+		t.Errorf("message not workflow-command-escaped: %q", lines[1])
+	}
+}

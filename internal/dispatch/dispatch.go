@@ -287,7 +287,11 @@ func (p *LoadAware) Stats() LoadAwareStats {
 // per-bucket attribution always comes from the policy's own dispatch
 // counts. Both count frames over the same window, so the greedy
 // improvement test below can mix them. The counter window resets every
-// round that reaches minFrames.
+// round that reaches minFrames. Pump-side at quiescence, like every
+// Rebalance implementation: it rewrites the routing table the workers'
+// Shard calls read.
+//
+//ldlp:quiescent
 func (p *LoadAware) Rebalance(loads []int64) []Migration {
 	bc := make([]int64, len(p.counts))
 	var total int64

@@ -344,7 +344,9 @@ func (a *arr[K, V]) del(h uint64, k K) bool {
 // grow starts (or, if one is already in flight, force-finishes then
 // starts) an incremental migration into an array sized for twice the
 // live population. The allocation happens here, off the tagged fast
-// paths.
+// paths: a declared cold step, amortized O(1) over insertions.
+//
+//ldlp:coldpath
 func (t *Table[K, V]) grow() {
 	if t.old.groups != 0 {
 		t.finishMigration()

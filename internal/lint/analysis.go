@@ -46,7 +46,7 @@ type Analyzer struct {
 }
 
 // Pass carries one package's syntax and type information to an
-// analyzer, plus the diagnostic sink.
+// analyzer, plus the diagnostic sink and the whole-program view.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
@@ -54,15 +54,23 @@ type Pass struct {
 	Pkg       *types.Package
 	PkgPath   string
 	TypesInfo *types.Info
+	// Prog is the module-wide call graph and summary store, built once
+	// per Run over every loaded package. Interprocedural analyzers
+	// traverse it; intraprocedural ones may ignore it.
+	Prog *Program
 
 	diags *[]Diagnostic
 }
 
 // Diagnostic is one finding, positioned and attributed to its analyzer.
+// Chain, when set, is the interprocedural call path (qualified names,
+// root first) that connects the reported position to the underlying
+// fact.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Chain    []string
 }
 
 func (d Diagnostic) String() string {
@@ -75,6 +83,17 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportChain records a finding at pos carrying an interprocedural call
+// chain (qualified names, root first).
+func (p *Pass) ReportChain(pos token.Pos, chain []string, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Chain:    append([]string(nil), chain...),
 	})
 }
 
@@ -137,12 +156,18 @@ func suppressed(d Diagnostic, sites ignoreSites) bool {
 // sorted by position. Packages must be in dependency order (definers
 // before users) so analyzers that accumulate cross-package facts — like
 // atomiccounter's atomic-field registry — see definitions first.
+//
+// Before any analyzer runs, the whole-program call graph and summary
+// store (Program) is built over every loaded package and handed to each
+// Pass; the ignore directives are collected first so justified
+// allocation sites drop out of the summaries.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	sites := ignoreSites{}
 	for _, pkg := range pkgs {
 		collectIgnores(fset, pkg.Files, sites, &diags)
 	}
+	prog := buildProgram(fset, pkgs, sites)
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -152,6 +177,7 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnos
 				Pkg:       pkg.Types,
 				PkgPath:   pkg.Path,
 				TypesInfo: pkg.Info,
+				Prog:      prog,
 				diags:     &diags,
 			}
 			if err := a.Run(pass); err != nil {
@@ -165,6 +191,9 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnos
 			kept = append(kept, d)
 		}
 	}
+	// Total order — filename, line, column, analyzer, message — so the
+	// output is byte-stable run to run (golden tests and CI diffs rely
+	// on it; map iteration anywhere upstream must not leak through).
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -173,7 +202,13 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnos
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return kept, nil
 }

@@ -1,0 +1,336 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// This file is the whole-program half of the suite: a static call graph
+// over every loaded package plus a per-function summary store, built
+// once per Run and shared by the interprocedural analyzers
+// (hotpathalloc's transitive closure check, mbufown's consume/borrow
+// classification, quiescence's worker-reachability proof).
+//
+// Resolution rules:
+//
+//   - Direct calls and method calls resolve through the type checker
+//     (CalleeQName), so receiver types — including promoted methods —
+//     name the declaring type.
+//   - Generic instantiations resolve to their origin declaration:
+//     flowtable.Table[fourTuple, *tcpPCB].Lookup and the fixture's
+//     table[int, string].lookup are both edges to the one generic
+//     method body. One mechanism, covered by the generic fixture,
+//     replaces the earlier per-name special-casing.
+//   - Calls through plain function values (the engine's cached emit
+//     closures, layer handler fields) are statically unresolvable; the
+//     analyzers that need them declare those edges in config
+//     (DeclaredEdges: caller pattern -> callee patterns), mirroring how
+//     the engine wires handlers once at AddLayer.
+//   - Function literals are attributed to their enclosing declared
+//     function: wherever the closure actually runs, the enclosing
+//     function is the only place the graph can anchor it, and for
+//     reachability an over-approximation is the safe direction.
+
+// CallEdge is one resolved call site: the callee's qualified name and
+// the position of the call expression.
+type CallEdge struct {
+	Callee string
+	Pos    token.Pos
+}
+
+// ProgFunc is one declared function body and its summary facts.
+type ProgFunc struct {
+	QName string
+	Decl  *ast.FuncDecl
+	Pkg   *Package
+	// Edges lists resolved static calls in source order.
+	Edges []CallEdge
+	// Allocs are the allocation sources in this body under the
+	// hotpathalloc rules (composites, make/new, unbounded append,
+	// boxing, closures, fmt, string building), minus any suppressed at
+	// their own line with //lint:ignore hotpathalloc <reason>. A
+	// non-empty list means "allocates on some path".
+	Allocs []allocFinding
+	// Acquires lists the qualified names of mutexes this body acquires
+	// (m.Lock/RLock/TryLock on a resolvable target).
+	Acquires []string
+	// Directive tags from the doc comment.
+	HotPath, ColdPath, Quiescent bool
+}
+
+// Program is the whole-program view handed to every Pass.
+type Program struct {
+	Fset  *token.FileSet
+	Funcs map[string]*ProgFunc
+
+	// mbuf ownership facts, computed lazily by the mbufown analyzer
+	// (they need its config) and cached here.
+	mbufFacts map[string]*mbufFacts
+}
+
+// buildProgram constructs the call graph and per-function summaries.
+// sites carries the well-formed //lint:ignore directives so justified
+// allocation sites drop out of the summaries (see ProgFunc.Allocs).
+func buildProgram(fset *token.FileSet, pkgs []*Package, sites ignoreSites) *Program {
+	prog := &Program{Fset: fset, Funcs: map[string]*ProgFunc{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				pf := &ProgFunc{
+					QName:     FuncQName(pkg.Path, fd),
+					Decl:      fd,
+					Pkg:       pkg,
+					HotPath:   HasDirective(fd.Doc, "//ldlp:hotpath"),
+					ColdPath:  HasDirective(fd.Doc, "//ldlp:coldpath"),
+					Quiescent: HasDirective(fd.Doc, "//ldlp:quiescent"),
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if qname, ok := CalleeQName(pkg.Info, call); ok {
+						pf.Edges = append(pf.Edges, CallEdge{Callee: qname, Pos: call.Pos()})
+					}
+					if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+						switch sel.Sel.Name {
+						case "Lock", "RLock", "TryLock", "TryRLock":
+							if q, _ := atomicTargetQName(pkg.Info, ast.Unparen(sel.X)); q != "" {
+								pf.Acquires = append(pf.Acquires, q)
+							}
+						}
+					}
+					return true
+				})
+				for _, fnd := range allocScan(pkg.Info, fd) {
+					if !allocSuppressed(fset, fnd, sites) {
+						pf.Allocs = append(pf.Allocs, fnd)
+					}
+				}
+				prog.Funcs[pf.QName] = pf
+			}
+		}
+	}
+	return prog
+}
+
+// allocSuppressed reports whether an allocation summary entry is
+// justified at its own line (or the line above) with
+// //lint:ignore hotpathalloc <reason>. Interprocedural reports are
+// positioned at the hot root, so this is how a cold allocation inside
+// an untagged callee is blessed once, where it happens, for every hot
+// path that reaches it.
+func allocSuppressed(fset *token.FileSet, fnd allocFinding, sites ignoreSites) bool {
+	return suppressed(Diagnostic{Pos: fset.Position(fnd.pos), Analyzer: "hotpathalloc"}, sites)
+}
+
+// expandDeclared resolves a DeclaredEdges config (caller pattern ->
+// callee patterns) against the functions actually present, returning
+// concrete qname -> qnames. Patterns use MatchQName suffix matching so
+// fixtures and the real module share config shapes.
+func (p *Program) expandDeclared(declared map[string][]string) map[string][]string {
+	if len(declared) == 0 {
+		return nil
+	}
+	// Index every known qname by its pattern-matchable suffixes once.
+	out := map[string][]string{}
+	for caller, calleePats := range declared {
+		for qname := range p.Funcs {
+			if !MatchQName(qname, []string{caller}) {
+				continue
+			}
+			for _, pat := range calleePats {
+				for cq := range p.Funcs {
+					if MatchQName(cq, []string{pat}) {
+						out[qname] = append(out[qname], cq)
+					}
+				}
+			}
+		}
+	}
+	for _, v := range out {
+		sort.Strings(v)
+	}
+	return out
+}
+
+// pathStep is one hop of an interprocedural chain.
+type pathStep struct {
+	caller string
+	edge   CallEdge
+}
+
+// reachFrom walks the graph breadth-first from the given roots
+// (concrete qnames), following resolved edges plus declared ones, and
+// returns for every reached function the edge that first reached it
+// (parent pointers for chain reconstruction). Roots themselves map to a
+// zero step.
+func (p *Program) reachFrom(roots []string, declared map[string][]string) map[string]pathStep {
+	reached := map[string]pathStep{}
+	var queue []string
+	for _, r := range roots {
+		if _, ok := p.Funcs[r]; !ok {
+			continue
+		}
+		if _, seen := reached[r]; seen {
+			continue
+		}
+		reached[r] = pathStep{}
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		pf := p.Funcs[cur]
+		if pf == nil {
+			continue
+		}
+		edges := pf.Edges
+		for _, extra := range declared[cur] {
+			edges = append(edges, CallEdge{Callee: extra, Pos: pf.Decl.Pos()})
+		}
+		for _, e := range edges {
+			if _, seen := reached[e.Callee]; seen {
+				continue
+			}
+			if _, known := p.Funcs[e.Callee]; !known {
+				continue
+			}
+			reached[e.Callee] = pathStep{caller: cur, edge: e}
+			queue = append(queue, e.Callee)
+		}
+	}
+	return reached
+}
+
+// chainTo reconstructs the call chain root -> ... -> target from
+// reachFrom's parent pointers, as a list of qualified names.
+func chainTo(reached map[string]pathStep, target string) []string {
+	var rev []string
+	for cur := target; cur != ""; {
+		rev = append(rev, cur)
+		step, ok := reached[cur]
+		if !ok || step.caller == "" {
+			break
+		}
+		cur = step.caller
+	}
+	chain := make([]string, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		chain = append(chain, rev[i])
+	}
+	return chain
+}
+
+// shortQName strips the package path prefix for human-readable chains:
+// "ldlp/internal/netstack.rxPath.tcpInput" -> "netstack.rxPath.tcpInput".
+func shortQName(qname string) string {
+	if i := strings.LastIndex(qname, "/"); i >= 0 {
+		return qname[i+1:]
+	}
+	return qname
+}
+
+// formatChain renders a call chain for a diagnostic message.
+func formatChain(chain []string) string {
+	short := make([]string, len(chain))
+	for i, q := range chain {
+		short[i] = shortQName(q)
+	}
+	return strings.Join(short, " -> ")
+}
+
+// sccOrder returns the functions grouped into strongly connected
+// components in reverse topological order (callees before callers), so
+// bottom-up summary computation sees a callee's facts before its
+// callers — and iterates to fixpoint only within a cycle. Tarjan's
+// algorithm, iterative to keep deep recursion off the Go stack.
+func (p *Program) sccOrder() [][]string {
+	// Deterministic node order keeps summary iteration stable.
+	nodes := make([]string, 0, len(p.Funcs))
+	for q := range p.Funcs {
+		nodes = append(nodes, q)
+	}
+	sort.Strings(nodes)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	type frame struct {
+		node string
+		ei   int
+	}
+	for _, start := range nodes {
+		if _, seen := index[start]; seen {
+			continue
+		}
+		work := []frame{{node: start}}
+		index[start] = next
+		low[start] = next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(work) > 0 {
+			fr := &work[len(work)-1]
+			pf := p.Funcs[fr.node]
+			advanced := false
+			for fr.ei < len(pf.Edges) {
+				callee := pf.Edges[fr.ei].Callee
+				fr.ei++
+				if _, known := p.Funcs[callee]; !known {
+					continue
+				}
+				if _, seen := index[callee]; !seen {
+					index[callee] = next
+					low[callee] = next
+					next++
+					stack = append(stack, callee)
+					onStack[callee] = true
+					work = append(work, frame{node: callee})
+					advanced = true
+					break
+				}
+				if onStack[callee] && low[fr.node] > index[callee] {
+					low[fr.node] = index[callee]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// Node finished: pop, propagate lowlink, maybe emit SCC.
+			done := fr.node
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].node
+				if low[parent] > low[done] {
+					low[parent] = low[done]
+				}
+			}
+			if low[done] == index[done] {
+				var scc []string
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					scc = append(scc, top)
+					if top == done {
+						break
+					}
+				}
+				sort.Strings(scc)
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}

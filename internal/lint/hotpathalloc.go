@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -15,6 +16,18 @@ type HotPathAllocConfig struct {
 	// of these functions fails `make lint`, so the allocation rules can
 	// never silently stop applying to the benchmarked path.
 	Required []string
+	// ColdPaths lists the declared //ldlp:coldpath escape hatches
+	// (MatchQName patterns). The transitive walk stops at a tagged
+	// coldpath function without reporting only if it matches this list:
+	// an undeclared tag reached from a hot root is reported with the
+	// full call chain, and a listed pattern whose function lost its tag
+	// (or was deleted) trips a regression guard, mirroring Required.
+	ColdPaths []string
+	// DeclaredEdges adds caller -> callee edges (MatchQName patterns on
+	// both sides) for calls the graph cannot resolve statically — the
+	// engine's cached emit closures and layer handler fields, wired once
+	// at AddLayer and invoked as plain function values ever after.
+	DeclaredEdges map[string][]string
 }
 
 // NewHotPathAlloc builds the hotpathalloc analyzer. Functions whose doc
@@ -24,45 +37,149 @@ type HotPathAllocConfig struct {
 // unbounded append, interface boxing at call sites, closures, fmt, and
 // string building. Arguments to panic() are exempt — a panicking path
 // has already left the hot path.
+//
+// The check is transitive: a tagged function's entire static call
+// closure (resolved edges plus DeclaredEdges) must be allocation-free.
+// Reaching a function that allocates is reported at the hot root's call
+// site with the full chain; reaching a //ldlp:coldpath function stops
+// the walk, silently if the coldpath is declared in ColdPaths and with
+// a chain report if not. Callees outside the module (stdlib, export
+// data only) are not traversed — the module's own tagged surface calls
+// the standard library only through the vetted leaf helpers.
 func NewHotPathAlloc(cfg HotPathAllocConfig) *Analyzer {
 	a := &Analyzer{
 		Name: "hotpathalloc",
-		Doc:  "//ldlp:hotpath functions must not allocate (composites, boxing, closures, fmt, unbounded append)",
+		Doc:  "//ldlp:hotpath functions and their entire call closure must not allocate (composites, boxing, closures, fmt, unbounded append)",
 	}
+	var declared map[string][]string // memoized per Program
+	var declaredFor *Program
 	a.Run = func(pass *Pass) error {
-		found := map[string]bool{}
-		declared := false
+		if pass.Prog != declaredFor {
+			declared = pass.Prog.expandDeclared(cfg.DeclaredEdges)
+			declaredFor = pass.Prog
+		}
+		foundReq := map[string]bool{}
+		foundCold := map[string]bool{}
+		declaredAny := false
 		for _, f := range pass.Files {
 			for _, decl := range f.Decls {
 				fd, ok := decl.(*ast.FuncDecl)
 				if !ok {
 					continue
 				}
-				declared = true
+				declaredAny = true
 				qname := FuncQName(pass.PkgPath, fd)
 				tagged := HasDirective(fd.Doc, "//ldlp:hotpath")
 				if pat := matchedPattern(qname, cfg.Required); pat != "" {
-					found[pat] = true
+					foundReq[pat] = true
 					if !tagged {
 						pass.Reportf(fd.Name.Pos(), "%s is on the benchmarked hot path and must carry //ldlp:hotpath", qname)
 					}
 				}
+				if HasDirective(fd.Doc, "//ldlp:coldpath") {
+					if pat := matchedPattern(qname, cfg.ColdPaths); pat != "" {
+						foundCold[pat] = true
+					}
+					if tagged {
+						pass.Reportf(fd.Name.Pos(), "%s carries both //ldlp:hotpath and //ldlp:coldpath; pick one", qname)
+					}
+				}
 				if tagged && fd.Body != nil {
 					checkHotBody(pass, fd)
+					checkHotClosure(pass, cfg, declared, fd)
 				}
 			}
 		}
-		if declared {
+		if declaredAny {
 			for _, req := range cfg.Required {
-				if !found[req] && qnamePkg(req) == pass.PkgPath {
+				if !foundReq[req] && qnamePkg(req) == pass.PkgPath {
 					pass.Reportf(pass.Files[0].Name.Pos(),
 						"hot-path function %s is required by the lint config but no longer declared (regression guard)", req)
+				}
+			}
+			for _, cold := range cfg.ColdPaths {
+				if !foundCold[cold] && qnamePkg(cold) == pass.PkgPath {
+					pass.Reportf(pass.Files[0].Name.Pos(),
+						"coldpath %s is declared in the lint config but no function carries the //ldlp:coldpath tag under that name (regression guard)", cold)
 				}
 			}
 		}
 		return nil
 	}
 	return a
+}
+
+// checkHotClosure walks the static call closure of one tagged hot
+// function and reports, at the first-hop call site inside the root's
+// body, every reachable function that allocates and every reachable
+// undeclared //ldlp:coldpath tag. Callees that are themselves tagged
+// //ldlp:hotpath are skipped — their own closure check covers them —
+// and declared coldpaths stop the walk, which is exactly what makes
+// them escape hatches.
+func checkHotClosure(pass *Pass, cfg HotPathAllocConfig, declared map[string][]string, fd *ast.FuncDecl) {
+	prog := pass.Prog
+	root := FuncQName(pass.PkgPath, fd)
+	rootFn := prog.Funcs[root]
+	if rootFn == nil {
+		return
+	}
+	type item struct {
+		qname string
+		first CallEdge // call site in the root body that began this path
+	}
+	parents := map[string]pathStep{root: {}}
+	var queue []item
+	enqueue := func(from string, e CallEdge, first CallEdge) {
+		if _, seen := parents[e.Callee]; seen {
+			return
+		}
+		pf := prog.Funcs[e.Callee]
+		if pf == nil {
+			return // outside the module: not traversable, not reportable
+		}
+		parents[e.Callee] = pathStep{caller: from, edge: e}
+		if pf.HotPath {
+			return // its own closure check covers it
+		}
+		queue = append(queue, item{qname: e.Callee, first: first})
+	}
+	for _, e := range rootFn.Edges {
+		enqueue(root, e, e)
+	}
+	for _, extra := range declared[root] {
+		e := CallEdge{Callee: extra, Pos: fd.Name.Pos()}
+		enqueue(root, e, e)
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		pf := prog.Funcs[it.qname]
+		chain := chainTo(parents, it.qname)
+		if pf.ColdPath {
+			if !MatchQName(it.qname, cfg.ColdPaths) {
+				pass.ReportChain(it.first.Pos, chain,
+					"hot path reaches //ldlp:coldpath function %s that is not declared in the lint config (chain: %s); add it to ColdPaths or keep it off the hot path",
+					shortQName(it.qname), formatChain(chain))
+			}
+			continue // a coldpath tag stops the walk either way
+		}
+		if len(pf.Allocs) > 0 {
+			fnd := pf.Allocs[0]
+			more := ""
+			if n := len(pf.Allocs) - 1; n > 0 {
+				more = fmt.Sprintf(" (+%d more)", n)
+			}
+			pass.ReportChain(it.first.Pos, chain,
+				"hot path reaches an allocation in %s (chain: %s): %s at %s%s; tag the cold step //ldlp:coldpath and declare it in the lint config if this path is intentionally cold",
+				shortQName(it.qname), formatChain(chain), fnd.msg, prog.Fset.Position(fnd.pos), more)
+		}
+		for _, e := range pf.Edges {
+			enqueue(it.qname, e, it.first)
+		}
+		for _, extra := range declared[it.qname] {
+			enqueue(it.qname, CallEdge{Callee: extra, Pos: pf.Decl.Pos()}, it.first)
+		}
+	}
 }
 
 // qnamePkg extracts the package path from a qualified function name
@@ -92,9 +209,29 @@ func inRanges(p token.Pos, rs []posRange) bool {
 	return false
 }
 
+// allocFinding is one allocation source inside a function body, as
+// recorded in the per-function summary.
+type allocFinding struct {
+	pos token.Pos
+	msg string
+}
+
 // checkHotBody reports every allocation source in one tagged function.
 func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
-	info := pass.TypesInfo
+	for _, fnd := range allocScan(pass.TypesInfo, fd) {
+		pass.Reportf(fnd.pos, "%s", fnd.msg)
+	}
+}
+
+// allocScan finds every allocation source in one function body under
+// the hotpathalloc rules. It is both the intraprocedural check for
+// tagged functions and the allocates-on-some-path summary producer for
+// the whole-program store.
+func allocScan(info *types.Info, fd *ast.FuncDecl) []allocFinding {
+	var out []allocFinding
+	emit := func(pos token.Pos, format string, args ...any) {
+		out = append(out, allocFinding{pos: pos, msg: fmt.Sprintf(format, args...)})
+	}
 
 	// Pass 0: collect exemption ranges and allocation-free slice vars.
 	var panicRanges, closureRanges []posRange
@@ -137,42 +274,41 @@ func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
 		return inRanges(p, panicRanges) || inRanges(p, closureRanges)
 	}
 
-	// Pass 1: report.
+	// Pass 1: collect findings.
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		if n == nil || exempt(n.Pos()) {
 			return true
 		}
 		switch x := n.(type) {
 		case *ast.FuncLit:
-			pass.Reportf(x.Pos(), "function literal on the hot path allocates a closure")
+			emit(x.Pos(), "function literal on the hot path allocates a closure")
 		case *ast.CompositeLit:
 			t := info.TypeOf(x)
 			if addrComposites[x] {
-				pass.Reportf(x.Pos(), "&%s composite literal escapes to the heap on the hot path", typeLabel(t))
+				emit(x.Pos(), "&%s composite literal escapes to the heap on the hot path", typeLabel(t))
 			} else if t != nil {
 				switch t.Underlying().(type) {
 				case *types.Slice, *types.Map:
-					pass.Reportf(x.Pos(), "%s literal allocates on the hot path", typeLabel(t))
+					emit(x.Pos(), "%s literal allocates on the hot path", typeLabel(t))
 				}
 			}
 		case *ast.BinaryExpr:
 			if x.Op == token.ADD {
 				if t := info.TypeOf(x); t != nil && isString(t) {
-					pass.Reportf(x.Pos(), "string concatenation allocates on the hot path")
+					emit(x.Pos(), "string concatenation allocates on the hot path")
 				}
 			}
 		case *ast.CallExpr:
-			checkHotCall(pass, x, okSlices)
+			scanAllocCall(info, x, okSlices, emit)
 		}
 		return true
 	})
+	return out
 }
 
-// checkHotCall applies the per-call rules: make/new, unbounded append,
+// scanAllocCall applies the per-call rules: make/new, unbounded append,
 // fmt, allocating conversions, and interface boxing.
-func checkHotCall(pass *Pass, call *ast.CallExpr, okSlices map[*types.Var]bool) {
-	info := pass.TypesInfo
-
+func scanAllocCall(info *types.Info, call *ast.CallExpr, okSlices map[*types.Var]bool, emit func(token.Pos, string, ...any)) {
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
 		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
 			switch id.Name {
@@ -180,14 +316,14 @@ func checkHotCall(pass *Pass, call *ast.CallExpr, okSlices map[*types.Var]bool) 
 				if t := info.TypeOf(call); t != nil {
 					switch t.Underlying().(type) {
 					case *types.Slice, *types.Map, *types.Chan:
-						pass.Reportf(call.Pos(), "make(%s) allocates on the hot path", typeLabel(t))
+						emit(call.Pos(), "make(%s) allocates on the hot path", typeLabel(t))
 					}
 				}
 			case "new":
-				pass.Reportf(call.Pos(), "new(T) allocates on the hot path")
+				emit(call.Pos(), "new(T) allocates on the hot path")
 			case "append":
 				if len(call.Args) > 0 && !appendIsBounded(info, call.Args[0], okSlices) {
-					pass.Reportf(call.Pos(), "append may grow its backing array on the hot path")
+					emit(call.Pos(), "append may grow its backing array on the hot path")
 				}
 			}
 			return
@@ -202,14 +338,14 @@ func checkHotCall(pass *Pass, call *ast.CallExpr, okSlices map[*types.Var]bool) 
 			_, toSlice := to.(*types.Slice)
 			if (toSlice && from != nil && isString(from)) ||
 				(isString(tv.Type) && from != nil && isByteOrRuneSlice(from)) {
-				pass.Reportf(call.Pos(), "string/slice conversion copies and allocates on the hot path")
+				emit(call.Pos(), "string/slice conversion copies and allocates on the hot path")
 			}
 		}
 		return
 	}
 
 	if qname, ok := CalleeQName(info, call); ok && strings.HasPrefix(qname, "fmt.") {
-		pass.Reportf(call.Pos(), "%s on the hot path allocates (and formats reflectively)", qname)
+		emit(call.Pos(), "%s on the hot path allocates (and formats reflectively)", qname)
 		return
 	}
 
@@ -234,7 +370,7 @@ func checkHotCall(pass *Pass, call *ast.CallExpr, okSlices map[*types.Var]bool) 
 		if at == nil || boxFree(at) {
 			continue
 		}
-		pass.Reportf(arg.Pos(), "argument boxes %s into an interface (allocates on the hot path)", typeLabel(at))
+		emit(arg.Pos(), "argument boxes %s into an interface (allocates on the hot path)", typeLabel(at))
 	}
 }
 

@@ -10,8 +10,13 @@ import (
 )
 
 // wantRe extracts the expectation regexes from fixture comments of the
-// form `// want `pattern“, in the style of x/tools' analysistest.
-var wantRe = regexp.MustCompile("// want `([^`]+)`")
+// form `// want `pattern` `pattern“, in the style of x/tools'
+// analysistest: one `// want` may carry several backticked patterns,
+// one per expected diagnostic on that line.
+var (
+	wantMark = regexp.MustCompile(`// want\s`)
+	wantRe   = regexp.MustCompile("`([^`]+)`")
+)
 
 // runFixture loads testdata/<name>, runs the analyzers, and checks the
 // diagnostics against the fixture's want comments: every diagnostic
@@ -35,7 +40,11 @@ func runFixture(t *testing.T, name string, analyzers []*Analyzer) {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+				loc := wantMark.FindStringIndex(c.Text)
+				if loc == nil {
+					continue
+				}
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[loc[1]:], -1) {
 					pos := fset.Position(c.Pos())
 					key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
 					wants[key] = append(wants[key], &want{re: regexp.MustCompile(m[1])})
@@ -74,14 +83,72 @@ func runFixture(t *testing.T, name string, analyzers []*Analyzer) {
 
 func TestMbufOwn(t *testing.T) {
 	runFixture(t, "mbufown", []*Analyzer{NewMbufOwn(MbufOwnConfig{
-		AllocFns: []string{"mbufown.alloc"},
+		AllocFns:  []string{"mbufown.alloc"},
+		MbufTypes: []string{"mbufown.Mbuf"},
 	})})
 }
 
 func TestHotPathAlloc(t *testing.T) {
 	runFixture(t, "hotpathalloc", []*Analyzer{NewHotPathAlloc(HotPathAllocConfig{
-		Required: []string{"hotpathalloc.mustStayTagged", "hotpathalloc.ghostFunction"},
+		Required:  []string{"hotpathalloc.mustStayTagged", "hotpathalloc.ghostFunction"},
+		ColdPaths: []string{"hotpathalloc.declaredCold", "hotpathalloc.ghostCold"},
+		DeclaredEdges: map[string][]string{
+			"hotpathalloc.engine": {"hotpathalloc.handlerAlloc"},
+		},
 	})})
+}
+
+func TestQuiescence(t *testing.T) {
+	runFixture(t, "quiescence", []*Analyzer{NewQuiescence(QuiescenceConfig{
+		Roots: []string{"quiescence.worker"},
+		DeclaredEdges: map[string][]string{
+			"quiescence.engine": {"quiescence.handler"},
+		},
+		Required: []string{"quiescence.tickRequired", "quiescence.ghostTick"},
+	})})
+}
+
+// TestInterprocIgnore pins the three //lint:ignore × interprocedural
+// semantics: a justified ignore at the allocation line inside a callee
+// cleans the callee's summary for every hot caller; a justified ignore
+// at one root's call site suppresses that root alone; a reason-less
+// ignore suppresses nothing and is itself reported. Assertions are
+// explicit because the malformed-ignore diagnostic lands on the
+// directive's own line, where a want comment cannot sit.
+func TestInterprocIgnore(t *testing.T) {
+	pkg, fset, err := LoadFixture(filepath.Join("testdata", "interprocignore"))
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := Run(fset, []*Package{pkg}, []*Analyzer{NewHotPathAlloc(HotPathAllocConfig{})})
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	var nIgnore, nBare, nMalformed int
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "lintignore" && strings.Contains(d.Message, "non-empty reason"):
+			nIgnore++
+		case strings.Contains(d.Message, "allocation in interprocignore.calleeBare"):
+			nBare++
+		case strings.Contains(d.Message, "allocation in interprocignore.calleeMalformed"):
+			nMalformed++
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+		if strings.Contains(d.Message, "calleeJustified") {
+			t.Errorf("callee-site justified ignore did not clean the summary: %s", d)
+		}
+	}
+	if nIgnore != 1 {
+		t.Errorf("got %d malformed-ignore diagnostics, want 1", nIgnore)
+	}
+	if nBare != 1 {
+		t.Errorf("got %d calleeBare findings, want exactly 1 (the root-site ignore must suppress hotRootIgnore's copy only)", nBare)
+	}
+	if nMalformed != 1 {
+		t.Errorf("got %d calleeMalformed findings, want 1 (a reason-less ignore must not clean the summary)", nMalformed)
+	}
 }
 
 func TestAtomicCounter(t *testing.T) {
@@ -157,7 +224,7 @@ func TestDefaultAnalyzers(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"mbufown", "hotpathalloc", "atomiccounter", "lockorder", "determinism", "shardaffinity"} {
+	for _, want := range []string{"mbufown", "hotpathalloc", "quiescence", "atomiccounter", "lockorder", "determinism", "shardaffinity"} {
 		if !names[want] {
 			t.Errorf("DefaultAnalyzers is missing %q", want)
 		}

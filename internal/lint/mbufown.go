@@ -4,31 +4,47 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
+	"strings"
 )
 
 // MbufOwnConfig names the allocation entry points whose results carry
-// mbuf ownership.
+// mbuf ownership and the chain types the ownership summaries classify.
 type MbufOwnConfig struct {
 	// AllocFns are qualified-name patterns (see MatchQName) of functions
 	// returning an owned mbuf chain. The caller must balance each call
 	// with exactly one Free / FreeChain, hand-off (passing the chain to
-	// any function, method, channel, struct, or return), or reassignment.
+	// a consuming function, channel, struct, or return), or reassignment.
 	AllocFns []string
+	// MbufTypes are qualified-name patterns of the chain types whose
+	// pointer parameters participate in the interprocedural ownership
+	// summaries (e.g. "ldlp/internal/mbuf.Mbuf").
+	MbufTypes []string
 }
 
-// NewMbufOwn builds the mbufown analyzer: a flow-approximate,
-// intra-procedural check that an allocated mbuf reaches a consumer on
-// every path out of the allocating statement list.
+// NewMbufOwn builds the mbufown analyzer: a flow-approximate check that
+// an allocated mbuf reaches a consumer on every path out of the
+// allocating statement list.
 //
 // The tracker follows the straight-line statements after an
-// `x := alloc()` assignment. Passing x to any call, return, send,
-// composite literal, or address-of consumes it (Free, Prepend, and
-// transmit hand-offs all look alike at this level — the point is that
-// ownership went *somewhere*). Two leak shapes are reported:
+// `x := alloc()` assignment, consulting the whole-program ownership
+// summaries (see summary.go) to classify each use: a call consumes the
+// chain only if the callee's summary proves ownership leaves the caller
+// (freed, stored, forwarded to a consumer, or unknown outside the
+// module); a call whose summary proves borrow-only — transitively,
+// through every hand-off — leaves the chain in hand and tracking
+// continues. Returning the chain, sending it, storing it into a
+// composite, or taking its address consumes as before; a call to a
+// returns-owned function that consumes the chain transfers tracking to
+// the result (mm := m.Prepend(4)). Three leak shapes are reported:
 //
 //   - an early `return` (or break/continue/goto) taken before any
 //     consumer, the classic forgotten-Free error path;
-//   - the enclosing function ending with the chain still in hand.
+//   - the enclosing function ending with the chain still in hand;
+//   - either of the above after calls that only borrow — the diagnostic
+//     names the borrow-only callees and their forwarding path, so a
+//     multi-hop "I thought reader() freed it" bug reads as
+//     "reader -> inner only borrow the chain".
 //
 // Control flow the tracker cannot prove safe — the variable used inside
 // a condition, loop, or nested function — makes it go silent rather
@@ -37,16 +53,17 @@ type MbufOwnConfig struct {
 func NewMbufOwn(cfg MbufOwnConfig) *Analyzer {
 	a := &Analyzer{
 		Name: "mbufown",
-		Doc:  "every mbuf allocation must reach exactly one Free/hand-off on every path",
+		Doc:  "every mbuf allocation must reach exactly one Free/hand-off on every path (callee summaries prove the hand-offs consume)",
 	}
 	a.Run = func(pass *Pass) error {
+		env := &ownEnv{cfg: cfg, facts: pass.Prog.mbufSummaries(cfg)}
 		for _, f := range pass.Files {
 			for _, decl := range f.Decls {
 				fd, ok := decl.(*ast.FuncDecl)
 				if !ok || fd.Body == nil {
 					continue
 				}
-				scanOwnership(pass, cfg, fd.Body.List, true, fd.Body.Rbrace)
+				scanOwnership(pass, env, fd.Body.List, true, fd.Body.Rbrace)
 			}
 		}
 		return nil
@@ -57,47 +74,47 @@ func NewMbufOwn(cfg MbufOwnConfig) *Analyzer {
 // scanOwnership finds alloc assignments in stmts and tracks each to a
 // consumer. atEnd marks the function's outermost statement list, where
 // falling off the end is a leak.
-func scanOwnership(pass *Pass, cfg MbufOwnConfig, stmts []ast.Stmt, atEnd bool, rbrace token.Pos) {
+func scanOwnership(pass *Pass, env *ownEnv, stmts []ast.Stmt, atEnd bool, rbrace token.Pos) {
 	for i, stmt := range stmts {
 		// Recurse into nested statement lists so allocations inside
 		// branches and loops are tracked within their own scope.
 		switch s := stmt.(type) {
 		case *ast.BlockStmt:
-			scanOwnership(pass, cfg, s.List, false, token.NoPos)
+			scanOwnership(pass, env, s.List, false, token.NoPos)
 		case *ast.IfStmt:
-			scanOwnership(pass, cfg, s.Body.List, false, token.NoPos)
+			scanOwnership(pass, env, s.Body.List, false, token.NoPos)
 			if eb, ok := s.Else.(*ast.BlockStmt); ok {
-				scanOwnership(pass, cfg, eb.List, false, token.NoPos)
+				scanOwnership(pass, env, eb.List, false, token.NoPos)
 			} else if ei, ok := s.Else.(*ast.IfStmt); ok {
-				scanOwnership(pass, cfg, []ast.Stmt{ei}, false, token.NoPos)
+				scanOwnership(pass, env, []ast.Stmt{ei}, false, token.NoPos)
 			}
 		case *ast.ForStmt:
-			scanOwnership(pass, cfg, s.Body.List, false, token.NoPos)
+			scanOwnership(pass, env, s.Body.List, false, token.NoPos)
 		case *ast.RangeStmt:
-			scanOwnership(pass, cfg, s.Body.List, false, token.NoPos)
+			scanOwnership(pass, env, s.Body.List, false, token.NoPos)
 		case *ast.SwitchStmt:
 			for _, cl := range s.Body.List {
 				if cc, ok := cl.(*ast.CaseClause); ok {
-					scanOwnership(pass, cfg, cc.Body, false, token.NoPos)
+					scanOwnership(pass, env, cc.Body, false, token.NoPos)
 				}
 			}
 		case *ast.TypeSwitchStmt:
 			for _, cl := range s.Body.List {
 				if cc, ok := cl.(*ast.CaseClause); ok {
-					scanOwnership(pass, cfg, cc.Body, false, token.NoPos)
+					scanOwnership(pass, env, cc.Body, false, token.NoPos)
 				}
 			}
 		case *ast.SelectStmt:
 			for _, cl := range s.Body.List {
 				if cc, ok := cl.(*ast.CommClause); ok {
-					scanOwnership(pass, cfg, cc.Body, false, token.NoPos)
+					scanOwnership(pass, env, cc.Body, false, token.NoPos)
 				}
 			}
 		case *ast.LabeledStmt:
-			scanOwnership(pass, cfg, []ast.Stmt{s.Stmt}, false, token.NoPos)
+			scanOwnership(pass, env, []ast.Stmt{s.Stmt}, false, token.NoPos)
 		}
-		if v, name := allocAssign(pass, cfg, stmt); v != nil {
-			trackOwnership(pass, v, name, stmts[i+1:], atEnd, rbrace)
+		if v, name := allocAssign(pass, env.cfg, stmt); v != nil {
+			trackOwnership(pass, env, v, name, stmts[i+1:], atEnd, rbrace, nil)
 		}
 	}
 }
@@ -131,18 +148,21 @@ func allocAssign(pass *Pass, cfg MbufOwnConfig, stmt ast.Stmt) (*types.Var, stri
 
 // trackOwnership walks the statements after the allocation until the
 // chain is consumed, the analysis gives up, or a leak is proven.
-func trackOwnership(pass *Pass, v *types.Var, name string, rest []ast.Stmt, atEnd bool, rbrace token.Pos) {
+// borrows accumulates the borrow-only callees seen so far, for the
+// interprocedural breadcrumb in leak reports.
+func trackOwnership(pass *Pass, env *ownEnv, v *types.Var, name string, rest []ast.Stmt, atEnd bool, rbrace token.Pos, borrows []string) {
 	info := pass.TypesInfo
-	for _, st := range rest {
+	for si, st := range rest {
 		switch s := st.(type) {
 		case *ast.ReturnStmt:
-			if consumesVar(info, s, v) {
+			kind, _ := useOfVar(info, s, v, env)
+			if kind == useConsume {
 				return
 			}
-			pass.Reportf(s.Pos(), "mbuf %q allocated above is leaked by this return (no Free or hand-off on this path)", name)
+			pass.Reportf(s.Pos(), "mbuf %q allocated above is leaked by this return (no Free or hand-off on this path%s)", name, borrowNote(env, borrows))
 			return
 		case *ast.BranchStmt:
-			pass.Reportf(s.Pos(), "mbuf %q allocated above leaks out of this branch (no Free or hand-off on this path)", name)
+			pass.Reportf(s.Pos(), "mbuf %q allocated above leaks out of this branch (no Free or hand-off on this path%s)", name, borrowNote(env, borrows))
 			return
 		case *ast.DeferStmt:
 			if usesVar(info, s, v) {
@@ -155,46 +175,43 @@ func trackOwnership(pass *Pass, v *types.Var, name string, rest []ast.Stmt, atEn
 			if usesVar(info, s.Body, v) {
 				return // branch consumes or frees conditionally
 			}
-			reportBranchExit(pass, s.Body, name)
+			reportBranchExit(pass, env, s.Body, name, borrows)
 			if s.Else != nil {
 				if usesVar(info, s.Else, v) {
 					return
 				}
 				if eb, ok := s.Else.(*ast.BlockStmt); ok {
-					reportBranchExit(pass, eb, name)
+					reportBranchExit(pass, env, eb, name, borrows)
 				}
 			}
 		case *ast.AssignStmt:
-			// `_ = m` keeps the typechecker quiet but hands nothing off —
-			// keep tracking.
-			if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
-				if id, ok := s.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
-					if rid, ok := ast.Unparen(s.Rhs[0]).(*ast.Ident); ok && info.Uses[rid] == v {
-						continue
-					}
-				}
-			}
-			// Reassigning the variable drops our handle.
+			// Reassigning the variable drops our handle, whatever the
+			// right side did with the chain.
 			for _, lhs := range s.Lhs {
 				if id, ok := lhs.(*ast.Ident); ok && (info.Uses[id] == v || info.Defs[id] == v) {
-					if consumesVar(info, s, v) {
-						return
-					}
-					return // overwritten before tracking proves anything
+					return
 				}
 			}
-			if consumesVar(info, s, v) {
+			kind, bs := useOfVar(info, s, v, env)
+			switch kind {
+			case useConsume:
+				// A consuming call to a returns-owned function re-roots
+				// the chain in the result: keep tracking under its name
+				// (mm := m.Prepend(4)).
+				if nv, nname := ownershipTransfer(pass, env, s, v); nv != nil {
+					trackOwnership(pass, env, nv, nname, rest[si+1:], atEnd, rbrace, borrows)
+				}
 				return
-			}
-			if usesVar(info, st, v) {
-				return // mutation like m.off = 0 — keep silent
+			case useBorrow:
+				borrows = append(borrows, bs...)
 			}
 		case *ast.ExprStmt, *ast.SendStmt, *ast.GoStmt:
-			if consumesVar(info, st, v) {
+			kind, bs := useOfVar(info, st, v, env)
+			switch kind {
+			case useConsume:
 				return
-			}
-			if usesVar(info, st, v) {
-				return
+			case useBorrow:
+				borrows = append(borrows, bs...)
 			}
 		default:
 			// Loops, switches, selects, nested funcs: if the chain is
@@ -205,69 +222,80 @@ func trackOwnership(pass *Pass, v *types.Var, name string, rest []ast.Stmt, atEn
 		}
 	}
 	if atEnd && rbrace.IsValid() {
-		pass.Reportf(rbrace, "mbuf %q is still owned when the function returns (no Free or hand-off)", name)
+		pass.Reportf(rbrace, "mbuf %q is still owned when the function returns (no Free or hand-off%s)", name, borrowNote(env, borrows))
 	}
+}
+
+// ownershipTransfer recognizes `mm := m.Prepend(4)`-style re-rooting:
+// an assignment whose single call consumes v and whose callee's summary
+// is returns-owned hands the chain to the mbuf-typed result. Returns
+// the new variable to track, or nil.
+func ownershipTransfer(pass *Pass, env *ownEnv, s *ast.AssignStmt, v *types.Var) (*types.Var, string) {
+	if len(s.Rhs) != 1 {
+		return nil, ""
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	qname, ok := CalleeQName(pass.TypesInfo, call)
+	if !ok {
+		return nil, ""
+	}
+	f := env.facts[qname]
+	if f == nil || !f.returnsOwned {
+		return nil, ""
+	}
+	for _, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		nv, ok := objVar(pass.TypesInfo, id)
+		if !ok || nv == v || !isMbufPtr(nv.Type(), env.cfg.MbufTypes) {
+			continue
+		}
+		return nv, id.Name
+	}
+	return nil, ""
+}
+
+// borrowNote renders the borrow-only callees a leaked chain passed
+// through, so the diagnostic explains why those calls did not count as
+// hand-offs and prints the interprocedural path.
+func borrowNote(env *ownEnv, borrows []string) string {
+	if len(borrows) == 0 {
+		return ""
+	}
+	seen := map[string]bool{}
+	var labels []string
+	for _, q := range borrows {
+		if !seen[q] {
+			seen[q] = true
+			labels = append(labels, borrowLabel(q, env.facts))
+		}
+	}
+	sort.Strings(labels)
+	if len(labels) > 3 {
+		labels = labels[:3]
+	}
+	verb := "only borrow"
+	if len(labels) == 1 {
+		verb = "only borrows"
+	}
+	return "; " + strings.Join(labels, ", ") + " " + verb + " the chain"
 }
 
 // reportBranchExit flags an if-branch that exits the function without
 // ever touching the tracked chain — the classic forgotten-Free error
 // path. The caller has already established the branch never uses v.
-func reportBranchExit(pass *Pass, body *ast.BlockStmt, name string) {
+func reportBranchExit(pass *Pass, env *ownEnv, body *ast.BlockStmt, name string, borrows []string) {
 	if n := len(body.List); n > 0 {
 		switch last := body.List[n-1].(type) {
 		case *ast.ReturnStmt:
-			pass.Reportf(last.Pos(), "mbuf %q allocated above is leaked by this return (error path misses Free)", name)
+			pass.Reportf(last.Pos(), "mbuf %q allocated above is leaked by this return (error path misses Free%s)", name, borrowNote(env, borrows))
 		case *ast.BranchStmt:
-			pass.Reportf(last.Pos(), "mbuf %q allocated above leaks out of this branch", name)
+			pass.Reportf(last.Pos(), "mbuf %q allocated above leaks out of this branch%s", name, borrowNote(env, borrows))
 		}
 	}
-}
-
-// consumesVar reports whether the statement hands the chain off:
-// passing it (or its address) to a call, returning it, sending it on a
-// channel, or storing it into a composite value.
-func consumesVar(info *types.Info, n ast.Node, v *types.Var) bool {
-	consumed := false
-	ast.Inspect(n, func(nn ast.Node) bool {
-		if consumed {
-			return false
-		}
-		switch x := nn.(type) {
-		case *ast.CallExpr:
-			for _, arg := range x.Args {
-				if usesVar(info, arg, v) {
-					consumed = true
-					return false
-				}
-			}
-			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && usesVar(info, sel.X, v) {
-				consumed = true // method call on the chain: v.Free(), v.Prepend(n)
-				return false
-			}
-		case *ast.ReturnStmt:
-			for _, res := range x.Results {
-				if usesVar(info, res, v) {
-					consumed = true
-					return false
-				}
-			}
-		case *ast.SendStmt:
-			if usesVar(info, x.Value, v) {
-				consumed = true
-				return false
-			}
-		case *ast.CompositeLit:
-			if usesVar(info, x, v) {
-				consumed = true
-				return false
-			}
-		case *ast.UnaryExpr:
-			if x.Op == token.AND && usesVar(info, x.X, v) {
-				consumed = true
-				return false
-			}
-		}
-		return true
-	})
-	return consumed
 }

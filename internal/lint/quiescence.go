@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// QuiescenceConfig parameterizes the quiescence analyzer.
+type QuiescenceConfig struct {
+	// Roots are qualified-name patterns of the rx-worker entry points
+	// (the shard worker loop and the merger goroutine). Everything they
+	// can reach statically runs, potentially, while packets are in
+	// flight.
+	Roots []string
+	// DeclaredEdges adds caller -> callee edges for the calls the graph
+	// cannot resolve: the engine invokes layer handlers and the merge
+	// sink through function values wired once at setup, so the worker's
+	// true closure includes every registered handler. Reachability must
+	// overapproximate — list them all.
+	DeclaredEdges map[string][]string
+	// Required lists functions that MUST carry the //ldlp:quiescent tag
+	// (regression guard): the pump's at-quiescence walks stay declared
+	// even if someone deletes the directive.
+	Required []string
+}
+
+// NewQuiescence builds the quiescence analyzer: functions whose doc
+// comment carries //ldlp:quiescent declare that they run only while
+// every shard worker is parked behind the pump's drain barrier —
+// rebalancing, migration re-homing, timer ticks, the stats walks. The
+// analyzer turns that comment into a checked invariant: a tagged
+// function must be statically unreachable from the rx-worker roots
+// (resolved call edges plus DeclaredEdges). A violation is reported at
+// the tagged function's declaration with the full chain from the root
+// that reaches it.
+//
+// This is the static half of the proof; the dynamic half is the drain
+// barrier itself. Together they are what lets shardaffinity exempt
+// quiescent-tagged functions from the hand-off whitelist.
+func NewQuiescence(cfg QuiescenceConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "quiescence",
+		Doc:  "//ldlp:quiescent functions must be statically unreachable from the rx-worker roots",
+	}
+	var reached map[string]pathStep // memoized per Program
+	var reachedFor *Program
+	a.Run = func(pass *Pass) error {
+		if pass.Prog != reachedFor {
+			declared := pass.Prog.expandDeclared(cfg.DeclaredEdges)
+			var roots []string
+			for q := range pass.Prog.Funcs {
+				if MatchQName(q, cfg.Roots) {
+					roots = append(roots, q)
+				}
+			}
+			reached = pass.Prog.reachFrom(roots, declared)
+			reachedFor = pass.Prog
+		}
+		found := map[string]bool{}
+		declaredAny := false
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				declaredAny = true
+				qname := FuncQName(pass.PkgPath, fd)
+				tagged := HasDirective(fd.Doc, "//ldlp:quiescent")
+				if pat := matchedPattern(qname, cfg.Required); pat != "" {
+					found[pat] = true
+					if !tagged {
+						pass.Reportf(fd.Name.Pos(), "%s runs only at pump quiescence and must carry //ldlp:quiescent", qname)
+					}
+				}
+				if !tagged {
+					continue
+				}
+				if _, hit := reached[qname]; hit {
+					chain := chainTo(reached, qname)
+					pass.ReportChain(fd.Name.Pos(), chain,
+						"//ldlp:quiescent function %s is statically reachable from rx-worker root %s (chain: %s); quiescent code must not be callable while workers run",
+						shortQName(qname), shortQName(chain[0]), formatChain(chain))
+				}
+			}
+		}
+		if declaredAny {
+			for _, req := range cfg.Required {
+				if !found[req] && qnamePkg(req) == pass.PkgPath {
+					pass.Reportf(pass.Files[0].Name.Pos(),
+						"quiescent function %s is required by the lint config but no longer declared (regression guard)", req)
+				}
+			}
+		}
+		return nil
+	}
+	return a
+}

@@ -1,8 +1,10 @@
 // Fixture for the hotpathalloc analyzer. The test configures
-// Required = ["hotpathalloc.mustStayTagged", "hotpathalloc.ghostFunction"];
-// ghostFunction is deliberately absent, so the regression guard fires on
-// the package clause below.
-package hotpathalloc // want `ghostFunction is required by the lint config but no longer declared`
+// Required = ["hotpathalloc.mustStayTagged", "hotpathalloc.ghostFunction"],
+// ColdPaths = ["hotpathalloc.declaredCold", "hotpathalloc.ghostCold"], and
+// DeclaredEdges = {"hotpathalloc.engine": ["hotpathalloc.handlerAlloc"]};
+// ghostFunction and ghostCold are deliberately absent, so both
+// regression guards fire on the package clause below.
+package hotpathalloc // want `ghostFunction is required by the lint config but no longer declared` `coldpath hotpathalloc.ghostCold is declared in the lint config but no function carries`
 
 import "fmt"
 
@@ -80,4 +82,76 @@ func hotWithColdMiss(cache *item) *item {
 	}
 	//lint:ignore hotpathalloc fixture: pool-miss cold path runs once per warmup
 	return &item{v: 1}
+}
+
+// --- Transitive closure cases ---
+
+// midClean does not allocate itself; the leaf two hops down does, and
+// the finding must land at the hot root's call site with the chain.
+func midClean(n int) *item { return leafAlloc(n) }
+
+func leafAlloc(n int) *item { return &item{v: n} }
+
+//ldlp:hotpath
+func hotTransitive(n int) *item {
+	return midClean(n) // want `reaches an allocation in hotpathalloc.leafAlloc \(chain: hotpathalloc.hotTransitive -> hotpathalloc.midClean -> hotpathalloc.leafAlloc\)`
+}
+
+// declaredCold is tagged AND declared in the test config: the walk
+// stops silently, making it a sanctioned escape hatch.
+//
+//ldlp:coldpath
+func declaredCold(n int) *item { return &item{v: n} }
+
+//ldlp:hotpath
+func hotWithDeclaredCold(n int) *item {
+	return declaredCold(n)
+}
+
+// undeclaredCold carries the tag but is NOT in ColdPaths: reaching it
+// from a hot root is reported, with the chain.
+//
+//ldlp:coldpath
+func undeclaredCold(n int) *item { return &item{v: n} }
+
+//ldlp:hotpath
+func hotWithUndeclaredCold(n int) *item {
+	return undeclaredCold(n) // want `reaches //ldlp:coldpath function hotpathalloc.undeclaredCold that is not declared in the lint config`
+}
+
+// A function cannot be both hot and cold.
+//
+//ldlp:hotpath
+//ldlp:coldpath
+func confusedTags() {} // want `carries both //ldlp:hotpath and //ldlp:coldpath; pick one`
+
+// engine invokes its handler through a function value wired at setup —
+// statically unresolvable, so the test config declares the edge
+// engine -> handlerAlloc. The finding lands on the declaration because
+// there is no visible call site.
+//
+//ldlp:hotpath
+func engine(h func(int)) { // want `reaches an allocation in hotpathalloc.handlerAlloc \(chain: hotpathalloc.engine -> hotpathalloc.handlerAlloc\)`
+	h(1)
+}
+
+func handlerAlloc(n int) {
+	s := make([]int, n)
+	_ = s
+}
+
+// --- Generic receiver resolution ---
+
+// ring is generic: the call below is an instantiation, and the edge
+// must resolve to the origin method hotpathalloc.ring.push, not to the
+// instantiated type.
+type ring[T any] struct{ buf []T }
+
+func (r *ring[T]) push(v T) {
+	r.buf = append(r.buf, v)
+}
+
+//ldlp:hotpath
+func hotGeneric(r *ring[int]) {
+	r.push(1) // want `reaches an allocation in hotpathalloc.ring.push \(chain: hotpathalloc.hotGeneric -> hotpathalloc.ring.push\)`
 }

@@ -1,0 +1,51 @@
+// Fixture for //lint:ignore interacting with the interprocedural
+// hotpathalloc walk. Checked by TestInterprocIgnore with explicit
+// assertions rather than want comments: the malformed-ignore diagnostic
+// lands on its own directive line, where a want comment cannot sit.
+//
+// The semantics under test:
+//   - an ignore at the allocation line INSIDE a callee removes the
+//     allocation from that callee's summary, suppressing the finding
+//     for every hot caller at once;
+//   - an ignore at the CALL line inside one hot root suppresses that
+//     root's finding only;
+//   - a reason-less ignore suppresses nothing, anywhere.
+package interprocignore
+
+type item struct{ v int }
+
+// calleeJustified carries a justified ignore at the allocation line:
+// the allocation never enters the summary, so every hot caller stays
+// clean.
+func calleeJustified(n int) *item {
+	//lint:ignore hotpathalloc fixture: amortized warm-up allocation
+	return &item{v: n}
+}
+
+//ldlp:hotpath
+func hotCallsJustified(n int) *item { return calleeJustified(n) }
+
+// calleeBare allocates with no suppression anywhere in the callee.
+func calleeBare(n int) *item { return &item{v: n} }
+
+// hotRootIgnore vouches for the cold step at its own call site: only
+// this root's finding is suppressed.
+//
+//ldlp:hotpath
+func hotRootIgnore(n int) *item {
+	//lint:ignore hotpathalloc fixture: this caller tolerates the cold step
+	return calleeBare(n)
+}
+
+//ldlp:hotpath
+func hotRootBare(n int) *item { return calleeBare(n) }
+
+// calleeMalformed's ignore is reason-less: it suppresses nothing, so
+// both the malformed directive and the transitive finding are reported.
+func calleeMalformed(n int) *item {
+	//lint:ignore hotpathalloc
+	return &item{v: n}
+}
+
+//ldlp:hotpath
+func hotRootMalformed(n int) *item { return calleeMalformed(n) }

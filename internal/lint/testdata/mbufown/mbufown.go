@@ -1,14 +1,43 @@
 // Fixture for the mbufown analyzer. The test configures
-// AllocFns = ["mbufown.alloc"]; the local Mbuf mimics the real pool's
-// ownership contract.
+// AllocFns = ["mbufown.alloc"] and MbufTypes = ["mbufown.Mbuf"]; the
+// local Mbuf mimics the real pool's ownership contract, and the
+// whole-program summaries must prove which helpers consume the chain
+// and which only borrow it.
 package mbufown
 
-type Mbuf struct{ next *Mbuf }
+type Mbuf struct {
+	next *Mbuf
+	size int
+}
 
-func (m *Mbuf) Free()               {}
-func (m *Mbuf) Prepend(n int) *Mbuf { return m }
-func transmit(m *Mbuf)              {}
-func alloc() *Mbuf                  { return &Mbuf{} }
+// graveyard makes Free and transmit proven consumers: the chain is
+// stored, so ownership leaves the caller for good.
+var graveyard []*Mbuf
+
+func (m *Mbuf) Free()  { graveyard = append(graveyard, m) }
+func transmit(m *Mbuf) { graveyard = append(graveyard, m) }
+func alloc() *Mbuf     { return &Mbuf{} }
+
+// Prepend consumes its receiver and returns the (possibly re-rooted)
+// owned chain, like the real Mbuf.Prepend.
+func (m *Mbuf) Prepend(n int) *Mbuf {
+	m.size += n
+	return m
+}
+
+// headSize only reads the chain — the summary must classify the mbuf
+// parameter as borrowed, so a call does not discharge ownership.
+func headSize(m *Mbuf) int { return m.size }
+
+// reader forwards the chain to inner, which only reads it: the borrow
+// classification must hold transitively, and the leak diagnostics must
+// print the forwarding path.
+func reader(m *Mbuf) int { return inner(m) }
+
+func inner(m *Mbuf) int { return m.size }
+
+// forwardFree hands the chain to Free: consumption, transitively.
+func forwardFree(m *Mbuf) { m.Free() }
 
 // freeQueue mimics the real pool's batched cross-shard return queue: a
 // hand-off site that consumes ownership exactly like a direct Free.
@@ -45,6 +74,30 @@ func leakToFunctionEnd() {
 	_ = m
 } // want `still owned when the function returns`
 
+// A call to a borrow-only helper does not count as a hand-off, and the
+// diagnostic says why.
+func leakBorrowEnd() {
+	m := alloc()
+	_ = headSize(m)
+} // want `still owned when the function returns \(no Free or hand-off; mbufown.headSize only borrows the chain\)`
+
+// The multi-hop case: reader forwards to inner, neither consumes, and
+// the breadcrumb prints the interprocedural path.
+func leakThroughReader() {
+	m := alloc()
+	n := reader(m)
+	_ = n
+	return // want `leaked by this return \(no Free or hand-off on this path; mbufown.reader -> mbufown.inner only borrows the chain\)`
+}
+
+// A consuming call to a returns-owned function re-roots the chain in
+// the result; forgetting the new head is still a leak.
+func leakAfterTransfer() {
+	m := alloc()
+	mm := m.Prepend(4)
+	_ = mm
+} // want `mbuf "mm" is still owned when the function returns`
+
 // Every consumption shape the tracker accepts.
 func okFree() {
 	m := alloc()
@@ -54,6 +107,19 @@ func okFree() {
 func okHandOffCall() {
 	m := alloc()
 	transmit(m)
+}
+
+// Borrow first, then free: the borrow must not end tracking early.
+func okBorrowThenFree() {
+	m := alloc()
+	_ = headSize(m)
+	m.Free()
+}
+
+// Transitive consumption through a forwarding helper.
+func okForwardedFree() {
+	m := alloc()
+	forwardFree(m)
 }
 
 func okHandOffChannel(q chan *Mbuf) {

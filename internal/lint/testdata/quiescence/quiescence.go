@@ -1,0 +1,60 @@
+// Fixture for the quiescence analyzer. The test configures
+// Roots = ["quiescence.worker"],
+// DeclaredEdges = {"quiescence.engine": ["quiescence.handler"]}, and
+// Required = ["quiescence.tickRequired", "quiescence.ghostTick"];
+// ghostTick is deliberately absent, so the regression guard fires on
+// the package clause below.
+package quiescence // want `quiescent function quiescence.ghostTick is required by the lint config but no longer declared`
+
+var shared int
+
+// worker is the rx-worker root: everything it reaches statically may
+// run while packets are in flight.
+func worker() {
+	for i := 0; i < 4; i++ {
+		engine()
+		directHelper()
+	}
+}
+
+// engine invokes its handler through a cached function value, invisible
+// to the resolver; the test config declares the handler edge.
+func engine() {}
+
+// handler is reached only through the declared edge.
+func handler() { helper() }
+
+func helper() { reachableTick() }
+
+func directHelper() { directTick() }
+
+// reachableTick is tagged quiescent but the worker reaches it through
+// the declared engine edge — the violation, reported with the chain.
+//
+//ldlp:quiescent
+func reachableTick() { // want `statically reachable from rx-worker root quiescence.worker \(chain: quiescence.worker -> quiescence.engine -> quiescence.handler -> quiescence.helper -> quiescence.reachableTick\)`
+	shared++
+}
+
+// directTick is reached through plain resolved calls.
+//
+//ldlp:quiescent
+func directTick() { // want `statically reachable from rx-worker root quiescence.worker`
+	shared = 0
+}
+
+// safeTick runs only between pumps: nothing the worker reaches calls
+// it, so the tag holds.
+//
+//ldlp:quiescent
+func safeTick() { shared = 0 }
+
+// tickRequired is in Required but lost its tag.
+func tickRequired() {} // want `runs only at pump quiescence and must carry //ldlp:quiescent`
+
+// pump may call quiescent functions freely: reachability is judged from
+// the worker roots alone.
+func pump() {
+	safeTick()
+	tickRequired()
+}

@@ -77,6 +77,8 @@ func (q *FreeQueue) FreeChain(m *Mbuf) {
 
 // Flush returns every parked buffer to its owning shard. Call at
 // quiescent points so leak checks (and the freelists) see the frees.
+//
+//ldlp:quiescent
 func (q *FreeQueue) Flush() {
 	for i := range q.owners {
 		if q.count[i] > 0 {
@@ -95,26 +97,34 @@ func (q *FreeQueue) flushSlot(i int) {
 	batch := q.batch[i][:n]
 	if ps.mu.TryLock() {
 		ps.fastFrees += int64(n)
-		var spill []*Mbuf
+		// The spill set is bounded by the batch itself, so a fixed array
+		// keeps this path allocation-free (a plain []*Mbuf here used to
+		// heap-allocate once per flush when a freelist hit its cap — the
+		// interprocedural hotpathalloc walk caught it).
+		var spillArr [freeQueueBatch]*Mbuf
+		spilled := 0
 		for _, m := range batch {
 			if m.cluster {
 				ps.fastClusters--
 				if len(ps.clust) < shardFreeCap {
+					//lint:ignore hotpathalloc freelist is capped at shardFreeCap, so growth is bounded and amortized
 					ps.clust = append(ps.clust, m)
 					continue
 				}
 			} else {
 				if len(ps.small) < shardFreeCap {
+					//lint:ignore hotpathalloc freelist is capped at shardFreeCap, so growth is bounded and amortized
 					ps.small = append(ps.small, m)
 					continue
 				}
 			}
-			spill = append(spill, m)
+			spillArr[spilled] = m
+			spilled++
 		}
 		ps.mu.Unlock()
-		if spill != nil {
+		if spilled > 0 {
 			ov := ps.pool.overflow.Load()
-			for _, m := range spill {
+			for _, m := range spillArr[:spilled] {
 				ps.overflowPuts.Inc()
 				if m.cluster {
 					ov.clust.Put(m)

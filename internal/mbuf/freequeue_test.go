@@ -86,6 +86,48 @@ func TestFreeQueueChainAndOwnerOverflow(t *testing.T) {
 	}
 }
 
+// TestFreeQueueFlushSpillDoesNotAllocate pins the worst case of the
+// batched free path: the owner's freelist is already at shardFreeCap,
+// so every buffer in the flushed batch diverts to the overflow tier.
+// That divert used to build a `spill []*Mbuf` with append — a heap
+// allocation per flush, on a path Free reaches every freeQueueBatch
+// buffers — until the interprocedural hotpathalloc walk flagged it.
+// The spill set is bounded by the batch, so a fixed array suffices;
+// this test fails if the allocation ever comes back.
+func TestFreeQueueFlushSpillDoesNotAllocate(t *testing.T) {
+	pool := NewPool(1)
+	ps := pool.Shard(0)
+	// Draw every buffer up front (all fresh: the freelist is empty), then
+	// free all but one batch so the freelist sits exactly at its cap.
+	ms := make([]*Mbuf, shardFreeCap+freeQueueBatch)
+	for i := range ms {
+		ms[i] = ps.Get()
+	}
+	for _, m := range ms[freeQueueBatch:] {
+		m.Free()
+	}
+	if len(ps.small) != shardFreeCap {
+		t.Fatalf("freelist not at cap: %d", len(ps.small))
+	}
+	batch := ms[:freeQueueBatch]
+	var q FreeQueue
+	allocs := testing.AllocsPerRun(100, func() {
+		// The last Free auto-flushes; with the freelist full, all
+		// freeQueueBatch buffers take the spill path to the overflow pool.
+		for _, m := range batch {
+			q.Free(m)
+		}
+		// White-box reset so the next run can park the same buffers again
+		// (the overflow pool holding stale duplicates is harmless here).
+		for _, m := range batch {
+			m.freed = false
+		}
+	})
+	if allocs >= 1 {
+		t.Fatalf("spill flush allocated %.1f times per batch; the overflow hand-off must stay allocation-free", allocs)
+	}
+}
+
 // TestShardedPoolBeatsGlobalMutexAt4Workers is the regression guard for
 // the BENCH_2.json scaling anomaly: the sharded pool's per-op atomic
 // counter updates made it slower than the old global-mutex allocator at

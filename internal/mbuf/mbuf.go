@@ -504,9 +504,11 @@ func (m *Mbuf) Pullup(n int) (*Mbuf, error) {
 		return m, nil
 	}
 	if n > m.PktLen() {
+		//lint:ignore hotpathalloc pullup error path, never taken by well-formed traffic
 		return m, fmt.Errorf("mbuf: pullup %d beyond packet length %d", n, m.PktLen())
 	}
 	if n > MCLBytes {
+		//lint:ignore hotpathalloc pullup error path, never taken by well-formed traffic
 		return m, fmt.Errorf("mbuf: pullup %d exceeds cluster size", n)
 	}
 	head := m.alikeFor(n)
@@ -586,6 +588,7 @@ func (m *Mbuf) Contiguous() []byte {
 	if m.next == nil {
 		return m.Bytes()
 	}
+	//lint:ignore hotpathalloc multi-buffer chains only; single-buffer frames return the existing window without copying
 	out := make([]byte, m.PktLen())
 	m.CopyOut(0, out)
 	return out

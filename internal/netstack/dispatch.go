@@ -75,8 +75,9 @@ func (h *Host) DispatchStats() DispatchStats {
 
 // dispatchTick is the policy's rebalance point: compute each shard's
 // load since the last tick, ask the policy for migrations, apply them.
-// Pump-side at quiescence (a declared hand-off point — it rewrites
-// shard-owned transport state).
+// Pump-side at quiescence — it rewrites shard-owned transport state.
+//
+//ldlp:quiescent
 func (h *Host) dispatchTick() {
 	if !h.sharded {
 		return
@@ -108,6 +109,8 @@ func (h *Host) dispatchTick() {
 // no more, no less. Pump-side at quiescence: collect during Range,
 // mutate after (the flow table tolerates deletes mid-Range but not
 // inserts).
+//
+//ldlp:quiescent
 func (h *Host) applyMigration(mg dispatch.Migration) {
 	if mg.From == mg.To || mg.From >= len(h.tshards) || mg.To >= len(h.tshards) {
 		return

@@ -119,6 +119,11 @@ func (ts *transportShard) fragmentOutput(m *mbuf.Mbuf, proto byte, dst layers.IP
 // payload when the datagram finishes, or nil while holes remain. All
 // fragments of one datagram hash to the same shard (RSS falls back to
 // the IP ID for fragments), so the shard's frags map needs no lock.
+// A declared cold step off the hot ipInput: fragmented datagrams are
+// the exception in a small-message protocol, and reassembly buffers
+// allocate by design.
+//
+//ldlp:coldpath
 func (ts *transportShard) reassemble(p *Packet) []byte {
 	h := ts.h
 	if ts.frags == nil {
@@ -253,8 +258,10 @@ func (ts *transportShard) evictOldestFrag() {
 }
 
 // fragTick expires stale partial datagrams. Pump-side at quiescence,
-// like tcpTick: a declared hand-off point over every shard's table
-// (Range tolerates the deletes; nothing here inserts).
+// like tcpTick, walking every shard's table (Range tolerates the
+// deletes; nothing here inserts).
+//
+//ldlp:quiescent
 func (h *Host) fragTick() {
 	for _, ts := range h.tshards {
 		if ts.frags == nil {

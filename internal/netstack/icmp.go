@@ -30,6 +30,8 @@ type PingReply struct {
 // Ping sends an ICMP echo request. Replies are collected on the host;
 // retrieve them with PingReplies after pumping the network. Pump-side:
 // the request is built on the pump's transport shard.
+//
+//ldlp:quiescent
 func (h *Host) Ping(dst layers.IPAddr, id, seq uint16, payload []byte) {
 	h.pumpShard().sendICMP(dst, icmpEchoRequest, id, seq, payload)
 }
@@ -61,7 +63,10 @@ func (ts *transportShard) sendICMP(dst layers.IPAddr, typ byte, id, seq uint16, 
 // answers echo requests, records echo replies. Echo replies are sent
 // lock-free on the receiving shard (echo has no connection state); only
 // the host-wide reply list — which fans in from every shard — takes a
-// lock, held just for the append.
+// lock, held just for the append. A declared cold step: echo handling
+// builds reply payloads and sits outside the zero-alloc contract.
+//
+//ldlp:coldpath
 func (rx *rxPath) icmpInput(p *Packet, emit core.Emit[*Packet]) {
 	h := rx.h
 	buf := p.M.Contiguous()

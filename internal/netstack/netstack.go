@@ -301,6 +301,8 @@ func (n *Net) AddHost(name string, ip layers.IPAddr, opts Options) *Host {
 // hosts) and frees frames still parked on the wire or in delay holds,
 // so tests that end mid-impairment do not read as mbuf leaks. Call
 // when done with a network that uses RxShards or delay faults.
+//
+//ldlp:quiescent
 func (n *Net) Close() {
 	for _, f := range n.wire {
 		f.m.FreeChain()
@@ -326,6 +328,7 @@ func (n *Net) Close() {
 
 // send queues a frame for delivery.
 func (n *Net) send(f frame) {
+	//lint:ignore hotpathalloc per-pump wire queue, drained every pump; growth is amortized over the batch
 	n.wire = append(n.wire, f)
 }
 
@@ -643,6 +646,8 @@ type ShardTransportStats struct {
 // ShardTransportStats reports every transport shard's tallies, index-
 // aligned with the receive shards. Pump-side: call while the network is
 // quiescent.
+//
+//ldlp:quiescent
 func (h *Host) ShardTransportStats() []ShardTransportStats {
 	out := make([]ShardTransportStats, len(h.tshards))
 	for i, ts := range h.tshards {
@@ -680,9 +685,10 @@ type FlowStats struct {
 	Migrated int64 `json:"migrated"`
 }
 
-// FlowStats reports the merged flow-table/flow-cache statistics. A
-// declared pump-at-quiescence hand-off point: it reads every shard's
-// single-writer stats.
+// FlowStats reports the merged flow-table/flow-cache statistics.
+// Pump-at-quiescence: it reads every shard's single-writer stats.
+//
+//ldlp:quiescent
 func (h *Host) FlowStats() FlowStats {
 	var out FlowStats
 	var depth telemetry.HistSnapshot
@@ -1009,6 +1015,7 @@ func (h *Host) process() int {
 func (ts *transportShard) transmit(f frame) {
 	ts.tally.txFrames++
 	if ts.h.opts.Discipline == core.LDLP {
+		//lint:ignore hotpathalloc txq keeps its capacity across flushTx resets, so steady-state appends do not allocate
 		ts.txq = append(ts.txq, f)
 		return
 	}
@@ -1018,6 +1025,8 @@ func (ts *transportShard) transmit(f frame) {
 // flushTx drains every shard's transmit queue in one batch, shard-index
 // order (deterministic for a given shard count). Runs on the pump
 // goroutine with the shard workers quiescent (after Drain).
+//
+//ldlp:quiescent
 func (h *Host) flushTx() int {
 	n := 0
 	for _, ts := range h.tshards {

@@ -209,7 +209,10 @@ var ephemeral uint16 = 32768
 // is pumped (check Established or poll Accept on the peer). Pump-side
 // hand-off point: the new PCB is planted directly on the shard the
 // connection's inbound segments will hash to, so from the first SYN-ACK
-// onward only that shard's worker touches it.
+// onward only that shard's worker touches it. Pump-side: call between
+// pumps, never concurrently with them.
+//
+//ldlp:quiescent
 func (h *Host) DialTCP(dst layers.IPAddr, port uint16) *TCPSock {
 	ephemeral++
 	pcb := &tcpPCB{
@@ -228,18 +231,26 @@ func (h *Host) DialTCP(dst layers.IPAddr, port uint16) *TCPSock {
 }
 
 // Established reports whether the handshake has completed.
+//
+//ldlp:quiescent
 func (s *TCPSock) Established() bool { return s.pcb.state == stEstablished }
 
 // State names the connection state.
+//
+//ldlp:quiescent
 func (s *TCPSock) State() string { return s.pcb.state.String() }
 
 // Err reports why the connection died (ErrTimeout after retransmission
 // exhausted its retries), or nil while it is healthy.
+//
+//ldlp:quiescent
 func (s *TCPSock) Err() error { return s.pcb.err }
 
 // Send queues data for transmission (flow-controlled by the peer's
 // window as the network is pumped). Sending remains legal in CLOSE-WAIT:
 // the peer half-closed, our direction is still open.
+//
+//ldlp:quiescent
 func (s *TCPSock) Send(data []byte) error {
 	switch s.pcb.state {
 	case stEstablished, stSynSent, stSynRcvd, stCloseWait:
@@ -257,6 +268,8 @@ func (s *TCPSock) Send(data []byte) error {
 // Recv copies received data into buf, returning the number of bytes (0
 // when nothing is buffered). Draining a previously-full buffer sends a
 // window update so a stalled peer resumes (the sb-drop wakeup path).
+//
+//ldlp:quiescent
 func (s *TCPSock) Recv(buf []byte) int {
 	pcb := s.pcb
 	before := len(pcb.rcvBuf)
@@ -269,9 +282,13 @@ func (s *TCPSock) Recv(buf []byte) int {
 }
 
 // Buffered reports bytes waiting in the receive buffer.
+//
+//ldlp:quiescent
 func (s *TCPSock) Buffered() int { return len(s.pcb.rcvBuf) }
 
 // Close sends FIN after queued data drains.
+//
+//ldlp:quiescent
 func (s *TCPSock) Close() {
 	pcb := s.pcb
 	switch pcb.state {
@@ -388,7 +405,11 @@ func (rx *rxPath) tcpInput(p *Packet, emit core.Emit[*Packet]) {
 // PCB lands in rx's own shard map — the flow hash that routed this SYN
 // here routes the rest of the connection here too. Only the backlog
 // append crosses shards (other remotes' SYNs hash elsewhere), so just
-// that step takes the listener lock. The caller recycles p.
+// that step takes the listener lock. The caller recycles p. A declared
+// cold step off the hot tcpInput: once per connection, never per
+// segment.
+//
+//ldlp:coldpath
 func (rx *rxPath) tcpPassiveOpen(tuple fourTuple, th *layers.TCP) {
 	h := rx.h
 	if th.Flags&layers.TCPSyn == 0 || th.Flags&layers.TCPAck != 0 {
@@ -525,6 +546,7 @@ func (rx *rxPath) tcpSlowPath(pcb *tcpPCB, th *layers.TCP, payload []byte, p *Pa
 // ACK for every second data segment.
 func (pcb *tcpPCB) acceptData(payload []byte) {
 	pcb.rcvNxt += uint32(len(payload))
+	//lint:ignore hotpathalloc rcvBuf is bounded by the receive window, so growth is bounded and amortized
 	pcb.rcvBuf = append(pcb.rcvBuf, payload...)
 	pcb.delAckPending++
 	if pcb.delAckPending >= 2 {
@@ -576,6 +598,7 @@ func (pcb *tcpPCB) trySend() {
 			return
 		}
 		n := min(min(tcpMSS, len(pcb.sndBuf)), room)
+		//lint:ignore hotpathalloc per-data-segment payload copy for transmission; the rx small-message steady state sends no data
 		chunk := append([]byte(nil), pcb.sndBuf[:n]...)
 		pcb.sndBuf = pcb.sndBuf[n:]
 		pcb.sendSegment(layers.TCPAck|layers.TCPPsh, chunk, true)
@@ -618,7 +641,9 @@ func (pcb *tcpPCB) sendSegment(flags byte, payload []byte, track bool) {
 		consumed++
 	}
 	if track && consumed > 0 {
+		//lint:ignore hotpathalloc retransmission-queue copy, made only when sending data segments
 		h2 := append([]byte(nil), payload...)
+		//lint:ignore hotpathalloc retransmission queue is bounded by the send window
 		pcb.unacked = append(pcb.unacked, unackedSeg{
 			seq: pcb.sndNxt, data: h2,
 			syn: flags&layers.TCPSyn != 0, fin: flags&layers.TCPFin != 0,
@@ -631,8 +656,9 @@ func (pcb *tcpPCB) sendSegment(flags byte, payload []byte, track bool) {
 
 // tcpTick fires retransmission, delayed-ACK, persist and TIME-WAIT
 // timers. It runs on the pump between Drain and the next deliver, when
-// every shard worker is parked — a declared hand-off point that may walk
-// all shards' PCB maps.
+// every shard worker is parked, and may walk all shards' PCB maps.
+//
+//ldlp:quiescent
 func (h *Host) tcpTick() {
 	for _, ts := range h.tshards {
 		ts.tcpTickShard()

@@ -55,6 +55,8 @@ func (s *UDPSock) Close() { delete(s.host.udpSocks, s.port) }
 
 // SendTo transmits one datagram. Pump-side: the frame is built from and
 // queued on the pump's transport shard.
+//
+//ldlp:quiescent
 func (s *UDPSock) SendTo(dst layers.IPAddr, port uint16, payload []byte) {
 	ts := s.host.pumpShard()
 	uh := layers.UDP{SrcPort: s.port, DstPort: port}
@@ -87,6 +89,10 @@ func (s *UDPSock) Pending() int {
 // udpInput is the receive-path UDP layer. The checksum and the payload
 // copy run lock-free; only the queue append takes the socket lock,
 // because one socket receives from remotes spread across every shard.
+// A declared cold step: UDP delivery copies into the socket queue and
+// sits outside the TCP small-message zero-alloc contract.
+//
+//ldlp:coldpath
 func (rx *rxPath) udpInput(p *Packet, emit core.Emit[*Packet]) {
 	h := rx.h
 	buf := p.M.Contiguous()
