@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short test-race chaos chaos-smoke fuzz bench bench-scale bench-full trace-smoke report examples clean
+.PHONY: all build vet lint test test-short test-race chaos chaos-smoke fleet-smoke fuzz bench bench-scale bench-full trace-smoke report examples clean
 
 all: build lint test
 
@@ -47,6 +47,13 @@ chaos-smoke:
 	$(GO) test -race -short -count=1 -run 'TestChaos' ./internal/netstack ./internal/sscop
 	$(GO) run ./cmd/chaos -mix all -shards 4
 
+# Fleet smoke: the event-driven simulator's test suite, then a 64-node
+# threshold-gossip run over lossy links with invariant checking and a
+# byte-identical replay comparison (exits non-zero on any violation).
+fleet-smoke:
+	$(GO) test -short -count=1 ./internal/fleet/...
+	$(GO) run ./cmd/ldlpsim -fleet -fleet-nodes 64 -fleet-steps 3 -fleet-check
+
 # Short fuzzing pass over every FuzzXxx target (graph parser, DNS codec,
 # mbuf chain ops, flow table + eviction cache differential).
 fuzz:
@@ -67,13 +74,18 @@ fuzz:
 #      scale in its -short 10k-flow shape), one iteration.
 #   3. Dispatch tier — the Zipf skew model, static vs load-aware; the
 #      shard-imbalance and p99-wait-slots metrics land in the summary.
+#   4. Fleet tier — 1000-node threshold gossip, LDLP and conventional
+#      back to back; gossip_rounds_per_step, delivery_p99_ns and the
+#      ldlp_latency_ratio headline land in the summary.
 bench:
 	{ $(GO) test -run=NONE -bench='BenchmarkHotPathInject|BenchmarkPoolAllocFree|BenchmarkPrependHeader|BenchmarkAllocFreeCluster' \
 		-benchmem -benchtime=100x -count=3 -short ./internal/netstack ./internal/mbuf && \
 	  $(GO) test -run=NONE -bench='BenchmarkSimPoisson|BenchmarkAcceptScale' \
 		-benchmem -benchtime=1x -short ./internal/netstack . && \
 	  $(GO) test -run=NONE -bench='BenchmarkDispatchSkewed' \
-		-benchmem -benchtime=1x -short ./internal/sim ; } \
+		-benchmem -benchtime=1x -short ./internal/sim && \
+	  $(GO) test -run=NONE -bench='BenchmarkFleetGossip' \
+		-benchmem -benchtime=1x ./internal/fleet/gossip ; } \
 		| $(GO) run ./cmd/benchjson -out BENCH_2.json
 
 # The full accept-path scale run: SYN-flood to one million established

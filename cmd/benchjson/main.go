@@ -55,6 +55,12 @@ type TelemetrySummary struct {
 	ProbeDepthP99    *float64 `json:"probe_depth_p99,omitempty"`
 	ShardImbalance   *float64 `json:"shard_imbalance,omitempty"`
 	WaitP99Slots     *float64 `json:"wait_p99_slots,omitempty"`
+	// Fleet tier (BenchmarkFleetGossip): gossip datagrams per node-step,
+	// the LDLP fleet's p99 send-to-service delivery latency, and the
+	// conventional/LDLP p99 ratio (the fleet-scale headline).
+	GossipRoundsPerStep *float64 `json:"gossip_rounds_per_step,omitempty"`
+	DeliveryP99NS       *float64 `json:"delivery_p99_ns,omitempty"`
+	LDLPLatencyRatio    *float64 `json:"ldlp_latency_ratio,omitempty"`
 }
 
 // telemetryUnits maps a ReportMetric unit to the TelemetrySummary
@@ -68,6 +74,9 @@ var telemetryUnits = map[string]func(*TelemetrySummary, float64){
 	"p99-probe-depth":    func(t *TelemetrySummary, v float64) { t.ProbeDepthP99 = &v },
 	"shard-imbalance":    func(t *TelemetrySummary, v float64) { t.ShardImbalance = &v },
 	"p99-wait-slots":     func(t *TelemetrySummary, v float64) { t.WaitP99Slots = &v },
+	"rounds-per-step":    func(t *TelemetrySummary, v float64) { t.GossipRoundsPerStep = &v },
+	"delivery-p99-ns":    func(t *TelemetrySummary, v float64) { t.DeliveryP99NS = &v },
+	"ldlp-latency-ratio": func(t *TelemetrySummary, v float64) { t.LDLPLatencyRatio = &v },
 }
 
 // Summary is the emitted document.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 )
 
@@ -136,6 +137,46 @@ func TestParseBenchLineLiftsDispatchMetrics(t *testing.T) {
 	}
 	if v := r.Extra["bucket-moves"]; v != 5 {
 		t.Errorf("bucket-moves = %v, want 5 in Extra", v)
+	}
+}
+
+func TestParseBenchLineLiftsFleetMetrics(t *testing.T) {
+	line := "BenchmarkFleetGossip/clean/n1000-8  1  5619573113 ns/op  63.96 rounds-per-step  4133183 delivery-p99-ns  3.984 ldlp-latency-ratio"
+	r, ok := parseBenchLine(line)
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	tel := r.Telemetry
+	if tel == nil {
+		t.Fatal("fleet metrics not lifted")
+	}
+	if tel.GossipRoundsPerStep == nil || *tel.GossipRoundsPerStep != 63.96 {
+		t.Errorf("gossip_rounds_per_step = %v, want 63.96", tel.GossipRoundsPerStep)
+	}
+	if tel.DeliveryP99NS == nil || *tel.DeliveryP99NS != 4133183 {
+		t.Errorf("delivery_p99_ns = %v, want 4133183", tel.DeliveryP99NS)
+	}
+	if tel.LDLPLatencyRatio == nil || *tel.LDLPLatencyRatio != 3.984 {
+		t.Errorf("ldlp_latency_ratio = %v, want 3.984", tel.LDLPLatencyRatio)
+	}
+}
+
+// TestFleetSummarySchema pins the JSON field names the fleet tier lands
+// in BENCH_2.json — dashboards key on them.
+func TestFleetSummarySchema(t *testing.T) {
+	rounds, p99, ratio := 64.0, 4.1e6, 3.9
+	b, err := json.Marshal(TelemetrySummary{
+		GossipRoundsPerStep: &rounds,
+		DeliveryP99NS:       &p99,
+		LDLPLatencyRatio:    &ratio,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"gossip_rounds_per_step":64`, `"delivery_p99_ns":4100000`, `"ldlp_latency_ratio":3.9`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("summary JSON %s missing %s", b, key)
+		}
 	}
 }
 

@@ -8,16 +8,29 @@
 //
 //	ldlpsim [-figure5] [-figure6] [-figure7] [-ablations] [-all]
 //	        [-runs 100] [-duration 1] [-paper]
+//	ldlpsim -fleet [-fleet-nodes 1000] [-fleet-steps 5] [-fleet-seed 1]
+//	        [-fleet-preset bernoulli] [-fleet-check]
 //
 // -paper selects the full published methodology (100 seeds × 1 s per
 // point — minutes of CPU); the default is a quick 5×0.3 s sweep.
+//
+// -fleet runs FigureFleetGossip instead: the TLC threshold-gossip
+// workload on the event-driven fleet simulator, LDLP vs conventional,
+// clean vs fault-preset links. -fleet-check additionally replays the
+// run and exits non-zero if any invariant breaks or the replay is not
+// byte-identical — the smoke-test mode `make fleet-smoke` wires into CI.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
+	"ldlp/internal/core"
+	"ldlp/internal/fleet"
+	"ldlp/internal/fleet/gossip"
 	"ldlp/internal/sim"
 	"ldlp/internal/stats"
 	"ldlp/internal/traffic"
@@ -35,8 +48,22 @@ func main() {
 		runs      = flag.Int("runs", 0, "override: seeds per point")
 		duration  = flag.Float64("duration", 0, "override: simulated seconds per run")
 		plot      = flag.Bool("plot", false, "render ASCII plots alongside the tables")
+
+		fleetMode   = flag.Bool("fleet", false, "fleet-scale threshold gossip (FigureFleetGossip)")
+		fleetNodes  = flag.Int("fleet-nodes", 1000, "fleet size")
+		fleetSteps  = flag.Uint("fleet-steps", 5, "logical-clock target step")
+		fleetSeed   = flag.Int64("fleet-seed", 1, "fleet seed (topology, jitter, faults)")
+		fleetPreset = flag.String("fleet-preset", "bernoulli", "faults preset for the impaired link row")
+		fleetCheck  = flag.Bool("fleet-check", false, "verify invariants + byte-identical replay; exit non-zero on violation")
 	)
 	flag.Parse()
+	if *fleetMode {
+		if err := runFleet(*fleetNodes, uint32(*fleetSteps), *fleetSeed, *fleetPreset, *fleetCheck); err != nil {
+			fmt.Fprintln(os.Stderr, "ldlpsim -fleet:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if !(*f5 || *f6 || *f7 || *ablations || *disp || *all) {
 		*all = true
 	}
@@ -103,4 +130,82 @@ func main() {
 			fmt.Println(sim.UnifiedCacheAblation(opts, 5000))
 		})
 	}
+}
+
+// runFleet drives the fleet-scale gossip figure and, with check set,
+// the invariant + replay verification first.
+func runFleet(nodes int, target uint32, seed int64, preset string, check bool) error {
+	start := time.Now()
+	if check {
+		if err := fleetCheck(nodes, target, seed, preset); err != nil {
+			return err
+		}
+		fmt.Printf("# fleet-check: invariants and byte-identical replay OK (%d nodes, %d steps, %s links)\n",
+			nodes, target, preset)
+	}
+	tab, err := gossip.FigureFleetGossip(gossip.FigureConfig{
+		Nodes: nodes, TargetStep: target, Seed: seed, FaultPreset: preset,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(tab)
+	fmt.Printf("# fleet gossip took %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// fleetCheck runs one seeded gossip fleet twice over impaired links and
+// demands invariant-clean runs (gossip.Run verifies conservation and
+// scheduler ledgers) with byte-identical event logs, step histories and
+// merged telemetry.
+func fleetCheck(nodes int, target uint32, seed int64, preset string) error {
+	type artifacts struct {
+		events, history []byte
+		res             gossip.Result
+	}
+	run := func() (artifacts, error) {
+		var log bytes.Buffer
+		res, err := gossip.Run(gossip.Config{
+			Fleet: fleet.Config{
+				Topology:   fleet.SmallWorld(nodes, 4, 0.1, seed),
+				Discipline: core.LDLP,
+				Link:       fleet.FaultyLink(fleet.LANLink(), preset),
+				Seed:       seed,
+				EventLog:   &log,
+			},
+			TargetStep: target,
+		})
+		if err != nil {
+			return artifacts{}, err
+		}
+		if !res.Completed {
+			return artifacts{}, fmt.Errorf("gossip did not reach step %d within the horizon (%d/%d nodes)",
+				target, res.Nodes, nodes)
+		}
+		return artifacts{events: log.Bytes(), history: res.History, res: res}, nil
+	}
+	a, err := run()
+	if err != nil {
+		return err
+	}
+	b, err := run()
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(a.events, b.events) {
+		return fmt.Errorf("replay diverged: event logs differ (%d vs %d bytes)", len(a.events), len(b.events))
+	}
+	if !bytes.Equal(a.history, b.history) {
+		return fmt.Errorf("replay diverged: gossip step histories differ")
+	}
+	if len(a.res.Telemetry) != len(b.res.Telemetry) {
+		return fmt.Errorf("replay diverged: telemetry entry counts differ (%d vs %d)",
+			len(a.res.Telemetry), len(b.res.Telemetry))
+	}
+	for i := range a.res.Telemetry {
+		if a.res.Telemetry[i].Name != b.res.Telemetry[i].Name || a.res.Telemetry[i].Hist != b.res.Telemetry[i].Hist {
+			return fmt.Errorf("replay diverged: merged histogram %q differs", a.res.Telemetry[i].Name)
+		}
+	}
+	return nil
 }

@@ -195,6 +195,35 @@ type Stats struct {
 	Duplicated, Reordered, Delayed, Corrupted int64
 }
 
+// Merge adds other's counters into s field-wise. Stats began life
+// assuming one wire; a fleet topology runs one injector per link, and
+// this is how their books roll up into one fleet-wide summary. Merging
+// is pure addition (max-free, state-free), so it is commutative and
+// associative: any grouping of per-link stats — per node, per rack,
+// all at once — yields the same totals, and the merged summary obeys
+// the same identities each instance does (Dropped == LossDrops +
+// BurstDrops + PartitionDrops).
+func (s *Stats) Merge(other Stats) {
+	s.Frames += other.Frames
+	s.Dropped += other.Dropped
+	s.LossDrops += other.LossDrops
+	s.BurstDrops += other.BurstDrops
+	s.PartitionDrops += other.PartitionDrops
+	s.Duplicated += other.Duplicated
+	s.Reordered += other.Reordered
+	s.Delayed += other.Delayed
+	s.Corrupted += other.Corrupted
+}
+
+// MergeStats folds a set of per-link stats into one summary.
+func MergeStats(all ...Stats) Stats {
+	var out Stats
+	for _, s := range all {
+		out.Merge(s)
+	}
+	return out
+}
+
 // Injector makes seeded impairment decisions for one link direction.
 // Not safe for concurrent use: one goroutine (the network pump, one sim
 // run) owns it, which is also what keeps its decisions deterministic.

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 )
 
@@ -187,5 +188,97 @@ func TestPresetsAreValidAndNamed(t *testing.T) {
 	}
 	if got := Presets()["all"].String(); got == "none" {
 		t.Error("all preset stringified as none")
+	}
+}
+
+// statsWithSeq fills every int64 field of a Stats with distinct values
+// derived from base via reflection, so the merge tests cover fields
+// added later without being rewritten.
+func statsWithSeq(t *testing.T, base int64) Stats {
+	t.Helper()
+	var s Stats
+	v := reflect.ValueOf(&s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		if v.Field(i).Kind() != reflect.Int64 {
+			t.Fatalf("Stats field %s is %v, not int64; teach the merge tests about it",
+				v.Type().Field(i).Name, v.Field(i).Kind())
+		}
+		v.Field(i).SetInt(base + int64(i))
+	}
+	return s
+}
+
+func TestStatsMergeSumsEveryField(t *testing.T) {
+	a := statsWithSeq(t, 100)
+	b := statsWithSeq(t, 1000)
+	got := a
+	got.Merge(b)
+	va, vb, vg := reflect.ValueOf(a), reflect.ValueOf(b), reflect.ValueOf(got)
+	for i := 0; i < vg.NumField(); i++ {
+		want := va.Field(i).Int() + vb.Field(i).Int()
+		if vg.Field(i).Int() != want {
+			t.Errorf("Merge dropped field %s: got %d, want %d (Merge must sum every Stats field)",
+				vg.Type().Field(i).Name, vg.Field(i).Int(), want)
+		}
+	}
+}
+
+// TestStatsMergeAssociative pins the property the fleet summary relies
+// on: per-link stats can be rolled up in any grouping — per node, per
+// rack, or all at once — and the totals agree.
+func TestStatsMergeAssociative(t *testing.T) {
+	a := statsWithSeq(t, 3)
+	b := statsWithSeq(t, 70)
+	c := statsWithSeq(t, 9000)
+
+	left := a // (a+b)+c
+	left.Merge(b)
+	left.Merge(c)
+
+	bc := b // a+(b+c)
+	bc.Merge(c)
+	right := a
+	right.Merge(bc)
+
+	if left != right {
+		t.Fatalf("merge is not associative: (a+b)+c = %+v, a+(b+c) = %+v", left, right)
+	}
+	if got := MergeStats(a, b, c); got != left {
+		t.Fatalf("MergeStats disagrees with pairwise merges: %+v vs %+v", got, left)
+	}
+
+	ba := b // commutativity rides along: b+a == a+b
+	ba.Merge(a)
+	ab := a
+	ab.Merge(b)
+	if ab != ba {
+		t.Fatalf("merge is not commutative: a+b = %+v, b+a = %+v", ab, ba)
+	}
+
+	var zero Stats // and zero is the identity
+	withZero := a
+	withZero.Merge(zero)
+	if withZero != a {
+		t.Fatalf("zero Stats is not the merge identity: %+v vs %+v", withZero, a)
+	}
+}
+
+// TestStatsMergeMatchesSharedInjectorBooks: merging real per-link
+// injector stats preserves the ledger identity the single-wire stats
+// promise (Dropped fully attributed to its three causes).
+func TestStatsMergeRealInjectors(t *testing.T) {
+	cfg := Presets()["all"]
+	var merged Stats
+	var frames int64
+	for link := int64(0); link < 5; link++ {
+		_, s := drive(cfg, 100+link, 3000, 0.0005)
+		frames += s.Frames
+		merged.Merge(s)
+	}
+	if merged.Frames != frames {
+		t.Fatalf("merged Frames = %d, want %d", merged.Frames, frames)
+	}
+	if merged.Dropped != merged.LossDrops+merged.BurstDrops+merged.PartitionDrops {
+		t.Fatalf("merged drop attribution broken: %+v", merged)
 	}
 }

@@ -1,0 +1,286 @@
+package fleet_test
+
+import (
+	"bytes"
+	"testing"
+
+	"ldlp/internal/core"
+	"ldlp/internal/fleet"
+	"ldlp/internal/netstack"
+)
+
+// pingApp: node 0 pings every peer once; peers pong back. Stops the
+// fleet when all pongs are home.
+type pingApp struct {
+	socks   []*netstack.UDPSock
+	want    int
+	replies int
+}
+
+func (a *pingApp) Setup(n *fleet.Node) {
+	s, err := n.Host().UDPSocket(7)
+	if err != nil {
+		panic(err)
+	}
+	a.socks[n.ID()] = s
+}
+
+func (a *pingApp) Start(n *fleet.Node) {
+	if n.ID() != 0 {
+		return
+	}
+	for _, p := range n.Peers() {
+		a.socks[0].SendTo(fleet.IPOf(int(p)), 7, []byte("ping"))
+	}
+}
+
+func (a *pingApp) Poll(n *fleet.Node, _ float64) {
+	s := a.socks[n.ID()]
+	for {
+		dg, ok := s.Recv()
+		if !ok {
+			return
+		}
+		if string(dg.Data) == "ping" {
+			s.SendTo(dg.Src, dg.SrcPort, []byte("pong"))
+		} else if n.ID() == 0 {
+			a.replies++
+			if a.replies >= a.want {
+				n.Fleet().Stop()
+			}
+		}
+	}
+}
+
+func (a *pingApp) Timer(*fleet.Node, float64, int64) {}
+
+func runPing(t *testing.T, cfg fleet.Config) (*fleet.Fleet, *pingApp, fleet.Stats) {
+	t.Helper()
+	app := &pingApp{socks: make([]*netstack.UDPSock, cfg.Topology.N()), want: len(cfg.Topology.Peers(0))}
+	f, err := fleet.New(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	s := f.Run()
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return f, app, s
+}
+
+func TestFleetPingAcrossTopologies(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		top  *fleet.Topology
+	}{
+		{"ring", fleet.Ring(16, 2)},
+		{"torus", fleet.Torus(4, 4)},
+		{"mesh", fleet.FullMesh(8)},
+		{"smallworld", fleet.SmallWorld(32, 2, 0.2, 42)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, app, s := runPing(t, fleet.Config{
+				Topology:   tc.top,
+				Discipline: core.LDLP,
+				Link:       fleet.LANLink(),
+				Seed:       1,
+			})
+			if app.replies != app.want {
+				t.Fatalf("got %d pongs, want %d", app.replies, app.want)
+			}
+			if s.Delivered == 0 || s.Events == 0 {
+				t.Fatalf("no traffic simulated: %+v", s)
+			}
+		})
+	}
+}
+
+// TestFleetBatchingUnderFanIn floods one node from every mesh peer at
+// t=0: the LDLP fleet must batch the fan-in (the paper's §3 win) and
+// finish the burst sooner than the conventional fleet.
+func TestFleetBatchingUnderFanIn(t *testing.T) {
+	finish := map[core.Discipline]float64{}
+	for _, d := range []core.Discipline{core.Conventional, core.LDLP} {
+		top := fleet.FullMesh(16)
+		app := &floodApp{socks: make([]*netstack.UDPSock, top.N())}
+		f, err := fleet.New(fleet.Config{Topology: top, Discipline: d, Link: fleet.LANLink(), Seed: 7}, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := f.Run()
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if d == core.LDLP && s.MaxBatch < 2 {
+			t.Fatalf("LDLP fleet never batched: max batch %d", s.MaxBatch)
+		}
+		if d == core.Conventional && s.MaxBatch != 1 {
+			t.Fatalf("conventional fleet batched: max batch %d", s.MaxBatch)
+		}
+		finish[d] = f.Now()
+		f.Close()
+	}
+	if finish[core.LDLP] >= finish[core.Conventional] {
+		t.Fatalf("LDLP fan-in no faster than conventional: %v vs %v",
+			finish[core.LDLP], finish[core.Conventional])
+	}
+}
+
+// floodApp: every node sends one datagram to node 0 at t=0.
+type floodApp struct{ socks []*netstack.UDPSock }
+
+func (a *floodApp) Setup(n *fleet.Node) {
+	s, err := n.Host().UDPSocket(7)
+	if err != nil {
+		panic(err)
+	}
+	a.socks[n.ID()] = s
+}
+
+func (a *floodApp) Start(n *fleet.Node) {
+	if n.ID() != 0 {
+		a.socks[n.ID()].SendTo(fleet.IPOf(0), 7, []byte("x"))
+	}
+}
+
+func (a *floodApp) Poll(n *fleet.Node, _ float64) {
+	for {
+		if _, ok := a.socks[n.ID()].Recv(); !ok {
+			return
+		}
+	}
+}
+
+func (a *floodApp) Timer(*fleet.Node, float64, int64) {}
+
+// TestFleetConservationUnderFaults runs the ping workload over every
+// faults preset and checks the frame ledgers still balance (drops,
+// duplicates, reorder holds, corruption all accounted).
+func TestFleetConservationUnderFaults(t *testing.T) {
+	for _, preset := range []string{"bernoulli", "duplication", "reorder", "delay", "corrupt", "all"} {
+		t.Run(preset, func(t *testing.T) {
+			top := fleet.FullMesh(8)
+			app := &floodApp{socks: make([]*netstack.UDPSock, top.N())}
+			f, err := fleet.New(fleet.Config{
+				Topology:   top,
+				Discipline: core.LDLP,
+				Link:       fleet.FaultyLink(fleet.LANLink(), preset),
+				Seed:       3,
+				Horizon:    2,
+			}, app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			s := f.Run()
+			if err := f.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if s.Faults.Frames == 0 {
+				t.Fatal("injectors saw no frames")
+			}
+		})
+	}
+}
+
+// TestFleetEventLogReplays runs the same seeded fleet twice and demands
+// byte-identical event logs.
+func TestFleetEventLogReplays(t *testing.T) {
+	run := func() []byte {
+		var log bytes.Buffer
+		top := fleet.SmallWorld(24, 2, 0.3, 9)
+		app := &pingApp{socks: make([]*netstack.UDPSock, top.N()), want: len(top.Peers(0))}
+		f, err := fleet.New(fleet.Config{
+			Topology:   top,
+			Discipline: core.LDLP,
+			Link:       fleet.FaultyLink(fleet.WANLink(), "bernoulli"),
+			Seed:       11,
+			Horizon:    5,
+			EventLog:   &log,
+		}, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		f.Run()
+		return log.Bytes()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("empty event log")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed event logs differ (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// TestMergedTelemetryCountsAllHosts: the fleet-wide merge must see
+// every host's observations exactly once.
+func TestMergedTelemetryCountsAllHosts(t *testing.T) {
+	f, _, s := runPing(t, fleet.Config{
+		Topology:   fleet.Ring(12, 2),
+		Discipline: core.LDLP,
+		Link:       fleet.LANLink(),
+		Seed:       5,
+	})
+	merged := f.MergedTelemetry()
+	if len(merged) == 0 {
+		t.Fatal("no merged histograms")
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i-1].Name >= merged[i].Name {
+			t.Fatalf("merged histograms not sorted: %q >= %q", merged[i-1].Name, merged[i].Name)
+		}
+	}
+	var delivery, found = int64(0), false
+	for _, e := range merged {
+		if e.Name == "fleet-delivery-ns" {
+			delivery, found = e.Hist.Count, true
+		}
+	}
+	if !found {
+		t.Fatal("fleet-delivery-ns missing from merged telemetry")
+	}
+	if delivery != s.Delivered {
+		t.Fatalf("delivery histogram count %d != delivered frames %d", delivery, s.Delivered)
+	}
+}
+
+func TestTopologyShapes(t *testing.T) {
+	if got := fleet.Ring(10, 2).MinDegree(); got != 4 {
+		t.Errorf("ring degree = %d, want 4", got)
+	}
+	if got := fleet.Torus(4, 5).MinDegree(); got != 4 {
+		t.Errorf("torus degree = %d, want 4", got)
+	}
+	if got := fleet.FullMesh(7).MinDegree(); got != 6 {
+		t.Errorf("mesh degree = %d, want 6", got)
+	}
+
+	// Small-world rewiring must be deterministic per seed and keep the
+	// graph symmetric.
+	a, b := fleet.SmallWorld(64, 3, 0.25, 17), fleet.SmallWorld(64, 3, 0.25, 17)
+	for i := 0; i < a.N(); i++ {
+		pa, pb := a.Peers(i), b.Peers(i)
+		if len(pa) != len(pb) {
+			t.Fatalf("node %d: degree differs across same-seed builds", i)
+		}
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatalf("node %d: peers differ across same-seed builds", i)
+			}
+		}
+		for _, p := range pa {
+			back := false
+			for _, q := range a.Peers(int(p)) {
+				if q == int32(i) {
+					back = true
+				}
+			}
+			if !back {
+				t.Fatalf("edge %d->%d not symmetric", i, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package gossip
+
+import (
+	"fmt"
+
+	"ldlp/internal/core"
+	"ldlp/internal/fleet"
+	"ldlp/internal/stats"
+)
+
+// FigureConfig sizes FigureFleetGossip.
+type FigureConfig struct {
+	// Nodes is the fleet size; 0 means the deliverable's 1000.
+	Nodes int
+	// Degree is the small-world lattice degree parameter k (actual
+	// degree ~2k); 0 means 8.
+	Degree int
+	// TargetStep is the logical-clock target; 0 means 5.
+	TargetStep uint32
+	// Seed drives everything.
+	Seed int64
+	// FaultPreset names the impaired link model compared against the
+	// clean one; empty means "bernoulli".
+	FaultPreset string
+}
+
+func (c *FigureConfig) setDefaults() {
+	if c.Nodes == 0 {
+		c.Nodes = 1000
+	}
+	if c.Degree == 0 {
+		c.Degree = 8
+	}
+	if c.TargetStep == 0 {
+		c.TargetStep = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.FaultPreset == "" {
+		c.FaultPreset = "bernoulli"
+	}
+}
+
+// runCell executes one (discipline, link) cell of the figure.
+func runCell(fc FigureConfig, d core.Discipline, link fleet.LinkConfig) (Result, error) {
+	return Run(Config{
+		Fleet: fleet.Config{
+			Topology:   fleet.SmallWorld(fc.Nodes, fc.Degree, 0.1, fc.Seed),
+			Discipline: d,
+			Link:       link,
+			Seed:       fc.Seed,
+		},
+		TargetStep: fc.TargetStep,
+	})
+}
+
+// FigureFleetGossip is the deliverable: threshold gossip at fleet scale,
+// LDLP vs conventional, clean vs fault-preset links. One row per link
+// model (x = 0 clean, 1 impaired); the series carry rounds-to-step and
+// the delivery latency distribution for both disciplines, plus the
+// headline p99 ratio. The same seed always reproduces the same table
+// byte-for-byte (the replay test pins this at 256 nodes).
+func FigureFleetGossip(fc FigureConfig) (*stats.Table, error) {
+	fc.setDefaults()
+	t := stats.NewTable(
+		fmt.Sprintf("FigureFleetGossip: %d-node smallworld, TLC to step %d (0=clean, 1=%s)", fc.Nodes, fc.TargetStep, fc.FaultPreset),
+		"link",
+		"ldlp-rounds-per-step", "conv-rounds-per-step",
+		"ldlp-p50-us", "conv-p50-us",
+		"ldlp-p99-us", "conv-p99-us",
+		"p99-ratio",
+	)
+	links := []fleet.LinkConfig{
+		fleet.LANLink(),
+		fleet.FaultyLink(fleet.LANLink(), fc.FaultPreset),
+	}
+	for i, link := range links {
+		ldlp, err := runCell(fc, core.LDLP, link)
+		if err != nil {
+			return nil, err
+		}
+		conv, err := runCell(fc, core.Conventional, link)
+		if err != nil {
+			return nil, err
+		}
+		if !ldlp.Completed || !conv.Completed {
+			return nil, fmt.Errorf("gossip: figure cell did not complete (link %d: ldlp=%v conv=%v)", i, ldlp.Completed, conv.Completed)
+		}
+		t.Add(float64(i),
+			ldlp.RoundsPerStep, conv.RoundsPerStep,
+			ldlp.DeliveryP50/1e3, conv.DeliveryP50/1e3,
+			ldlp.DeliveryP99/1e3, conv.DeliveryP99/1e3,
+			conv.DeliveryP99/ldlp.DeliveryP99,
+		)
+	}
+	return t, nil
+}

@@ -1,0 +1,78 @@
+package fleet
+
+import "ldlp/internal/mbuf"
+
+// Event kinds popped by the scheduler loop.
+const (
+	evArrive  = uint8(iota) // a frame reaches a node's inbox
+	evProcess               // a node's CPU runs one service batch
+	evTimer                 // an application timer fires
+)
+
+// event is one entry in the fleet's global schedule. Ties on time break
+// by seq — the order events were scheduled — so runs with equal
+// timestamps (common at t=0 and on zero-latency links) are still fully
+// ordered and replay identically.
+type event struct {
+	at     float64
+	seq    uint64
+	kind   uint8
+	node   int32
+	arg    int64      // evTimer: application-defined
+	m      *mbuf.Mbuf // evArrive: the frame in flight
+	sentAt float64    // evArrive: transmit time, for delivery latency
+}
+
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// eventHeap is a plain binary min-heap over (at, seq). Hand-rolled
+// rather than container/heap: the scheduler pops one event per frame in
+// flight, and the interface indirection shows up at fleet scale.
+type eventHeap struct {
+	es []event
+}
+
+func (h *eventHeap) len() int { return len(h.es) }
+
+func (h *eventHeap) push(e event) {
+	h.es = append(h.es, e)
+	i := len(h.es) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.es[i].before(h.es[p]) {
+			break
+		}
+		h.es[i], h.es[p] = h.es[p], h.es[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.es[0]
+	last := len(h.es) - 1
+	h.es[0] = h.es[last]
+	h.es[last] = event{} // drop the mbuf reference
+	h.es = h.es[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < last && h.es[l].before(h.es[min]) {
+			min = l
+		}
+		if r < last && h.es[r].before(h.es[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h.es[i], h.es[min] = h.es[min], h.es[i]
+		i = min
+	}
+	return top
+}

@@ -258,6 +258,14 @@ func DefaultAnalyzers() []*Analyzer {
 				// assignments, which the cross-policy equivalence harness
 				// depends on.
 				"ldlp/internal/dispatch",
+				// The fleet simulator's whole contract is byte-identical
+				// replay per seed: event times, link jitter, fault streams
+				// and merged telemetry all flow from Config.Seed. Wall
+				// clocks, global rand, or map ranging anywhere in the
+				// scheduler or the gossip protocol would break the replay
+				// test silently on some future run.
+				"ldlp/internal/fleet",
+				"ldlp/internal/fleet/gossip",
 			},
 		}),
 	}

@@ -1,0 +1,59 @@
+// Fleet-simulator-flavored cases: the idioms internal/fleet and
+// internal/fleet/gossip must avoid (wall-clock event stamps, global
+// rand jitter, map-ranged telemetry merges) and the seeded/sorted
+// replacements they use instead.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type fleetEvent struct {
+	at   float64
+	node int32
+}
+
+func badFleetEventStamp(node int32) fleetEvent {
+	return fleetEvent{
+		at:   float64(time.Now().UnixNano()) / 1e9, // want `reads the wall clock`
+		node: node,
+	}
+}
+
+func badLinkJitter(base float64) float64 {
+	return base + rand.Float64()*2e-3 // want `process-global PRNG`
+}
+
+func badTelemetryMerge(perLink map[string]int64) []string {
+	var names []string
+	for name := range perLink { // want `map iteration order is nondeterministic`
+		names = append(names, name)
+	}
+	return names
+}
+
+// The fleet's way: jitter from a splitmix64 stream seeded by the link
+// identity — pure arithmetic, replays exactly.
+func goodLinkJitter(seed uint64, base float64) float64 {
+	seed += 0x9e3779b97f4a7c15
+	z := seed
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	return base + float64(z>>11)/(1<<53)*2e-3
+}
+
+// Merging by walking a deterministic slice (creation order) and sorting
+// the result: allowed — the map is only ever indexed, never ranged.
+func goodTelemetryMerge(order []string, perLink map[string]int64) []string {
+	out := make([]string, 0, len(order))
+	for _, name := range order {
+		if _, ok := perLink[name]; ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -223,6 +223,10 @@ type Net struct {
 	// time.
 	impair map[layers.IPAddr]*faults.Injector
 	held   []heldFrame
+	// carrier, when set, takes every transmitted frame instead of the
+	// Net's own broadcast wire (see SetCarrier): the topology layer owns
+	// routing, latency and per-link impairment from that point on.
+	carrier func(dst layers.MACAddr, m *mbuf.Mbuf)
 }
 
 // NewNet creates an empty network segment.
@@ -326,10 +330,43 @@ func (n *Net) Close() {
 	}
 }
 
-// send queues a frame for delivery.
+// send queues a frame for delivery (or hands it to the carrier when the
+// Net is chassis for an external topology).
 func (n *Net) send(f frame) {
+	if n.carrier != nil {
+		n.carrier(f.dst, f.m)
+		return
+	}
 	//lint:ignore hotpathalloc per-pump wire queue, drained every pump; growth is amortized over the batch
 	n.wire = append(n.wire, f)
+}
+
+// SetCarrier diverts every frame this Net's hosts transmit to carry,
+// bypassing the built-in broadcast wire. With a carrier installed the
+// Net is reduced to a chassis — a clock plus attached hosts — and an
+// external topology layer (internal/fleet) owns frame routing, per-link
+// latency/bandwidth and fault injection. The carrier takes ownership of
+// each mbuf chain exactly as the wire would: deliver it to a host via
+// InjectFrame, or free it.
+//
+// Drive carrier-backed hosts with InjectFrame/Pump/AdvanceTo, not
+// Tick/RunUntilIdle (those pump the internal wire, which a carrier
+// leaves permanently empty). Install before any traffic flows.
+func (n *Net) SetCarrier(carry func(dst layers.MACAddr, m *mbuf.Mbuf)) {
+	n.carrier = carry
+}
+
+// AdvanceTo moves simulated time forward to t (monotonic: earlier times
+// are ignored, so interleaved per-node completion times from an external
+// event scheduler cannot run the shared clock backwards). Unlike Tick it
+// fires no timers and pumps nothing — the scheduler that owns the
+// timeline decides when hosts run.
+//
+//ldlp:quiescent
+func (n *Net) AdvanceTo(t float64) {
+	if t > n.now {
+		n.now = t
+	}
 }
 
 // RunUntilIdle delivers frames and pumps hosts until the network is
@@ -990,6 +1027,41 @@ func (h *Host) deliver(m *mbuf.Mbuf) {
 		h.putPacket(pkt)
 	}
 }
+
+// InjectFrame delivers one frame from an external topology layer into
+// this host's receive path, exactly as the built-in wire would: the host
+// takes ownership of the mbuf chain. Under the conventional discipline
+// the frame is processed inline; under LDLP it queues until the next
+// Pump. Pump-side — the caller is the scheduler that owns the timeline.
+//
+//ldlp:quiescent
+func (h *Host) InjectFrame(m *mbuf.Mbuf) { h.deliver(m) }
+
+// Pump drains the receive engine and flushes the transmit queues — one
+// scheduling quantum of this host, the per-host half of RunUntilIdle for
+// topologies whose routing lives outside the Net (SetCarrier). Returns
+// the number of packets processed plus frames flushed. Transmitted
+// frames leave through the carrier during the call.
+//
+//ldlp:quiescent
+func (h *Host) Pump() int { return h.process() }
+
+// Tick fires this host's protocol timers (TCP retransmit/delayed-ACK,
+// reassembly expiry, dispatch rebalance) against the Net clock. The
+// built-in wire calls it from Net.Tick; carrier-backed schedulers call
+// it directly for hosts whose timers they want to model.
+//
+//ldlp:quiescent
+func (h *Host) TimerTick() { h.tick() }
+
+// FrameFromBytes copies data into a fresh chain from the host's
+// pump-side transmit pool. External topologies use it to materialize
+// fault-injected duplicates of frames addressed to this host, the same
+// pool choice impairFrame makes for the built-in wire. The caller owns
+// the chain (typically handing it straight to InjectFrame).
+//
+//ldlp:quiescent
+func (h *Host) FrameFromBytes(data []byte) *mbuf.Mbuf { return h.txPool.FromBytes(data) }
 
 // process drains the receive engine (no-op under conventional, where
 // Inject already ran the stack; a blocking Drain for the sharded engine),

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"ldlp/internal/core"
+)
+
+// TestAnalyticCostsMatchPaperCalibration pins the closed-form constants
+// for the §4 machine: the fleet simulator's service-time model must not
+// drift from the cache-level calibration without this test noticing.
+func TestAnalyticCostsMatchPaperCalibration(t *testing.T) {
+	perMsg, perMsgBatched, perBatch, perByte := DefaultConfig(core.LDLP).AnalyticCosts()
+
+	// 5 layers x (1376 issue + 192 lines x 20 cycle refill) / 100 MHz.
+	wantMsg := 5 * (1376 + 192*20.0) / 100e6
+	// 5 layers x (1376 issue + 40 queue-op) / 100 MHz.
+	wantWarm := 5 * (1376 + 40.0) / 100e6
+	// 5 layers x 192 lines x 20 cycle refill / 100 MHz.
+	wantBatch := 5 * 192 * 20.0 / 100e6
+	// 0.5 issue + 20/32 refill cycles per byte / 100 MHz.
+	wantByte := (0.5 + 20.0/32) / 100e6
+
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"perMsg", perMsg, wantMsg},
+		{"perMsgBatched", perMsgBatched, wantWarm},
+		{"perBatch", perBatch, wantBatch},
+		{"perByte", perByte, wantByte},
+	} {
+		if math.Abs(c.got-c.want) > 1e-12 {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+
+	// The shape that makes LDLP worth building: a batch of one is
+	// slightly worse than call-through (queue handling is pure
+	// overhead), and the cache-fit batch of 14 wins by ~3x (Figure 6's
+	// small-message regime).
+	one := perBatch + perMsgBatched
+	if one <= perMsg {
+		t.Errorf("LDLP batch of 1 should cost more than conventional: %v <= %v", one, perMsg)
+	}
+	fourteen := (perBatch + 14*perMsgBatched) / 14
+	if ratio := perMsg / fourteen; ratio < 2.5 || ratio > 4 {
+		t.Errorf("batch-of-14 speedup = %.2f, want the paper's ~3x", ratio)
+	}
+}
